@@ -1,0 +1,178 @@
+// Ablations of the design choices called out in DESIGN.md §5 (the paper's
+// §4 "Reducing Overhead" heuristics and §3 data-structure choices):
+//   1. sampling strategy (vanilla / topk / hard-threshold) — accuracy cost
+//   2. bucket replacement policy (reservoir / fifo) — end-to-end effect
+//   3. hash family (simhash / wta / dwta / doph) on the same workload
+//   4. rebuild schedule (exponential decay / fixed period / never)
+//   5. HOGWILD vs mutex-locked gradient accumulation
+//   6. incremental Simhash re-hash vs full re-hash — rebuild cost
+#include "bench_common.h"
+
+using namespace slide;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  double seconds = 0.0;
+  double accuracy = 0.0;
+  long rebuilds = 0;
+};
+
+Arm run_arm(const std::string& name, const SyntheticDataset& data,
+            NetworkConfig cfg, int threads, long iterations,
+            bool hogwild = true) {
+  Arm arm{name};
+  Network network(cfg, threads);
+  TrainerConfig tcfg;
+  tcfg.batch_size = 128;
+  tcfg.num_threads = threads;
+  tcfg.learning_rate = 1e-3f;
+  tcfg.hogwild = hogwild;
+  Trainer trainer(network, tcfg);
+  WallTimer timer;
+  trainer.train(data.train, iterations);
+  arm.seconds = timer.seconds();
+  arm.accuracy = evaluate_p_at_1(network, data.test, trainer.pool(),
+                                 {.exact = true, .max_samples = 1'000});
+  arm.rebuilds = network.output_layer().rebuild_count();
+  return arm;
+}
+
+void print_arms(const char* title, const std::vector<Arm>& arms) {
+  std::printf("\n-- %s --\n", title);
+  MarkdownTable table({"variant", "train time (s)", "P@1", "rebuilds"});
+  for (const Arm& a : arms) {
+    table.add_row({a.name, fmt(a.seconds, 2), fmt(a.accuracy, 3),
+                   fmt_int(a.rebuilds)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = bench::env_scale(Scale::kTiny);  // many arms: keep small
+  const int threads = bench::env_threads();
+  bench::print_header(
+      "Ablations: the design choices of paper §3-§4",
+      "vanilla sampling, FIFO buckets, per-dataset hash family, exp-decay "
+      "rebuilds, HOGWILD updates");
+  bench::print_env(scale, threads);
+
+  const auto data = make_synthetic_xc(delicious_like(scale));
+  const long iterations = 150;
+  const auto base = [&] {
+    return bench::slide_config_for(data.train, HashFamilyKind::kSimhash);
+  };
+
+  // 1. Sampling strategies.
+  {
+    std::vector<Arm> arms;
+    for (auto strategy :
+         {SamplingStrategy::kVanilla, SamplingStrategy::kTopK,
+          SamplingStrategy::kHardThreshold}) {
+      NetworkConfig cfg = base();
+      cfg.layers[0].sampling.strategy = strategy;
+      cfg.layers[0].sampling.hard_threshold_m = 2;
+      arms.push_back(run_arm(to_string(strategy), data, cfg, threads,
+                             iterations));
+    }
+    print_arms("sampling strategy (paper §4.1 / appendix C.1)", arms);
+    std::printf("expectation: near-equal accuracy; vanilla cheapest "
+                "(paper uses vanilla)\n");
+  }
+
+  // 2. Bucket replacement policy.
+  {
+    std::vector<Arm> arms;
+    for (auto policy : {InsertionPolicy::kReservoir, InsertionPolicy::kFifo}) {
+      NetworkConfig cfg = base();
+      cfg.layers[0].table.policy = policy;
+      arms.push_back(run_arm(policy == InsertionPolicy::kReservoir
+                                 ? "reservoir"
+                                 : "fifo",
+                             data, cfg, threads, iterations));
+    }
+    print_arms("bucket replacement policy (paper §4.2 / Table 3)", arms);
+    std::printf("expectation: near-identical — policy cost is negligible\n");
+  }
+
+  // 3. Hash family.
+  {
+    std::vector<Arm> arms;
+    for (auto kind : {HashFamilyKind::kSimhash, HashFamilyKind::kWta,
+                      HashFamilyKind::kDwta, HashFamilyKind::kDoph}) {
+      NetworkConfig cfg = bench::slide_config_for(data.train, kind);
+      arms.push_back(run_arm(to_string(kind), data, cfg, threads,
+                             iterations));
+    }
+    print_arms("hash family (paper §3.2 / appendix A)", arms);
+    std::printf("expectation: all train; simhash fits this cosine-shaped "
+                "hidden space best\n");
+  }
+
+  // 4. Rebuild schedule.
+  {
+    std::vector<Arm> arms;
+    {
+      NetworkConfig cfg = base();  // exponential decay (default)
+      arms.push_back(
+          run_arm("exp-decay (N0=50)", data, cfg, threads, iterations));
+    }
+    {
+      NetworkConfig cfg = base();
+      cfg.layers[0].rebuild.decay = 0.0;  // fixed period
+      arms.push_back(
+          run_arm("fixed period 50", data, cfg, threads, iterations));
+    }
+    {
+      NetworkConfig cfg = base();
+      cfg.layers[0].rebuild.enabled = false;  // never refresh
+      arms.push_back(run_arm("never rebuild", data, cfg, threads,
+                             iterations));
+    }
+    print_arms("hash-table rebuild schedule (paper §4.2 heuristic 1)", arms);
+    std::printf("expectation: stale tables degrade adaptivity; decay saves "
+                "rebuild time late in training\n");
+  }
+
+  // 5. HOGWILD vs locked accumulation.
+  {
+    std::vector<Arm> arms;
+    arms.push_back(
+        run_arm("hogwild (lock-free)", data, base(), threads, iterations));
+    arms.push_back(run_arm("mutex-locked", data, base(), threads, iterations,
+                           /*hogwild=*/false));
+    print_arms("gradient accumulation (paper §3.1, HOGWILD)", arms);
+    std::printf("expectation: same accuracy; locking adds serialization "
+                "cost that grows with threads\n");
+  }
+
+  // 6. Incremental Simhash re-hash: isolate the rebuild cost.
+  {
+    std::vector<Arm> arms;
+    {
+      NetworkConfig cfg = base();
+      cfg.layers[0].rebuild.initial_period = 10;  // rebuild often
+      cfg.layers[0].rebuild.decay = 0.0;
+      arms.push_back(run_arm("full re-hash, period 10", data, cfg, threads,
+                             iterations));
+    }
+    {
+      NetworkConfig cfg = base();
+      cfg.layers[0].rebuild.initial_period = 10;
+      cfg.layers[0].rebuild.decay = 0.0;
+      cfg.layers[0].incremental_rehash = true;
+      arms.push_back(run_arm("incremental re-hash, period 10", data, cfg,
+                             threads, iterations));
+    }
+    print_arms("incremental Simhash re-hash (paper §4.2 heuristic 3)", arms);
+    std::printf(
+        "expectation: same accuracy; incremental shifts cost from rebuild "
+        "(O(K*L*d/3) per neuron)\nto update time (O(d') per changed weight) "
+        "— it wins when upstream activations are sparse,\nand is ~neutral "
+        "here where every fan-in weight of a touched neuron changes\n");
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: the (K, L) trade-off of paper §3.2 — "SLIDE provides a natural
+// trade-off between the efficiency of retrieving active neurons and the
+// quality of the retrieved ones".
+//
+// Larger K makes buckets sparser (fewer false positives, cheaper unions,
+// but more misses -> more random fill); larger L adds tables (better recall
+// of genuinely similar neurons, more hashing + memory). The sweep reports,
+// per (K, L): LSH-retrieved vs random-filled share of the active set,
+// sampling time, table memory, and accuracy after a fixed budget of
+// iterations.
+#include "bench_common.h"
+
+using namespace slide;
+
+int main() {
+  const Scale scale = bench::env_scale(Scale::kTiny);
+  const int threads = bench::env_threads();
+  bench::print_header(
+      "Ablation: (K, L) retrieval efficiency vs quality (paper §3.2)",
+      "larger K -> sparser buckets (precision); larger L -> more tables "
+      "(recall, cost); paper settles on K=9, L=50");
+  bench::print_env(scale, threads);
+
+  const auto data = make_synthetic_xc(delicious_like(scale));
+  const long iterations = 150;
+  const Index target = std::max<Index>(32, data.train.label_dim() / 50);
+
+  MarkdownTable table({"K", "L", "P@1", "lsh-retrieved share",
+                       "sampling time (s)", "tables (MB)",
+                       "train time (s)"});
+  for (int k : {4, 6, 9, 12}) {
+    for (int l : {10, 50}) {
+      NetworkConfig cfg =
+          bench::slide_config_for(data.train, HashFamilyKind::kSimhash);
+      cfg.layers[0].family.k = k;
+      cfg.layers[0].family.l = l;
+      cfg.layers[0].sampling.target = target;
+
+      Network network(cfg, threads);
+      TrainerConfig tcfg;
+      tcfg.batch_size = 128;
+      tcfg.num_threads = threads;
+      tcfg.learning_rate = 1e-3f;
+      Trainer trainer(network, tcfg);
+      WallTimer timer;
+      trainer.train(data.train, iterations);
+      const double train_seconds = timer.seconds();
+      const double acc =
+          evaluate_p_at_1(network, data.test, trainer.pool(),
+                          {.exact = true, .max_samples = 1'000});
+
+      // Probe retrieval quality: how much of the active set came from the
+      // hash tables vs the uniform random fill-in? Measure by disabling the
+      // fill on a probe network sharing the same trained weights.
+      double lsh_share;
+      {
+        std::vector<std::uint32_t> keys(static_cast<std::size_t>(l));
+        std::vector<std::span<const Index>> buckets;
+        std::vector<Index> out;
+        VisitedSet visited(network.output_dim());
+        Rng rng(99);
+        InferenceContext ctx(network.max_sampled_units());
+        double retrieved = 0.0;
+        const int probes = 200;
+        const auto* tables = network.output_layer().tables();
+        for (int p = 0; p < probes; ++p) {
+          ctx.dense.resize(network.embedding().units());
+          network.embedding().forward_inference(
+              data.test[static_cast<std::size_t>(p)].features,
+              ctx.dense.data());
+          tables->query_keys_dense(ctx.dense.data(), keys);
+          tables->buckets(keys, buckets);
+          SamplingConfig sampling = cfg.layers[0].sampling;
+          sample_neurons(sampling, buckets, visited, rng, out);
+          retrieved += static_cast<double>(out.size());
+        }
+        lsh_share = retrieved / (static_cast<double>(probes) * target);
+      }
+
+      table.add_row({fmt_int(k), fmt_int(l), fmt(acc, 3),
+                     fmt_pct(std::min(1.0, lsh_share), 1),
+                     fmt(network.output_layer().sampling_seconds(), 2),
+                     fmt(static_cast<double>(
+                             network.output_layer().tables()->memory_bytes()) /
+                             (1 << 20),
+                         1),
+                     fmt(train_seconds, 2)});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nReading: small K floods buckets (high retrieved share but "
+      "unselective -> slower sampling);\nlarge K with small L starves "
+      "retrieval (random fill dominates, adaptivity lost); L=50 restores\n"
+      "recall at higher memory/hash cost — the paper's K=9, L=50 sits on "
+      "this frontier.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Shared setup for the table/figure reproduction benches.
+//
+// Every bench binary runs argument-free on two cores in minutes. Two
+// environment variables widen the workloads toward paper scale on bigger
+// machines:
+//   SLIDE_BENCH_SCALE   = tiny | small | medium | paper   (default: small)
+//   SLIDE_BENCH_THREADS = N (default: all hardware threads)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "slide/slide.h"
+
+namespace slide::bench {
+
+inline Scale env_scale(Scale fallback = Scale::kSmall) {
+  const char* env = std::getenv("SLIDE_BENCH_SCALE");
+  return env == nullptr ? fallback : parse_scale(env);
+}
+
+inline int env_threads() {
+  const char* env = std::getenv("SLIDE_BENCH_THREADS");
+  const int n = env == nullptr ? 0 : std::atoi(env);
+  return n > 0 ? n : hardware_threads();
+}
+
+inline const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+/// Paper-architecture SLIDE config for a dataset: Simhash K=9 L=50
+/// (delicious role) or DWTA K=8 L=50 (amazon role), tables on the output
+/// layer, ~2% target active neurons (>=32). The paper reaches ~0.5% at
+/// 200K-670K classes; at the scaled-down label widths used here a slightly
+/// larger fraction keeps the absolute active count (and thus the softmax
+/// negative coverage) comparable.
+inline NetworkConfig slide_config_for(const Dataset& train,
+                                      HashFamilyKind kind,
+                                      Index hidden = 128,
+                                      int max_batch = 256) {
+  HashFamilyConfig family;
+  family.kind = kind;
+  family.k = kind == HashFamilyKind::kSimhash ? 9 : 8;
+  family.l = 50;
+  family.bin_size = 8;
+  const Index target = std::max<Index>(32, train.label_dim() / 50);
+  NetworkConfig cfg = make_paper_network(train.feature_dim(),
+                                         train.label_dim(), family, target,
+                                         hidden);
+  cfg.max_batch_size = max_batch;
+  cfg.layers[0].table.range_pow = 12;
+  cfg.layers[0].table.bucket_size = 128;
+  cfg.layers[0].rebuild.initial_period = 50;
+  return cfg;
+}
+
+/// Trains SLIDE, recording (iteration, seconds, accuracy) every eval_every
+/// iterations. Evaluation time is excluded from the recorded clock.
+inline void run_slide_convergence(Network& network, const Dataset& train,
+                                  const Dataset& test,
+                                  const TrainerConfig& tcfg, long iterations,
+                                  long eval_every, ConvergenceRecorder& rec,
+                                  std::size_t eval_samples = 1'000) {
+  Trainer trainer(network, tcfg);
+  Batcher batcher(train, static_cast<std::size_t>(tcfg.batch_size),
+                  tcfg.shuffle, tcfg.seed + 1);
+  double train_seconds = 0.0;
+  for (long i = 1; i <= iterations; ++i) {
+    WallTimer step_timer;
+    trainer.step(train, batcher.next());
+    train_seconds += step_timer.seconds();
+    if (i % eval_every == 0 || i == iterations) {
+      const double acc =
+          evaluate_p_at_1(network, test, trainer.pool(),
+                          {.exact = true, .max_samples = eval_samples});
+      rec.add({.iteration = i,
+               .seconds = train_seconds,
+               .accuracy = acc,
+               .active_fraction =
+                   network.output_layer().average_active_fraction()});
+    }
+  }
+}
+
+/// Same for the dense full-softmax baseline (TF-CPU role).
+inline void run_dense_convergence(DenseNetwork& network, const Dataset& train,
+                                  const Dataset& test, int batch_size,
+                                  int threads, float lr, long iterations,
+                                  long eval_every, ConvergenceRecorder& rec,
+                                  std::size_t eval_samples = 1'000) {
+  ThreadPool pool(threads);
+  Batcher batcher(train, static_cast<std::size_t>(batch_size), true, 11);
+  double train_seconds = 0.0;
+  for (long i = 1; i <= iterations; ++i) {
+    WallTimer step_timer;
+    network.step(train, batcher.next(), lr, pool);
+    train_seconds += step_timer.seconds();
+    if (i % eval_every == 0 || i == iterations) {
+      const double acc = evaluate_p_at_1(
+          network, test, pool, {.max_samples = eval_samples});
+      rec.add({.iteration = i, .seconds = train_seconds, .accuracy = acc});
+    }
+  }
+}
+
+inline void print_header(const char* artifact, const char* paper_summary) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("Paper: %s\n", paper_summary);
+  std::printf("================================================================\n");
+}
+
+inline void print_env(Scale scale, int threads) {
+  std::printf("[env] scale=%s threads=%d avx2=%s thp=%s\n",
+              scale_name(scale), threads,
+              simd::compiled_with_avx2() ? "yes" : "no",
+              thp_mode().c_str());
+}
+
+}  // namespace slide::bench

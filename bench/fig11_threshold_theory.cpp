@@ -1,0 +1,49 @@
+// Figure 11 — theoretical selection probability of Hard Thresholding:
+// Pr(selected) vs per-function collision probability p, for frequency
+// thresholds m in {1, 3, 5, 7, 9} at L = 10 tables (paper eq. 3).
+//
+// Paper shape: m = 9 admits only p > 0.8 neurons (few false positives,
+// many misses); m = 1 admits nearly everything (recall-heavy). The curves
+// form a sweep of increasingly sharp sigmoids.
+#include "bench_common.h"
+
+#include "lsh/collision.h"
+
+using namespace slide;
+
+int main() {
+  bench::print_header(
+      "Figure 11: hard-thresholding selection probability (eq. 3)",
+      "sigmoid sweep: high m filters false positives, low m maximizes "
+      "recall");
+
+  constexpr int kL = 10;
+  constexpr int kK = 1;  // the figure plots against p^K directly
+  MarkdownTable table({"p", "m=1", "m=3", "m=5", "m=7", "m=9"});
+  for (double p = 0.1; p <= 0.901; p += 0.1) {
+    std::vector<std::string> row = {fmt(p, 1)};
+    for (int m : {1, 3, 5, 7, 9}) {
+      row.push_back(
+          fmt(hard_threshold_selection_probability(p, kK, kL, m), 4));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Sanity anchors quoted in the paper's appendix B discussion.
+  std::printf("\nAnchors: m=9 needs p>0.8 for Pr>0.5 -> Pr(p=0.8,m=9)=%.3f, "
+              "Pr(p=0.85,m=9)=%.3f;\n         m=1 admits p<0.2 with Pr>0.8 "
+              "-> Pr(p=0.2,m=1)=%.3f\n",
+              hard_threshold_selection_probability(0.8, kK, kL, 9),
+              hard_threshold_selection_probability(0.85, kK, kL, 9),
+              hard_threshold_selection_probability(0.2, kK, kL, 1));
+
+  // Bonus: the same closed form drives the vanilla-sampling curve (eq. 2).
+  std::printf("\nEq. 2 (vanilla, tau tables probed, K=2, L=10): selection "
+              "probability for tau=1..4 at p=0.9:\n");
+  for (int tau = 1; tau <= 4; ++tau) {
+    std::printf("  tau=%d: %.4e\n", tau,
+                vanilla_selection_probability(0.9, 2, 10, tau));
+  }
+  return 0;
+}

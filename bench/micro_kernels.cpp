@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the SIMD math kernels: the AVX2
+// paths against their scalar references at the fan-in sizes the engine
+// actually uses (128 = hidden width; 4096 = wide-embedding column strips).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "simd/kernels.h"
+#include "sys/rng.h"
+
+namespace slide {
+namespace {
+
+std::vector<float> vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  simd::set_simd_enabled(state.range(1) != 0);
+  const auto a = vec(n, 1), b = vec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::dot(a.data(), b.data(), n));
+  }
+  state.SetLabel(state.range(1) ? "avx2" : "scalar");
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2 * sizeof(float));
+  simd::set_simd_enabled(true);
+}
+BENCHMARK(BM_Dot)->Args({128, 1})->Args({128, 0})->Args({4096, 1})->Args({4096, 0});
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  simd::set_simd_enabled(state.range(1) != 0);
+  const auto x = vec(n, 3);
+  auto y = vec(n, 4);
+  for (auto _ : state) {
+    simd::axpy(0.37f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(state.range(1) ? "avx2" : "scalar");
+  simd::set_simd_enabled(true);
+}
+BENCHMARK(BM_Axpy)->Args({128, 1})->Args({128, 0})->Args({4096, 1})->Args({4096, 0});
+
+void BM_SparseDotGather(benchmark::State& state) {
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  simd::set_simd_enabled(state.range(1) != 0);
+  const auto dense = vec(100'000, 5);
+  Rng rng(6);
+  std::vector<Index> idx(nnz);
+  std::vector<float> val(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    idx[i] = rng.uniform(100'000);
+    val[i] = rng.uniform_float();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::sparse_dot(idx.data(), val.data(), nnz, dense.data()));
+  }
+  state.SetLabel(state.range(1) ? "avx2-gather" : "scalar");
+  simd::set_simd_enabled(true);
+}
+BENCHMARK(BM_SparseDotGather)->Args({75, 1})->Args({75, 0});
+
+void BM_Softmax(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto x = vec(n, 7);
+  std::vector<float> work(n);
+  for (auto _ : state) {
+    work = x;
+    simd::softmax_inplace(work.data(), n);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(1000)->Arg(16'000);
+
+void BM_AdamStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  simd::set_simd_enabled(state.range(1) != 0);
+  auto w = vec(n, 8), m = vec(n, 9), v = vec(n, 10);
+  for (auto& x : v) x = x * x;  // second moment must be non-negative
+  const auto g = vec(n, 11);
+  for (auto _ : state) {
+    simd::adam_step(w.data(), m.data(), v.data(), g.data(), n, 1e-3f, 0.9f,
+                    0.999f, 1e-8f, 0.1f, 0.001f);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetLabel(state.range(1) ? "avx2" : "scalar");
+  simd::set_simd_enabled(true);
+}
+BENCHMARK(BM_AdamStep)->Args({128, 1})->Args({128, 0});
+
+}  // namespace
+}  // namespace slide

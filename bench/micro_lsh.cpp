@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the LSH substrate: hash-code
+// computation per family, table insert/query, sampling strategies, and the
+// incremental Simhash update path.
+#include <benchmark/benchmark.h>
+
+#include "lsh/factory.h"
+#include "lsh/sampling.h"
+#include "lsh/table_group.h"
+#include "sys/rng.h"
+
+namespace slide {
+namespace {
+
+constexpr Index kDim = 128;
+
+std::vector<float> dense_input(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> x(kDim);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+HashFamilyConfig family_config(HashFamilyKind kind) {
+  HashFamilyConfig cfg;
+  cfg.kind = kind;
+  cfg.k = kind == HashFamilyKind::kSimhash ? 9 : 8;
+  cfg.l = 50;
+  cfg.dim = kDim;
+  cfg.bin_size = 8;
+  return cfg;
+}
+
+void BM_HashDense(benchmark::State& state) {
+  const auto kind = static_cast<HashFamilyKind>(state.range(0));
+  const auto family = make_hash_family(family_config(kind));
+  const auto x = dense_input();
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(family->l()));
+  for (auto _ : state) {
+    family->hash_dense(x.data(), keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetLabel(family->name());
+}
+BENCHMARK(BM_HashDense)
+    ->Arg(static_cast<int>(HashFamilyKind::kSimhash))
+    ->Arg(static_cast<int>(HashFamilyKind::kWta))
+    ->Arg(static_cast<int>(HashFamilyKind::kDwta))
+    ->Arg(static_cast<int>(HashFamilyKind::kDoph));
+
+void BM_HashSparse(benchmark::State& state) {
+  // 16-nnz sparse input over 10'000 dims: DWTA's native regime.
+  HashFamilyConfig cfg = family_config(HashFamilyKind::kDwta);
+  cfg.dim = 10'000;
+  const auto family = make_hash_family(cfg);
+  Rng rng(2);
+  std::vector<Index> idx;
+  std::vector<float> val;
+  for (int i = 0; i < 16; ++i) {
+    idx.push_back(rng.uniform(10'000));
+    val.push_back(rng.uniform_float());
+  }
+  std::vector<std::uint32_t> keys(50);
+  for (auto _ : state) {
+    family->hash_sparse(idx.data(), val.data(), idx.size(), keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+}
+BENCHMARK(BM_HashSparse);
+
+void BM_SimhashIncrementalUpdate(benchmark::State& state) {
+  Simhash h({.k = 9, .l = 50, .dim = kDim, .density = 1.0 / 3.0, .seed = 3});
+  const auto x = dense_input(3);
+  std::vector<float> dots(static_cast<std::size_t>(h.num_projections()));
+  h.project_dense(x.data(), dots.data());
+  Rng rng(4);
+  for (auto _ : state) {
+    h.update_projections(rng.uniform(kDim), 0.01f, dots.data());
+    benchmark::DoNotOptimize(dots.data());
+  }
+}
+BENCHMARK(BM_SimhashIncrementalUpdate);
+
+void BM_SimhashFullProjection(benchmark::State& state) {
+  Simhash h({.k = 9, .l = 50, .dim = kDim, .density = 1.0 / 3.0, .seed = 3});
+  const auto x = dense_input(3);
+  std::vector<float> dots(static_cast<std::size_t>(h.num_projections()));
+  for (auto _ : state) {
+    h.project_dense(x.data(), dots.data());
+    benchmark::DoNotOptimize(dots.data());
+  }
+}
+BENCHMARK(BM_SimhashFullProjection);
+
+struct TableFixture {
+  TableFixture() : group(make_hash_family(family_config(HashFamilyKind::kSimhash)),
+                         {.range_pow = 12, .bucket_size = 128}) {
+    Rng rng(5);
+    const Index neurons = 50'000;
+    rows.resize(static_cast<std::size_t>(neurons) * kDim);
+    for (auto& w : rows) w = 0.2f * rng.normal();
+    group.build_from_rows(rows.data(), kDim, neurons);
+  }
+  std::vector<float> rows;
+  LshTableGroup group;
+};
+
+TableFixture& fixture() {
+  static TableFixture f;
+  return f;
+}
+
+void BM_TableInsert(benchmark::State& state) {
+  auto& f = fixture();
+  Rng rng(6);
+  Index id = 0;
+  for (auto _ : state) {
+    f.group.insert_dense(id++ % 50'000, f.rows.data() + (id % 50'000) * kDim,
+                         rng);
+  }
+}
+BENCHMARK(BM_TableInsert);
+
+void BM_TableQueryAndSample(benchmark::State& state) {
+  auto& f = fixture();
+  const auto strategy = static_cast<SamplingStrategy>(state.range(0));
+  Rng rng(7);
+  VisitedSet visited(50'000);
+  std::vector<std::uint32_t> keys(50);
+  std::vector<std::span<const Index>> buckets;
+  std::vector<Index> out;
+  auto q = dense_input(8);
+  SamplingConfig cfg;
+  cfg.strategy = strategy;
+  cfg.target = 1'000;
+  cfg.hard_threshold_m = 2;
+  for (auto _ : state) {
+    f.group.query_keys_dense(q.data(), keys);
+    f.group.buckets(keys, buckets);
+    sample_neurons(cfg, buckets, visited, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(to_string(strategy));
+}
+BENCHMARK(BM_TableQueryAndSample)
+    ->Arg(static_cast<int>(SamplingStrategy::kVanilla))
+    ->Arg(static_cast<int>(SamplingStrategy::kTopK))
+    ->Arg(static_cast<int>(SamplingStrategy::kHardThreshold));
+
+}  // namespace
+}  // namespace slide

@@ -1,0 +1,76 @@
+// Table 2 — "Core Utilization": SLIDE vs the dense baseline (TF-CPU role)
+// at increasing thread counts.
+//
+// Paper shape: TF-CPU utilization is low (<50%) and *falls* as threads
+// increase (8->32 threads: 45%->32%); SLIDE stays high (~80%+) because each
+// batch instance runs independently with tiny, thread-private state and
+// lock-free updates.
+//
+// VTune substitution (DESIGN.md §3): utilization = busy-time fraction of
+// (threads x wall-time) from the pool's per-thread accounting.
+#include "bench_common.h"
+
+using namespace slide;
+
+int main() {
+  const Scale scale = bench::env_scale();
+  const int max_threads = bench::env_threads();
+  bench::print_header(
+      "Table 2: core utilization vs thread count",
+      "TF-CPU: 45%/35%/32% at 8/16/32 threads; SLIDE: 82%/81%/85%");
+  bench::print_env(scale, max_threads);
+  std::printf("[note] container has %d hardware threads; sweep uses "
+              "{1, 2, %d} (set SLIDE_BENCH_THREADS to widen)\n",
+              hardware_threads(), 2 * max_threads);
+
+  const auto data = make_synthetic_xc(delicious_like(scale));
+  const long iterations = scale == Scale::kTiny ? 60 : 40;
+  std::vector<int> sweep = {1, 2, 2 * max_threads};
+  if (max_threads > 2) sweep = {1, max_threads / 2, max_threads,
+                                2 * max_threads};
+
+  MarkdownTable table({"engine", "threads", "utilization", "batch time (s)",
+                       "note"});
+  for (int threads : sweep) {
+    // SLIDE.
+    {
+      NetworkConfig cfg =
+          bench::slide_config_for(data.train, HashFamilyKind::kSimhash);
+      Network network(cfg, threads);
+      TrainerConfig tcfg;
+      tcfg.batch_size = 128;
+      tcfg.num_threads = threads;
+      Trainer trainer(network, tcfg);
+      trainer.train(data.train, iterations);
+      table.add_row({"SLIDE", fmt_int(threads),
+                     fmt_pct(trainer.core_utilization(), 1),
+                     fmt(trainer.time_breakdown().total_seconds, 2),
+                     threads > hardware_threads() ? "oversubscribed" : ""});
+    }
+    // Dense baseline: utilization measured the same way through the pool.
+    {
+      DenseNetwork::Config dcfg;
+      dcfg.input_dim = data.train.feature_dim();
+      dcfg.output_units = data.train.label_dim();
+      dcfg.max_batch_size = 128;
+      DenseNetwork dense(dcfg, threads);
+      ThreadPool pool(threads);
+      Batcher batcher(data.train, 128, true, 3);
+      WallTimer timer;
+      for (long i = 0; i < iterations; ++i)
+        dense.step(data.train, batcher.next(), 1e-3f, pool);
+      const double wall = timer.seconds();
+      double busy = 0.0;
+      for (double b : pool.busy_seconds()) busy += b;
+      table.add_row({"Dense(TF-role)", fmt_int(threads),
+                     fmt_pct(busy / (wall * threads), 1), fmt(wall, 2),
+                     threads > hardware_threads() ? "oversubscribed" : ""});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nReading: SLIDE's utilization stays flat/high with more threads; "
+      "the dense engine's\nper-thread share of memory bandwidth shrinks, "
+      "so its utilization decays (paper Table 2 trend).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 4 — CPU-counter metrics with and without Transparent Hugepages.
+//
+// Paper values (VTune/PMU): dTLB load miss rate 5.12% -> 0.25%, page-table-
+// walk cycle share 7.74% -> 0.72%, page faults 32,548/s -> 26,527/s.
+//
+// Substitution (DESIGN.md §3): this container exposes no PMU (TLB/PTW
+// counters) and its kernel reports getrusage fault counts as zero, so we
+// report what is observable — AnonHugePages mapped, resident set, context
+// switches, fault counters where available — plus the end-to-end time
+// delta, for an identical training run under THP on/off.
+#include "bench_common.h"
+
+using namespace slide;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  PerfSnapshot delta;
+  std::uint64_t anon_huge_bytes = 0;
+};
+
+RunResult run(const SyntheticDataset& data, int threads, long iterations,
+              bool thp) {
+  set_hugepages_enabled(thp);
+  NetworkConfig cfg =
+      bench::slide_config_for(data.train, HashFamilyKind::kSimhash);
+  Network network(cfg, threads);
+  TrainerConfig tcfg;
+  tcfg.batch_size = 128;
+  tcfg.num_threads = threads;
+  Trainer trainer(network, tcfg);
+  const PerfSnapshot before = PerfSnapshot::now();
+  WallTimer timer;
+  trainer.train(data.train, iterations);
+  RunResult r;
+  r.seconds = timer.seconds();
+  r.delta = PerfSnapshot::now() - before;
+  r.anon_huge_bytes = anon_hugepage_bytes();
+  set_hugepages_enabled(true);
+  return r;
+}
+
+std::string per_second(std::uint64_t count, double seconds) {
+  return fmt(static_cast<double>(count) / std::max(seconds, 1e-9), 0) + "/s";
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = bench::env_scale();
+  const int threads = bench::env_threads();
+  bench::print_header(
+      "Table 4: CPU-counter metrics with/without Transparent Hugepages",
+      "paper: dTLB miss 5.12%->0.25%, PTW cycles 7.74%->0.72%, page faults "
+      "32548/s->26527/s");
+  bench::print_env(scale, threads);
+  std::printf("[thp] kernel mode=%s, madvise %s\n", thp_mode().c_str(),
+              hugepages_supported() ? "available" : "unavailable");
+
+  const auto data = make_synthetic_xc(delicious_like(scale));
+  const long iterations = scale == Scale::kTiny ? 120 : 60;
+
+  const RunResult without = run(data, threads, iterations, false);
+  const RunResult with = run(data, threads, iterations, true);
+
+  MarkdownTable table({"metric", "without hugepages", "with hugepages"});
+  table.add_row({"train time (s)", fmt(without.seconds, 2),
+                 fmt(with.seconds, 2)});
+  table.add_row({"AnonHugePages mapped (MB)",
+                 fmt(static_cast<double>(without.anon_huge_bytes) / (1 << 20), 1),
+                 fmt(static_cast<double>(with.anon_huge_bytes) / (1 << 20), 1)});
+  table.add_row({"resident set (MB)",
+                 fmt(static_cast<double>(without.delta.resident_set_bytes) /
+                         (1 << 20), 1),
+                 fmt(static_cast<double>(with.delta.resident_set_bytes) /
+                         (1 << 20), 1)});
+  table.add_row({"minor page faults",
+                 per_second(without.delta.minor_page_faults, without.seconds),
+                 per_second(with.delta.minor_page_faults, with.seconds)});
+  table.add_row({"major page faults",
+                 per_second(without.delta.major_page_faults, without.seconds),
+                 per_second(with.delta.major_page_faults, with.seconds)});
+  table.add_row({"involuntary ctx switches",
+                 per_second(without.delta.involuntary_ctx_switches,
+                            without.seconds),
+                 per_second(with.delta.involuntary_ctx_switches,
+                            with.seconds)});
+  table.add_row({"user CPU (s)", fmt(without.delta.user_cpu_seconds, 2),
+                 fmt(with.delta.user_cpu_seconds, 2)});
+  table.add_row({"system CPU (s)", fmt(without.delta.system_cpu_seconds, 2),
+                 fmt(with.delta.system_cpu_seconds, 2)});
+  std::printf("%s", table.str().c_str());
+
+  std::printf(
+      "\nNotes: PMU counters (dTLB/iTLB miss rates, page-table-walk cycles) "
+      "are not exposed in this\ncontainer, and some sandboxed kernels "
+      "report getrusage fault counts as zero — the paper's\nTLB-reach "
+      "mechanism is then visible through AnonHugePages adoption and the "
+      "time delta.\nTHP speedup here: %.2fx (paper: ~1.3x at 200K-670K-"
+      "class scale; grows with footprint).\n",
+      without.seconds / with.seconds);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Standalone LSH similarity search with the library's hash-table substrate —
+// the (K, L) structure of paper §2 used directly, without a neural network:
+// index a collection of vectors, query with LSH bucket probes + candidate
+// re-ranking, and compare recall/latency against brute force.
+//
+//   ./build/examples/lsh_topk_search [num_vectors] [dim] [queries]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "slide/slide.h"
+
+int main(int argc, char** argv) {
+  using namespace slide;
+
+  const Index n = argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 20'000;
+  const Index dim = argc > 2 ? static_cast<Index>(std::atoi(argv[2])) : 128;
+  const int queries = argc > 3 ? std::atoi(argv[3]) : 200;
+  constexpr int kTopK = 10;
+
+  // Collection: random unit vectors (cosine similarity search).
+  Rng rng(2024);
+  std::vector<float> rows(static_cast<std::size_t>(n) * dim);
+  for (Index r = 0; r < n; ++r) {
+    float norm = 0.0f;
+    float* row = rows.data() + static_cast<std::size_t>(r) * dim;
+    for (Index d = 0; d < dim; ++d) {
+      row[d] = rng.normal();
+      norm += row[d] * row[d];
+    }
+    norm = std::sqrt(norm);
+    for (Index d = 0; d < dim; ++d) row[d] /= norm;
+  }
+
+  // Index with Simhash (K=7, L=32).
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 7;
+  family.l = 32;
+  family.dim = dim;
+  ThreadPool pool(hardware_threads());
+  LshTableGroup index(make_hash_family(family),
+                      {.range_pow = 14, .bucket_size = 64});
+  WallTimer build_timer;
+  index.build_from_rows(rows.data(), dim, n, &pool);
+  std::printf("indexed %u vectors (dim %u) in %.2fs, tables use %.1f MB\n",
+              n, dim, build_timer.seconds(),
+              static_cast<double>(index.memory_bytes()) / (1 << 20));
+
+  auto brute_force = [&](const float* q) {
+    std::vector<std::pair<float, Index>> scored(n);
+    for (Index i = 0; i < n; ++i) {
+      scored[i] = {simd::dot(q, rows.data() + static_cast<std::size_t>(i) * dim,
+                             dim),
+                   i};
+    }
+    std::partial_sort(scored.begin(), scored.begin() + kTopK, scored.end(),
+                      std::greater<>());
+    std::vector<Index> top(kTopK);
+    for (int k = 0; k < kTopK; ++k) top[static_cast<std::size_t>(k)] = scored[static_cast<std::size_t>(k)].second;
+    return top;
+  };
+
+  auto lsh_search = [&](const float* q, VisitedSet& visited, Rng& qrng) {
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(index.l()));
+    index.query_keys_dense(q, keys);
+    std::vector<std::span<const Index>> buckets;
+    index.buckets(keys, buckets);
+    std::vector<Index> candidates;
+    SamplingConfig sampling;
+    sampling.strategy = SamplingStrategy::kTopK;  // rank by bucket frequency
+    sampling.target = 512;
+    sample_neurons(sampling, buckets, visited, qrng, candidates);
+    // Re-rank candidates by exact dot product.
+    std::vector<std::pair<float, Index>> scored;
+    scored.reserve(candidates.size());
+    for (Index c : candidates) {
+      scored.emplace_back(
+          simd::dot(q, rows.data() + static_cast<std::size_t>(c) * dim, dim),
+          c);
+    }
+    const std::size_t take = std::min<std::size_t>(kTopK, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(take),
+                      scored.end(), std::greater<>());
+    std::vector<Index> top(take);
+    for (std::size_t k = 0; k < take; ++k) top[k] = scored[k].second;
+    return top;
+  };
+
+  // Queries: perturbed copies of stored vectors (so true neighbors exist).
+  VisitedSet visited(n);
+  Rng qrng(7);
+  double recall = 0.0;
+  double brute_ms = 0.0, lsh_ms = 0.0;
+  for (int q = 0; q < queries; ++q) {
+    const Index base = qrng.uniform(n);
+    std::vector<float> query(
+        rows.begin() + static_cast<std::ptrdiff_t>(base) * dim,
+        rows.begin() + static_cast<std::ptrdiff_t>(base + 1) * dim);
+    for (auto& v : query) v += 0.15f * qrng.normal();
+
+    WallTimer bt;
+    const auto truth = brute_force(query.data());
+    brute_ms += bt.milliseconds();
+
+    WallTimer lt;
+    const auto found = lsh_search(query.data(), visited, qrng);
+    lsh_ms += lt.milliseconds();
+
+    int hits = 0;
+    for (Index f : found) {
+      if (std::find(truth.begin(), truth.end(), f) != truth.end()) ++hits;
+    }
+    recall += static_cast<double>(hits) / kTopK;
+  }
+
+  std::printf("queries: %d, top-%d recall vs brute force: %.3f\n", queries,
+              kTopK, recall / queries);
+  std::printf("latency: brute force %.3f ms/query, LSH %.3f ms/query "
+              "(%.1fx faster)\n",
+              brute_ms / queries, lsh_ms / queries, brute_ms / lsh_ms);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Full-softmax dense baseline — the role the paper's TF-CPU / TF-GPU
+// comparators play (see DESIGN.md §3). Identical architecture (sparse input
+// -> dense hidden -> softmax over ALL classes), identical Adam optimizer,
+// identical initialization; the only difference from SLIDE is that every
+// output neuron computes on every sample, the honest O(B x classes x
+// hidden) cost of dense training.
+//
+// The implementation is deliberately optimized (AVX2 kernels, batch
+// parallelism restructured to avoid write races: sample-parallel forward,
+// then unit-parallel gradient+Adam) so the SLIDE-vs-dense comparison is not
+// strawmanned.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/layer.h"
+#include "data/dataset.h"
+#include "optim/adam.h"
+#include "sys/aligned.h"
+#include "sys/thread_pool.h"
+
+namespace slide {
+
+class DenseNetwork {
+ public:
+  struct Config {
+    Index input_dim = 0;
+    Index hidden_units = 128;
+    Index output_units = 0;
+    float hidden_init_stddev = 0.5f;
+    float output_init_stddev = 0.0f;  // 0 -> 2/sqrt(hidden)
+    AdamConfig adam;
+    int max_batch_size = 256;
+    std::uint64_t seed = 321;
+  };
+
+  DenseNetwork(const Config& config, int max_threads);
+
+  Index input_dim() const noexcept { return config_.input_dim; }
+  Index output_dim() const noexcept { return config_.output_units; }
+
+  /// One full-softmax training batch; returns the mean loss.
+  float step(const Dataset& data, std::span<const std::size_t> indices,
+             float lr, ThreadPool& pool);
+
+  /// Argmax over all output logits.
+  Index predict_top1(const SparseVector& x, std::vector<float>& scratch) const;
+
+  /// Top-k labels by logit, descending.
+  std::vector<Index> predict_topk(const SparseVector& x,
+                                  std::vector<float>& scratch, int k) const;
+
+  std::size_t num_parameters() const noexcept;
+
+  EmbeddingLayer& embedding() noexcept { return embedding_; }
+  const EmbeddingLayer& embedding() const noexcept { return embedding_; }
+
+  /// Whole-parameter views of the output layer (serialization).
+  std::span<float> output_weights_span() noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<const float> output_weights_span() const noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<float> output_bias_span() noexcept {
+    return {bias_.data(), bias_.size()};
+  }
+  std::span<const float> output_bias_span() const noexcept {
+    return {bias_.data(), bias_.size()};
+  }
+
+ private:
+  const float* weight_row_ptr(Index u) const noexcept {
+    return weights_.data() + static_cast<std::size_t>(u) * fan_in_;
+  }
+  float* weight_row_ptr(Index u) noexcept {
+    return weights_.data() + static_cast<std::size_t>(u) * fan_in_;
+  }
+
+  Config config_;
+  EmbeddingLayer embedding_;
+  Index units_;
+  Index fan_in_;
+  HugeArray weights_;  // [units x fan_in]
+  AlignedVector<float> bias_;
+  Adam adam_;
+  std::vector<AlignedVector<float>> delta_;  // per slot: logits then deltas
+};
+
+}  // namespace slide

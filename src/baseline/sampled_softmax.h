@@ -1,0 +1,25 @@
+// Sampled Softmax baseline (paper §5.1): the TF `sampled_softmax` proxy —
+// the output layer computes only over the true labels plus a *statically*
+// (uniformly) sampled set of classes. It reuses the SLIDE engine with the
+// output layer in random_sampled mode, so the only difference measured
+// against SLIDE is the sampling distribution: static/uniform vs. LSH-driven
+// input-adaptive — exactly the comparison of paper Figure 7.
+//
+// Note on the estimator: TF subtracts log-expected-counts from sampled
+// logits. Under uniform sampling that correction is a constant shared by
+// all non-label classes, which leaves the softmax (and its gradient
+// direction across sampled classes) unchanged, so it is omitted here.
+#pragma once
+
+#include "core/config.h"
+
+namespace slide {
+
+/// Builds a network identical to make_paper_network but with static uniform
+/// output sampling of `num_sampled` classes (paper: ~20% of classes is
+/// needed for decent accuracy, vs ~0.5% for SLIDE's adaptive sampling).
+NetworkConfig make_sampled_softmax_network(Index input_dim, Index label_dim,
+                                           Index num_sampled,
+                                           Index hidden_units = 128);
+
+}  // namespace slide

@@ -1,0 +1,17 @@
+#include "core/activation.h"
+
+namespace slide {
+
+const char* to_string(Activation activation) {
+  switch (activation) {
+    case Activation::kReLU:
+      return "relu";
+    case Activation::kSoftmax:
+      return "softmax";
+    case Activation::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+}  // namespace slide

@@ -1,0 +1,12 @@
+// Activation functions supported by the engine. The paper's architecture
+// uses ReLU in hidden layers and a softmax output whose normalizer runs
+// over *active* neurons only (paper §3.1).
+#pragma once
+
+namespace slide {
+
+enum class Activation { kReLU, kSoftmax, kLinear };
+
+const char* to_string(Activation activation);
+
+}  // namespace slide

@@ -1,0 +1,91 @@
+// Configuration structs for the SLIDE network and trainer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/activation.h"
+#include "lsh/factory.h"
+#include "lsh/hash_table.h"
+#include "lsh/sampling.h"
+#include "optim/adam.h"
+#include "sys/common.h"
+
+namespace slide {
+
+/// Hash-table refresh schedule (paper §4.2, heuristic 1): the first rebuild
+/// happens after `initial_period` iterations (paper uses N0 = 50) and the
+/// t-th gap grows exponentially, gap_t = N0 * e^(decay * t) — early training
+/// moves weights a lot, late training barely at all.
+struct RebuildSchedule {
+  bool enabled = true;
+  long initial_period = 50;
+  double decay = 0.05;
+};
+
+/// One layer after the first hidden layer (see EmbeddingLayer for the
+/// input-facing layer). When `hashed` is set, the layer maintains LSH tables
+/// over its neurons and activates only a sampled subset per input.
+struct LayerSpec {
+  Index units = 0;
+  Activation activation = Activation::kReLU;
+
+  bool hashed = false;
+  /// Static uniform sampling instead of LSH (the Sampled Softmax baseline
+  /// of paper §5.1): actives = forced labels + random classes up to
+  /// sampling.target. Mutually exclusive with `hashed`.
+  bool random_sampled = false;
+  HashFamilyConfig family;    // family.dim is overwritten with the fan-in
+  HashTable::Config table;
+  SamplingConfig sampling;
+  RebuildSchedule rebuild;
+
+  /// When LSH retrieval (plus forced labels) yields fewer than
+  /// sampling.target ids, top up with uniformly random neurons (the
+  /// reference implementation's random fill-in).
+  bool fill_random_to_target = true;
+
+  /// Memoize w·proj per neuron and re-hash incrementally after sparse
+  /// updates (paper §4.2 heuristic 3; Simhash only).
+  bool incremental_rehash = false;
+
+  /// Weight init stddev; 0 selects 2/sqrt(fan_in).
+  float init_stddev = 0.0f;
+};
+
+struct NetworkConfig {
+  Index input_dim = 0;
+  /// First hidden layer width (dense, ReLU, fed by the sparse input).
+  Index hidden_units = 128;
+  float hidden_init_stddev = 0.5f;
+
+  /// Subsequent layers; the last one is the (softmax) output layer.
+  std::vector<LayerSpec> layers;
+
+  /// Batch slots to preallocate (max batch size the network can train on).
+  int max_batch_size = 256;
+
+  AdamConfig adam;
+  std::uint64_t seed = 123;
+};
+
+struct TrainerConfig {
+  int batch_size = 128;
+  int num_threads = 0;  // 0 = hardware_threads()
+  float learning_rate = 1e-4f;
+  bool shuffle = true;
+  /// Lock-free gradient accumulation (paper §3.1, HOGWILD). Setting false
+  /// serializes accumulation behind per-layer mutexes (ablation only).
+  bool hogwild = true;
+  std::uint64_t seed = 99;
+};
+
+/// Builds the paper's benchmark architecture: input -> 128 ReLU -> softmax
+/// output with LSH tables on the output layer only ("we maintain the hash
+/// tables for the last layer, where we have a computational bottleneck").
+NetworkConfig make_paper_network(Index input_dim, Index label_dim,
+                                 const HashFamilyConfig& family,
+                                 Index sampling_target,
+                                 Index hidden_units = 128);
+
+}  // namespace slide

@@ -1,0 +1,578 @@
+#include "core/layer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simd/kernels.h"
+#include "sys/prefetch.h"
+#include "sys/timer.h"
+
+namespace slide {
+
+namespace {
+
+void init_normal(float* w, std::size_t n, float stddev, Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) w[i] = stddev * rng.normal();
+}
+
+}  // namespace
+
+// ===========================================================================
+// EmbeddingLayer
+// ===========================================================================
+
+EmbeddingLayer::EmbeddingLayer(Index input_dim, Index units,
+                               float init_stddev, int batch_slots,
+                               int max_threads, const AdamConfig& adam,
+                               std::uint64_t seed)
+    : input_dim_(input_dim),
+      units_(units),
+      weights_(static_cast<std::size_t>(input_dim) * units),
+      grads_(static_cast<std::size_t>(input_dim) * units),
+      bias_(units, 0.0f),
+      bias_grad_(units, 0.0f),
+      adam_(adam, static_cast<std::size_t>(input_dim) * units + units) {
+  SLIDE_CHECK(input_dim_ > 0 && units_ > 0,
+              "EmbeddingLayer: dimensions must be positive");
+  SLIDE_CHECK(batch_slots > 0 && max_threads > 0,
+              "EmbeddingLayer: slots/threads must be positive");
+  Rng rng(seed);
+  init_normal(weights_.data(), weights_.size(),
+              init_stddev > 0.0f ? init_stddev : 0.5f, rng);
+
+  slots_.resize(static_cast<std::size_t>(batch_slots));
+  for (auto& s : slots_) {
+    s.dense_width = units_;
+    s.act.assign(units_, 0.0f);
+    s.err.assign(units_, 0.0f);
+  }
+  // C++20 value-initializes atomics: the array starts zeroed.
+  column_touched_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(input_dim_);
+  touched_lists_.resize(static_cast<std::size_t>(max_threads));
+}
+
+void EmbeddingLayer::forward(int slot, const SparseVector& x) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  forward_inference(x, s.act.data());
+  std::fill(s.err.begin(), s.err.end(), 0.0f);
+}
+
+void EmbeddingLayer::forward_inference(const SparseVector& x,
+                                       float* out) const {
+  std::copy(bias_.begin(), bias_.end(), out);
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    SLIDE_ASSERT(idx[i] < input_dim_);
+    if (i + kPrefetchDistance < idx.size())
+      prefetch_read(weight_column(idx[i + kPrefetchDistance]));
+    simd::axpy(val[i], weight_column(idx[i]), out, units_);
+  }
+  simd::relu(out, units_);
+}
+
+void EmbeddingLayer::backward(int slot, const SparseVector& x, int tid) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  // ReLU': activations are post-ReLU, so act > 0 <=> pre-activation > 0.
+  for (Index j = 0; j < units_; ++j) {
+    if (s.act[j] <= 0.0f) s.err[j] = 0.0f;
+  }
+
+  std::unique_lock<std::mutex> lock;
+  if (use_locks_) lock = std::unique_lock(accum_mutex_);
+
+  // Bias gradient (racy accumulate across slots — HOGWILD).
+  simd::axpy(1.0f, s.err.data(), bias_grad_.data(), units_);
+
+  const auto idx = x.indices();
+  const auto val = x.values();
+  auto& touched = touched_lists_[static_cast<std::size_t>(tid)];
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Index c = idx[i];
+    float* g = grads_.data() + static_cast<std::size_t>(c) * units_;
+    if (i + kPrefetchDistance < idx.size()) {
+      prefetch_write(grads_.data() +
+                     static_cast<std::size_t>(idx[i + kPrefetchDistance]) *
+                         units_);
+    }
+    simd::axpy(val[i], s.err.data(), g, units_);
+    if (column_touched_[c].exchange(1, std::memory_order_relaxed) == 0)
+      touched.push_back(c);
+  }
+}
+
+void EmbeddingLayer::apply_updates(float lr, ThreadPool* pool) {
+  adam_.step_begin();
+
+  // The bias row is touched by every sample; update it densely.
+  const std::size_t bias_base = static_cast<std::size_t>(input_dim_) * units_;
+  adam_.update_span(bias_.data(), bias_grad_.data(), bias_base, units_, lr);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0f);
+
+  // Note: must NOT be thread_local — the lambda below runs on pool workers,
+  // and thread_locals are not captured (each worker would see its own,
+  // empty, instance).
+  std::vector<Index>& cols = apply_scratch_;
+  cols.clear();
+  for (auto& list : touched_lists_) {
+    cols.insert(cols.end(), list.begin(), list.end());
+    list.clear();
+  }
+
+  auto apply_column = [&](std::size_t k, int) {
+    const Index c = cols[k];
+    float* w = weight_column(c);
+    float* g = grads_.data() + static_cast<std::size_t>(c) * units_;
+    adam_.update_span(w, g, static_cast<std::size_t>(c) * units_, units_, lr);
+    std::fill(g, g + units_, 0.0f);
+    column_touched_[c].store(0, std::memory_order_relaxed);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && cols.size() > 64) {
+    pool->parallel_for(cols.size(), apply_column);
+  } else {
+    for (std::size_t k = 0; k < cols.size(); ++k) apply_column(k, 0);
+  }
+}
+
+// ===========================================================================
+// SampledLayer
+// ===========================================================================
+
+SampledLayer::SampledLayer(const Config& config, int batch_slots,
+                           int max_threads)
+    : config_(config),
+      units_(config.units),
+      fan_in_(config.fan_in),
+      weights_(static_cast<std::size_t>(config.units) * config.fan_in),
+      grads_(static_cast<std::size_t>(config.units) * config.fan_in),
+      bias_(config.units, 0.0f),
+      bias_grad_(config.units, 0.0f),
+      adam_(config.adam,
+            static_cast<std::size_t>(config.units) * config.fan_in +
+                config.units),
+      seed_(config.seed) {
+  SLIDE_CHECK(units_ > 0 && fan_in_ > 0,
+              "SampledLayer: dimensions must be positive");
+  SLIDE_CHECK(batch_slots > 0 && max_threads > 0,
+              "SampledLayer: slots/threads must be positive");
+  SLIDE_CHECK(!(config_.hashed && config_.random_sampled),
+              "SampledLayer: hashed and random_sampled are exclusive");
+
+  Rng rng(config.seed);
+  const float stddev = config.init_stddev > 0.0f
+                           ? config.init_stddev
+                           : 2.0f / std::sqrt(static_cast<float>(fan_in_));
+  init_normal(weights_.data(), weights_.size(), stddev, rng);
+
+  slots_.resize(static_cast<std::size_t>(batch_slots));
+  touched_ = std::make_unique<std::atomic<std::uint8_t>[]>(units_);
+  touched_lists_.resize(static_cast<std::size_t>(max_threads));
+  sampling_time_ = std::vector<PaddedDouble>(
+      static_cast<std::size_t>(max_threads));
+  compute_time_ = std::vector<PaddedDouble>(
+      static_cast<std::size_t>(max_threads));
+
+  if (config_.hashed) {
+    HashFamilyConfig family = config_.family;
+    family.dim = fan_in_;
+    if (config_.incremental_rehash) {
+      SLIDE_CHECK(family.kind == HashFamilyKind::kSimhash,
+                  "incremental_rehash requires the Simhash family");
+    }
+    tables_ = std::make_unique<LshTableGroup>(make_hash_family(family),
+                                              config_.table, config.seed + 1);
+    simhash_ = dynamic_cast<const Simhash*>(&tables_->family());
+    if (config_.incremental_rehash) {
+      SLIDE_ASSERT(simhash_ != nullptr);
+      projection_memo_ = HugeArray(
+          static_cast<std::size_t>(units_) *
+          static_cast<std::size_t>(simhash_->num_projections()));
+    }
+    next_rebuild_ = config_.rebuild.initial_period;
+    rebuild_tables(nullptr);  // initial one-time build (paper §3.1)
+  }
+}
+
+float SampledLayer::activation_of(Index unit,
+                                  std::span<const Index> prev_ids,
+                                  std::span<const float> prev_act) const {
+  const float* w = weight_row(unit);
+  if (prev_ids.empty()) {
+    return bias_[unit] + simd::dot(w, prev_act.data(), prev_act.size());
+  }
+  return bias_[unit] + simd::sparse_dot(prev_ids.data(), prev_act.data(),
+                                        prev_ids.size(), w);
+}
+
+void SampledLayer::select_active(int slot, const ActiveSet& prev,
+                                 std::span<const Index> forced, Rng& rng,
+                                 VisitedSet& visited, int tid) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  s.ids.clear();
+  const Index target = std::min<Index>(config_.sampling.target, units_);
+
+  visited.begin_epoch();
+  for (Index f : forced) {
+    SLIDE_ASSERT(f < units_);
+    if (visited.insert(f)) s.ids.push_back(f);
+  }
+
+  if (target >= units_) {
+    // Degenerate setting: everything is active.
+    for (Index u = 0; u < units_; ++u) {
+      if (visited.insert(u)) s.ids.push_back(u);
+    }
+    return;
+  }
+
+  WallTimer timer;
+  thread_local std::vector<std::uint32_t> keys;
+  keys.resize(static_cast<std::size_t>(tables_->l()));
+  if (prev.dense()) {
+    tables_->query_keys_dense(prev.act.data(), keys);
+  } else {
+    tables_->query_keys_sparse(prev.ids.data(), prev.act.data(),
+                               prev.ids.size(), keys);
+  }
+  thread_local std::vector<std::span<const Index>> buckets;
+  tables_->buckets(keys, buckets);
+
+  thread_local std::vector<Index> sampled;
+  SamplingConfig sampling = config_.sampling;
+  sampling.target = target;
+  sample_neurons(sampling, buckets, visited, rng, sampled,
+                 /*fresh_epoch=*/false);
+  s.ids.insert(s.ids.end(), sampled.begin(), sampled.end());
+
+  if (config_.fill_random_to_target && s.ids.size() < target) {
+    // Uniform random top-up (the reference implementation's fill-in). The
+    // attempt cap guards against the coupon-collector tail when target is
+    // close to the layer width.
+    long attempts = 20L * static_cast<long>(target);
+    while (s.ids.size() < target && attempts-- > 0) {
+      const Index id = rng.uniform(units_);
+      if (visited.insert(id)) s.ids.push_back(id);
+    }
+  }
+  auto& acc = sampling_time_[static_cast<std::size_t>(tid)].value;
+  acc.store(acc.load(std::memory_order_relaxed) + timer.seconds(),
+            std::memory_order_relaxed);
+}
+
+void SampledLayer::compute_activations(ActiveSet& s,
+                                       const ActiveSet& prev) const {
+  const std::span<const Index> prev_ids = prev.ids;
+  const std::span<const float> prev_act(prev.act.data(), prev.size());
+  if (s.dense()) {
+    s.act.resize(units_);
+    s.err.assign(units_, 0.0f);
+    for (Index u = 0; u < units_; ++u)
+      s.act[u] = activation_of(u, prev_ids, prev_act);
+    if (config_.activation == Activation::kReLU)
+      simd::relu(s.act.data(), units_);
+    return;
+  }
+  const std::size_t n = s.ids.size();
+  s.act.resize(n);
+  s.err.assign(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n)
+      prefetch_read(weight_row(s.ids[i + kPrefetchDistance]));
+    s.act[i] = activation_of(s.ids[i], prev_ids, prev_act);
+  }
+  if (config_.activation == Activation::kReLU)
+    simd::relu(s.act.data(), n);
+}
+
+void SampledLayer::forward(int slot, const ActiveSet& prev,
+                           std::span<const Index> forced, Rng& rng,
+                           VisitedSet& visited, int tid) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  if (config_.hashed) {
+    select_active(slot, prev, forced, rng, visited, tid);
+    active_sum_.fetch_add(s.ids.size(), std::memory_order_relaxed);
+    active_events_.fetch_add(1, std::memory_order_relaxed);
+  } else if (config_.random_sampled) {
+    // Sampled-Softmax baseline: labels + static uniform classes. Unlike the
+    // LSH path the choice is input-independent (that is the point of the
+    // paper's Figure 7 comparison).
+    s.ids.clear();
+    visited.begin_epoch();
+    for (Index f : forced) {
+      if (visited.insert(f)) s.ids.push_back(f);
+    }
+    const Index target = std::min<Index>(config_.sampling.target, units_);
+    long attempts = 20L * static_cast<long>(target);
+    while (s.ids.size() < target && attempts-- > 0) {
+      const Index id = rng.uniform(units_);
+      if (visited.insert(id)) s.ids.push_back(id);
+    }
+    active_sum_.fetch_add(s.ids.size(), std::memory_order_relaxed);
+    active_events_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.ids.clear();  // dense mode
+    s.dense_width = units_;
+  }
+  WallTimer timer;
+  compute_activations(s, prev);
+  auto& acc = compute_time_[static_cast<std::size_t>(tid)].value;
+  acc.store(acc.load(std::memory_order_relaxed) + timer.seconds(),
+            std::memory_order_relaxed);
+}
+
+float SampledLayer::compute_softmax_ce_deltas(int slot,
+                                              std::span<const Index> labels,
+                                              float inv_batch) {
+  SLIDE_CHECK(config_.activation == Activation::kSoftmax,
+              "softmax deltas on a non-softmax layer");
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  const std::size_t n = s.size();
+  if (n == 0) return 0.0f;
+
+  // Softmax over the *active* neurons only: the normalizing constant is the
+  // sum over actives, not over all units (paper §3.1).
+  simd::softmax_inplace(s.act.data(), n);
+
+  const float y = labels.empty()
+                      ? 0.0f
+                      : 1.0f / static_cast<float>(labels.size());
+  float loss = 0.0f;
+  if (s.dense()) {
+    for (std::size_t i = 0; i < n; ++i) s.err[i] = s.act[i] * inv_batch;
+    for (Index label : labels) {
+      s.err[label] -= y * inv_batch;
+      loss -= y * std::log(std::max(s.act[label], 1e-30f));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) s.err[i] = s.act[i] * inv_batch;
+    // Training forwards force the labels to the front of the active set.
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      SLIDE_ASSERT(i < s.ids.size() && s.ids[i] == labels[i]);
+      s.err[i] -= y * inv_batch;
+      loss -= y * std::log(std::max(s.act[i], 1e-30f));
+    }
+  }
+  return loss;
+}
+
+void SampledLayer::compute_relu_deltas(int slot) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.act[i] <= 0.0f) s.err[i] = 0.0f;
+  }
+}
+
+void SampledLayer::backward(int slot, ActiveSet& prev, int tid) {
+  ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
+  const std::size_t n = s.size();
+  WallTimer timer;
+
+  std::unique_lock<std::mutex> lock;
+  if (use_locks_) lock = std::unique_lock(accum_mutex_);
+
+  auto& touched = touched_lists_[static_cast<std::size_t>(tid)];
+  const std::size_t prev_n = prev.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float delta = s.err[i];
+    if (delta == 0.0f) continue;
+    const Index u = s.dense() ? static_cast<Index>(i) : s.ids[i];
+    bias_grad_[u] += delta;
+    const float* w = weight_row(u);
+    float* g = grads_.data() + static_cast<std::size_t>(u) * fan_in_;
+    if (prev.dense()) {
+      // Error to the previous layer and gradient accumulation are both
+      // contiguous fan_in-length AXPYs (SIMD fast path).
+      simd::axpy(delta, w, prev.err.data(), prev_n);
+      simd::axpy(delta, prev.act.data(), g, prev_n);
+    } else {
+      for (std::size_t p = 0; p < prev_n; ++p) {
+        const Index j = prev.ids[p];
+        prev.err[p] += delta * w[j];
+        g[j] += delta * prev.act[p];
+      }
+    }
+    if (touched_[u].exchange(1, std::memory_order_relaxed) == 0)
+      touched.push_back(u);
+  }
+  auto& acc = compute_time_[static_cast<std::size_t>(tid)].value;
+  acc.store(acc.load(std::memory_order_relaxed) + timer.seconds(),
+            std::memory_order_relaxed);
+}
+
+void SampledLayer::apply_updates(float lr, ThreadPool* pool) {
+  adam_.step_begin();
+
+  // Member scratch, not thread_local: the lambda runs on pool workers and
+  // thread_locals are not captured across threads.
+  std::vector<Index>& units = apply_scratch_;
+  units.clear();
+  for (auto& list : touched_lists_) {
+    units.insert(units.end(), list.begin(), list.end());
+    list.clear();
+  }
+
+  const std::size_t bias_base = static_cast<std::size_t>(units_) * fan_in_;
+  const bool memo = config_.incremental_rehash && simhash_ != nullptr;
+
+  auto apply_unit = [&](std::size_t k, int) {
+    const Index u = units[k];
+    float* w = weight_row(u);
+    float* g = grads_.data() + static_cast<std::size_t>(u) * fan_in_;
+    thread_local std::vector<float> old_row;
+    if (memo) old_row.assign(w, w + fan_in_);
+
+    adam_.update_span(w, g, static_cast<std::size_t>(u) * fan_in_, fan_in_,
+                      lr);
+    std::fill(g, g + fan_in_, 0.0f);
+    adam_.update_at(&bias_[u], bias_grad_[u], bias_base + u, lr);
+    bias_grad_[u] = 0.0f;
+    touched_[u].store(0, std::memory_order_relaxed);
+
+    if (memo) {
+      // Paper §4.2 heuristic 3: propagate only the changed coordinates into
+      // the memoized projection values.
+      float* memo_row = projection_memo_.data() +
+                        static_cast<std::size_t>(u) *
+                            static_cast<std::size_t>(
+                                simhash_->num_projections());
+      for (Index d = 0; d < fan_in_; ++d) {
+        const float delta = w[d] - old_row[d];
+        if (delta != 0.0f) simhash_->update_projections(d, delta, memo_row);
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && units.size() > 16) {
+    pool->parallel_for(units.size(), apply_unit);
+  } else {
+    for (std::size_t k = 0; k < units.size(); ++k) apply_unit(k, 0);
+  }
+}
+
+bool SampledLayer::maybe_rebuild(long iteration, ThreadPool* pool) {
+  if (!config_.hashed || !config_.rebuild.enabled) return false;
+  if (iteration < next_rebuild_) return false;
+  rebuild_tables(pool);
+  ++rebuild_count_;
+  const double gap = static_cast<double>(config_.rebuild.initial_period) *
+                     std::exp(config_.rebuild.decay *
+                              static_cast<double>(rebuild_count_));
+  next_rebuild_ =
+      iteration + std::max<long>(1, static_cast<long>(std::llround(gap)));
+  return true;
+}
+
+void SampledLayer::rebuild_tables(ThreadPool* pool) {
+  if (!config_.hashed) return;
+  const bool memo = config_.incremental_rehash && simhash_ != nullptr;
+  if (!memo) {
+    tables_->build_from_rows(weights_.data(), fan_in_, units_, pool);
+    return;
+  }
+
+  // Incremental mode: (re)fill the memo from the weights on the first
+  // build; afterwards the memo is kept in sync by apply_updates, so keys
+  // come straight from the memoized projections — O(K*L) per neuron instead
+  // of O(K*L*d/3).
+  tables_->clear();
+  const int num_proj = simhash_->num_projections();
+  auto build_unit = [&](std::size_t begin, std::size_t end, Rng& rng) {
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(tables_->l()));
+    for (std::size_t u = begin; u < end; ++u) {
+      float* memo_row = projection_memo_.data() +
+                        u * static_cast<std::size_t>(num_proj);
+      if (!memo_initialized_)
+        simhash_->project_dense(weight_row(static_cast<Index>(u)), memo_row);
+      simhash_->keys_from_projections(memo_row, keys);
+      tables_->insert(static_cast<Index>(u), keys, rng);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    std::vector<Rng> rngs;
+    Rng seeder(seed_ + 77);
+    for (int t = 0; t < pool->num_threads(); ++t) rngs.push_back(seeder.fork());
+    pool->parallel_range(units_,
+                         [&](std::size_t begin, std::size_t end, int tid) {
+                           build_unit(begin, end,
+                                      rngs[static_cast<std::size_t>(tid)]);
+                         });
+  } else {
+    Rng rng(seed_ + 77);
+    build_unit(0, units_, rng);
+  }
+  memo_initialized_ = true;
+}
+
+void SampledLayer::forward_inference(std::span<const Index> prev_ids,
+                                     std::span<const float> prev_act,
+                                     bool exact, Rng& rng,
+                                     VisitedSet& visited,
+                                     std::vector<Index>& ids_out,
+                                     std::vector<float>& act_out) const {
+  ids_out.clear();
+  if (exact || !config_.hashed) {
+    ids_out.resize(units_);
+    std::iota(ids_out.begin(), ids_out.end(), Index{0});
+  } else {
+    const Index target = std::min<Index>(config_.sampling.target, units_);
+    thread_local std::vector<std::uint32_t> keys;
+    keys.resize(static_cast<std::size_t>(tables_->l()));
+    if (prev_ids.empty()) {
+      tables_->query_keys_dense(prev_act.data(), keys);
+    } else {
+      tables_->query_keys_sparse(prev_ids.data(), prev_act.data(),
+                                 prev_ids.size(), keys);
+    }
+    thread_local std::vector<std::span<const Index>> buckets;
+    tables_->buckets(keys, buckets);
+    SamplingConfig sampling = config_.sampling;
+    sampling.target = target;
+    sample_neurons(sampling, buckets, visited, rng, ids_out);
+    if (config_.fill_random_to_target && ids_out.size() < target) {
+      long attempts = 20L * static_cast<long>(target);
+      while (ids_out.size() < target && attempts-- > 0) {
+        const Index id = rng.uniform(units_);
+        if (visited.insert(id)) ids_out.push_back(id);
+      }
+    }
+  }
+  act_out.resize(ids_out.size());
+  for (std::size_t i = 0; i < ids_out.size(); ++i)
+    act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
+  if (config_.activation == Activation::kReLU)
+    simd::relu(act_out.data(), act_out.size());
+}
+
+double SampledLayer::average_active_fraction() const {
+  const std::uint64_t events = active_events_.load();
+  if (events == 0 || units_ == 0) return config_.hashed ? 0.0 : 1.0;
+  return static_cast<double>(active_sum_.load()) /
+         (static_cast<double>(events) * static_cast<double>(units_));
+}
+
+void SampledLayer::reset_active_stats() {
+  active_sum_.store(0);
+  active_events_.store(0);
+}
+
+double SampledLayer::sampling_seconds() const {
+  double total = 0.0;
+  for (const auto& t : sampling_time_) total += t.value.load();
+  return total;
+}
+
+double SampledLayer::compute_seconds() const {
+  double total = 0.0;
+  for (const auto& t : compute_time_) total += t.value.load();
+  return total;
+}
+
+void SampledLayer::reset_phase_timers() {
+  for (auto& t : sampling_time_) t.value.store(0.0);
+  for (auto& t : compute_time_) t.value.store(0.0);
+}
+
+}  // namespace slide

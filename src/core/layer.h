@@ -1,0 +1,306 @@
+// The two layer types of the engine, mirroring paper Figure 2.
+//
+// EmbeddingLayer — the input-facing hidden layer: sparse input, all units
+// active, weights stored *input-major* ([input_dim x units]) so both the
+// forward pass and the gradient accumulation touch one contiguous
+// units-length row per input nonzero. Its per-batch cost is O(nnz * units),
+// negligible next to the output layer (paper: ">99% of the computations are
+// in the final layer").
+//
+// SampledLayer — a wide layer with optional LSH tables over its neurons.
+// Weights are *neuron-major* ([units x fan_in]); per input only the sampled
+// active neurons compute, softmax normalizes over actives only, and
+// backpropagation touches active x active weight pairs — the s² cost model
+// of paper §3.1.
+//
+// Both layers keep per-batch-slot activation/error arrays (the paper's
+// per-neuron batch arrays, stored struct-of-arrays) so every training
+// instance in a batch runs on its own thread without synchronization, and
+// accumulate gradients HOGWILD-style into shared per-weight accumulators.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/activation.h"
+#include "core/config.h"
+#include "data/sparse_vector.h"
+#include "lsh/table_group.h"
+#include "optim/adam.h"
+#include "sys/aligned.h"
+#include "sys/hugepages.h"
+#include "sys/rng.h"
+#include "sys/thread_pool.h"
+
+namespace slide {
+
+/// Per-(layer, batch-slot) state: the ids of active neurons with their
+/// activations and error accumulators, positionally aligned. An empty `ids`
+/// means "dense": all `dense_width` units are active and act/err are
+/// indexed by unit id.
+struct ActiveSet {
+  std::vector<Index> ids;
+  AlignedVector<float> act;
+  AlignedVector<float> err;
+  Index dense_width = 0;
+
+  bool dense() const noexcept { return ids.empty(); }
+  std::size_t size() const noexcept {
+    return dense() ? dense_width : ids.size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class EmbeddingLayer {
+ public:
+  EmbeddingLayer(Index input_dim, Index units, float init_stddev,
+                 int batch_slots, int max_threads, const AdamConfig& adam,
+                 std::uint64_t seed);
+
+  Index input_dim() const noexcept { return input_dim_; }
+  Index units() const noexcept { return units_; }
+
+  /// Computes ReLU(W^T x + b) for the slot; zeroes the slot's error buffer.
+  void forward(int slot, const SparseVector& x);
+
+  /// Dense single-sample forward into a caller buffer (inference path).
+  void forward_inference(const SparseVector& x, float* out) const;
+
+  /// Consumes the error accumulated in the slot by upper layers: applies
+  /// ReLU', accumulates weight/bias gradients, marks touched columns.
+  void backward(int slot, const SparseVector& x, int tid);
+
+  /// Applies lazy Adam to all touched columns (+ the bias row) and clears
+  /// gradients and touch marks. Single caller at a time.
+  void apply_updates(float lr, ThreadPool* pool);
+
+  ActiveSet& slot(int s) { return slots_[static_cast<std::size_t>(s)]; }
+  const ActiveSet& slot(int s) const {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+
+  /// Serializes gradient accumulation behind a mutex (HOGWILD ablation).
+  void set_use_locks(bool locks) noexcept { use_locks_ = locks; }
+
+  float* weight_column(Index input_index) noexcept {
+    return weights_.data() + static_cast<std::size_t>(input_index) * units_;
+  }
+  const float* weight_column(Index input_index) const noexcept {
+    return weights_.data() + static_cast<std::size_t>(input_index) * units_;
+  }
+  /// Accumulated (pre-apply) gradient column — diagnostics/tests.
+  const float* gradient_column(Index input_index) const noexcept {
+    return grads_.data() + static_cast<std::size_t>(input_index) * units_;
+  }
+  float bias(Index unit) const noexcept { return bias_[unit]; }
+  float bias_gradient(Index unit) const noexcept { return bias_grad_[unit]; }
+
+  /// Whole-parameter views (serialization / checkpointing).
+  std::span<float> weights_span() noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<const float> weights_span() const noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<float> bias_span() noexcept { return {bias_.data(), bias_.size()}; }
+  std::span<const float> bias_span() const noexcept {
+    return {bias_.data(), bias_.size()};
+  }
+
+  std::size_t num_parameters() const noexcept {
+    return static_cast<std::size_t>(input_dim_) * units_ + units_;
+  }
+
+ private:
+  Index input_dim_;
+  Index units_;
+
+  HugeArray weights_;  // [input_dim x units], input-major
+  HugeArray grads_;
+  AlignedVector<float> bias_;
+  AlignedVector<float> bias_grad_;
+  Adam adam_;  // layout: weights then bias
+
+  std::vector<ActiveSet> slots_;
+
+  std::unique_ptr<std::atomic<std::uint8_t>[]> column_touched_;
+  std::vector<std::vector<Index>> touched_lists_;  // per thread
+  std::vector<Index> apply_scratch_;  // merged touched list (apply_updates)
+  bool use_locks_ = false;
+  std::mutex accum_mutex_;
+};
+
+// ---------------------------------------------------------------------------
+
+class SampledLayer {
+ public:
+  struct Config {
+    Index units = 0;
+    Index fan_in = 0;
+    Activation activation = Activation::kSoftmax;
+    bool hashed = true;
+    /// Static uniform sampling (Sampled Softmax baseline); see LayerSpec.
+    bool random_sampled = false;
+    HashFamilyConfig family;
+    HashTable::Config table;
+    SamplingConfig sampling;
+    RebuildSchedule rebuild;
+    bool fill_random_to_target = true;
+    bool incremental_rehash = false;
+    float init_stddev = 0.0f;  // 0 -> 2/sqrt(fan_in)
+    AdamConfig adam;
+    std::uint64_t seed = 31;
+  };
+
+  SampledLayer(const Config& config, int batch_slots, int max_threads);
+
+  Index units() const noexcept { return units_; }
+  Index fan_in() const noexcept { return fan_in_; }
+  bool hashed() const noexcept { return config_.hashed; }
+  Activation activation() const noexcept { return config_.activation; }
+  const Config& config() const noexcept { return config_; }
+
+  /// Selects the active set for the slot (forced ids first, then LSH
+  /// sampling, then random fill) and computes activations from the previous
+  /// layer's active set. Softmax layers defer normalization to
+  /// compute_softmax_ce_deltas / the caller. Zeroes the slot's error buffer.
+  /// `tid` indexes the per-thread phase timers.
+  void forward(int slot, const ActiveSet& prev, std::span<const Index> forced,
+               Rng& rng, VisitedSet& visited, int tid);
+
+  /// Single-sample inference forward into caller buffers. When `exact` is
+  /// set, scores *all* units (ids_out is filled with 0..units-1).
+  void forward_inference(std::span<const Index> prev_ids,
+                         std::span<const float> prev_act, bool exact,
+                         Rng& rng, VisitedSet& visited,
+                         std::vector<Index>& ids_out,
+                         std::vector<float>& act_out) const;
+
+  /// Softmax + cross-entropy over the slot's active neurons with the given
+  /// true labels (which must be the first entries of the active set, i.e.
+  /// the `forced` ids of forward()). Fills err with deltas scaled by
+  /// inv_batch; returns the sample loss.
+  float compute_softmax_ce_deltas(int slot, std::span<const Index> labels,
+                                  float inv_batch);
+
+  /// Hidden-layer path: err *= ReLU'(act), in place.
+  void compute_relu_deltas(int slot);
+
+  /// Propagates err to prev.err and accumulates weight/bias gradients for
+  /// the slot's active neurons; marks them touched.
+  void backward(int slot, ActiveSet& prev, int tid);
+
+  /// Lazy Adam over touched neurons; keeps the Simhash memo in sync when
+  /// incremental rehash is on. Single caller at a time.
+  void apply_updates(float lr, ThreadPool* pool);
+
+  /// Rebuild policy of paper §4.2: returns true if it rebuilt.
+  bool maybe_rebuild(long iteration, ThreadPool* pool);
+  void rebuild_tables(ThreadPool* pool);
+  long rebuild_count() const noexcept { return rebuild_count_; }
+
+  ActiveSet& slot(int s) { return slots_[static_cast<std::size_t>(s)]; }
+  const ActiveSet& slot(int s) const {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+
+  void set_use_locks(bool locks) noexcept { use_locks_ = locks; }
+
+  float* weight_row(Index unit) noexcept {
+    return weights_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  }
+  const float* weight_row(Index unit) const noexcept {
+    return weights_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  }
+  /// Accumulated (pre-apply) gradient row — diagnostics/tests.
+  const float* gradient_row(Index unit) const noexcept {
+    return grads_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  }
+  float bias(Index unit) const noexcept { return bias_[unit]; }
+  float bias_gradient(Index unit) const noexcept { return bias_grad_[unit]; }
+
+  /// Whole-parameter views (serialization / checkpointing).
+  std::span<float> weights_span() noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<const float> weights_span() const noexcept {
+    return {weights_.data(), weights_.size()};
+  }
+  std::span<float> bias_span() noexcept { return {bias_.data(), bias_.size()}; }
+  std::span<const float> bias_span() const noexcept {
+    return {bias_.data(), bias_.size()};
+  }
+
+  /// Marks the incremental-rehash memo stale (weights changed externally,
+  /// e.g. by a checkpoint load); the next rebuild re-projects from weights.
+  void invalidate_memo() noexcept { memo_initialized_ = false; }
+
+  std::size_t num_parameters() const noexcept {
+    return static_cast<std::size_t>(units_) * fan_in_ + units_;
+  }
+
+  const LshTableGroup* tables() const noexcept { return tables_.get(); }
+
+  /// Average active fraction over forwards since the last reset (diagnostic;
+  /// the paper reports ~0.5% active neurons in the output layer).
+  double average_active_fraction() const;
+  void reset_active_stats();
+
+  /// Per-thread time spent in LSH sampling vs activation math since the
+  /// last reset (drives the Figure 6 / Table 2 instrumentation).
+  double sampling_seconds() const;
+  double compute_seconds() const;
+  void reset_phase_timers();
+
+ private:
+  void select_active(int slot, const ActiveSet& prev,
+                     std::span<const Index> forced, Rng& rng,
+                     VisitedSet& visited, int tid);
+  void compute_activations(ActiveSet& set, const ActiveSet& prev) const;
+  float activation_of(Index unit, std::span<const Index> prev_ids,
+                      std::span<const float> prev_act) const;
+
+  Config config_;
+  Index units_;
+  Index fan_in_;
+
+  HugeArray weights_;  // [units x fan_in], neuron-major
+  HugeArray grads_;
+  AlignedVector<float> bias_;
+  AlignedVector<float> bias_grad_;
+  Adam adam_;  // layout: weights then bias
+
+  std::vector<ActiveSet> slots_;
+
+  std::unique_ptr<LshTableGroup> tables_;
+  const Simhash* simhash_ = nullptr;  // set when family is Simhash
+  HugeArray projection_memo_;         // [units x K*L] when incremental
+
+  std::unique_ptr<std::atomic<std::uint8_t>[]> touched_;
+  std::vector<std::vector<Index>> touched_lists_;
+  std::vector<Index> apply_scratch_;  // merged touched list (apply_updates)
+  bool use_locks_ = false;
+  std::mutex accum_mutex_;
+
+  // Rebuild schedule state.
+  long next_rebuild_ = 0;
+  long rebuild_count_ = 0;
+  bool memo_initialized_ = false;
+
+  // Diagnostics.
+  std::atomic<std::uint64_t> active_sum_{0};
+  std::atomic<std::uint64_t> active_events_{0};
+  struct alignas(kCacheLineSize) PaddedDouble {
+    std::atomic<double> value{0.0};
+  };
+  std::vector<PaddedDouble> sampling_time_;
+  std::vector<PaddedDouble> compute_time_;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace slide

@@ -1,0 +1,197 @@
+#include "core/network.h"
+
+#include <algorithm>
+
+namespace slide {
+
+NetworkConfig make_paper_network(Index input_dim, Index label_dim,
+                                 const HashFamilyConfig& family,
+                                 Index sampling_target, Index hidden_units) {
+  NetworkConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.hidden_units = hidden_units;
+  LayerSpec output;
+  output.units = label_dim;
+  output.activation = Activation::kSoftmax;
+  output.hashed = true;
+  output.family = family;
+  output.sampling.strategy = SamplingStrategy::kVanilla;
+  output.sampling.target = sampling_target;
+  cfg.layers.push_back(output);
+  return cfg;
+}
+
+Network::Network(const NetworkConfig& config, int max_threads)
+    : config_(config) {
+  SLIDE_CHECK(config_.input_dim > 0, "Network: input_dim must be positive");
+  SLIDE_CHECK(config_.hidden_units > 0,
+              "Network: hidden_units must be positive");
+  SLIDE_CHECK(!config_.layers.empty(),
+              "Network: at least one layer (the output layer) is required");
+  SLIDE_CHECK(config_.max_batch_size > 0,
+              "Network: max_batch_size must be positive");
+  SLIDE_CHECK(max_threads > 0, "Network: max_threads must be positive");
+
+  Rng seeder(config_.seed);
+  embedding_ = std::make_unique<EmbeddingLayer>(
+      config_.input_dim, config_.hidden_units, config_.hidden_init_stddev,
+      config_.max_batch_size, max_threads, config_.adam, seeder());
+
+  Index fan_in = config_.hidden_units;
+  for (const LayerSpec& spec : config_.layers) {
+    SampledLayer::Config lc;
+    lc.units = spec.units;
+    lc.fan_in = fan_in;
+    lc.activation = spec.activation;
+    lc.hashed = spec.hashed;
+    lc.random_sampled = spec.random_sampled;
+    lc.family = spec.family;
+    lc.table = spec.table;
+    lc.sampling = spec.sampling;
+    lc.rebuild = spec.rebuild;
+    lc.fill_random_to_target = spec.fill_random_to_target;
+    lc.incremental_rehash = spec.incremental_rehash;
+    lc.init_stddev = spec.init_stddev;
+    lc.adam = config_.adam;
+    lc.seed = seeder();
+    layers_.push_back(std::make_unique<SampledLayer>(
+        lc, config_.max_batch_size, max_threads));
+    fan_in = spec.units;
+  }
+}
+
+float Network::train_sample(int slot, const Sample& sample, float inv_batch,
+                            Rng& rng, VisitedSet& visited, int tid) {
+  SLIDE_ASSERT(slot >= 0 && slot < config_.max_batch_size);
+
+  // ---- Forward ----
+  embedding_->forward(slot, sample.features);
+  const ActiveSet* prev = &embedding_->slot(slot);
+  const int last = num_sampled_layers() - 1;
+  for (int i = 0; i < last; ++i) {
+    layers_[static_cast<std::size_t>(i)]->forward(slot, *prev, {}, rng,
+                                                  visited, tid);
+    prev = &layers_[static_cast<std::size_t>(i)]->slot(slot);
+  }
+  // Output layer: force the true labels into the active set so the softmax
+  // gradient has signal (paper §3.1).
+  layers_.back()->forward(slot, *prev, sample.labels, rng, visited, tid);
+
+  // ---- Loss and deltas ----
+  const float loss = layers_.back()->compute_softmax_ce_deltas(
+      slot, sample.labels, inv_batch);
+
+  // ---- Backward (active x active only) ----
+  for (int i = last; i >= 0; --i) {
+    ActiveSet& below = i == 0
+                           ? embedding_->slot(slot)
+                           : layers_[static_cast<std::size_t>(i - 1)]->slot(slot);
+    if (i != last)
+      layers_[static_cast<std::size_t>(i)]->compute_relu_deltas(slot);
+    layers_[static_cast<std::size_t>(i)]->backward(slot, below, tid);
+  }
+  embedding_->backward(slot, sample.features, tid);
+  return loss;
+}
+
+void Network::apply_updates(float lr, ThreadPool* pool) {
+  embedding_->apply_updates(lr, pool);
+  for (auto& layer : layers_) layer->apply_updates(lr, pool);
+}
+
+void Network::maybe_rebuild(long iteration, ThreadPool* pool) {
+  for (auto& layer : layers_) layer->maybe_rebuild(iteration, pool);
+}
+
+void Network::rebuild_all(ThreadPool* pool) {
+  for (auto& layer : layers_) layer->rebuild_tables(pool);
+}
+
+std::vector<Index> Network::predict_topk(const SparseVector& x,
+                                         InferenceContext& ctx, int k,
+                                         bool exact) const {
+  SLIDE_CHECK(k >= 1, "predict_topk: k must be >= 1");
+  // Run the same inference forward as predict_top1, then partial-sort the
+  // output activations.
+  ctx.dense.resize(embedding_->units());
+  embedding_->forward_inference(x, ctx.dense.data());
+  std::vector<Index>* prev_ids = &ctx.ids_a;
+  std::vector<float>* prev_act = &ctx.act_a;
+  prev_ids->clear();
+  prev_act->assign(ctx.dense.begin(), ctx.dense.end());
+  std::vector<Index>* next_ids = &ctx.ids_b;
+  std::vector<float>* next_act = &ctx.act_b;
+  for (const auto& layer : layers_) {
+    layer->forward_inference(*prev_ids, *prev_act, exact, ctx.rng,
+                             ctx.visited, *next_ids, *next_act);
+    std::swap(prev_ids, next_ids);
+    std::swap(prev_act, next_act);
+  }
+  std::vector<std::size_t> order(prev_act->size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(k), order.size());
+  // Ties break toward the earlier active position (the lower unit id in
+  // exact mode), matching predict_top1's first-max rule.
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(take),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return (*prev_act)[a] > (*prev_act)[b] ||
+                             ((*prev_act)[a] == (*prev_act)[b] && a < b);
+                    });
+  std::vector<Index> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(prev_ids->empty() ? static_cast<Index>(order[i])
+                                    : (*prev_ids)[order[i]]);
+  }
+  return out;
+}
+
+Index Network::predict_top1(const SparseVector& x, InferenceContext& ctx,
+                            bool exact) const {
+  ctx.dense.resize(embedding_->units());
+  embedding_->forward_inference(x, ctx.dense.data());
+
+  std::vector<Index>* prev_ids = &ctx.ids_a;
+  std::vector<float>* prev_act = &ctx.act_a;
+  prev_ids->clear();
+  prev_act->assign(ctx.dense.begin(), ctx.dense.end());
+  std::vector<Index>* next_ids = &ctx.ids_b;
+  std::vector<float>* next_act = &ctx.act_b;
+
+  for (const auto& layer : layers_) {
+    layer->forward_inference(*prev_ids, *prev_act, exact, ctx.rng,
+                             ctx.visited, *next_ids, *next_act);
+    std::swap(prev_ids, next_ids);
+    std::swap(prev_act, next_act);
+  }
+  // Top-1 = argmax of output activations (softmax is monotone, so the
+  // normalization is unnecessary for prediction).
+  SLIDE_ASSERT(!prev_act->empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < prev_act->size(); ++i) {
+    if ((*prev_act)[i] > (*prev_act)[best]) best = i;
+  }
+  return prev_ids->empty() ? static_cast<Index>(best) : (*prev_ids)[best];
+}
+
+void Network::set_use_locks(bool locks) noexcept {
+  embedding_->set_use_locks(locks);
+  for (auto& layer : layers_) layer->set_use_locks(locks);
+}
+
+std::size_t Network::num_parameters() const noexcept {
+  std::size_t total = embedding_->num_parameters();
+  for (const auto& layer : layers_) total += layer->num_parameters();
+  return total;
+}
+
+Index Network::max_sampled_units() const noexcept {
+  Index max_units = 0;
+  for (const auto& layer : layers_)
+    max_units = std::max(max_units, layer->units());
+  return max_units;
+}
+
+}  // namespace slide

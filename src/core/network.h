@@ -1,0 +1,97 @@
+// The SLIDE network (paper Figure 2): an input-facing EmbeddingLayer
+// followed by one or more SampledLayers, the last of which is the softmax
+// output layer. Owns all layer state; the Trainer drives batches through
+// the per-slot forward/backward API.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/layer.h"
+#include "data/dataset.h"
+
+namespace slide {
+
+/// Scratch buffers for single-sample inference; create one per thread.
+struct InferenceContext {
+  explicit InferenceContext(Index max_units, std::uint64_t seed = 1)
+      : visited(max_units), rng(seed) {}
+
+  VisitedSet visited;
+  Rng rng;
+  std::vector<float> dense;
+  std::vector<Index> ids_a, ids_b;
+  std::vector<float> act_a, act_b;
+};
+
+class Network {
+ public:
+  /// max_threads sizes the per-thread structures (touched lists, timers);
+  /// pass the trainer's thread count (or more).
+  Network(const NetworkConfig& config, int max_threads);
+
+  const NetworkConfig& config() const noexcept { return config_; }
+  Index input_dim() const noexcept { return config_.input_dim; }
+  Index output_dim() const noexcept { return layers_.back()->units(); }
+  int max_batch_size() const noexcept { return config_.max_batch_size; }
+  int num_layers() const noexcept {
+    return 1 + static_cast<int>(layers_.size());
+  }
+
+  EmbeddingLayer& embedding() noexcept { return *embedding_; }
+  const EmbeddingLayer& embedding() const noexcept { return *embedding_; }
+  SampledLayer& layer(int i) noexcept {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+  const SampledLayer& layer(int i) const noexcept {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+  SampledLayer& output_layer() noexcept { return *layers_.back(); }
+  const SampledLayer& output_layer() const noexcept {
+    return *layers_.back();
+  }
+  int num_sampled_layers() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+
+  /// One training sample through forward + backward on a batch slot.
+  /// Gradients accumulate into the shared per-layer accumulators; call
+  /// apply_updates once per batch afterwards. Returns the sample loss.
+  float train_sample(int slot, const Sample& sample, float inv_batch,
+                     Rng& rng, VisitedSet& visited, int tid);
+
+  /// Applies lazy Adam on every layer (parallelized over touched units).
+  void apply_updates(float lr, ThreadPool* pool);
+
+  /// Triggers the per-layer rebuild schedules (paper §4.2).
+  void maybe_rebuild(long iteration, ThreadPool* pool);
+  /// Forces a rebuild of every hashed layer.
+  void rebuild_all(ThreadPool* pool);
+
+  /// Top-1 prediction. `exact` scores every output neuron (dense forward);
+  /// otherwise the output layer is sampled through the hash tables exactly
+  /// as in training (without label forcing).
+  Index predict_top1(const SparseVector& x, InferenceContext& ctx,
+                     bool exact = false) const;
+
+  /// Top-k predictions ordered by descending score (k results, fewer if the
+  /// sampled active set is smaller).
+  std::vector<Index> predict_topk(const SparseVector& x, InferenceContext& ctx,
+                                  int k, bool exact = false) const;
+
+  /// Serializes gradient accumulation (HOGWILD ablation).
+  void set_use_locks(bool locks) noexcept;
+
+  std::size_t num_parameters() const noexcept;
+
+  /// Largest unit count across sampled layers (sizes VisitedSet scratch).
+  Index max_sampled_units() const noexcept;
+
+ private:
+  NetworkConfig config_;
+  std::unique_ptr<EmbeddingLayer> embedding_;
+  std::vector<std::unique_ptr<SampledLayer>> layers_;
+};
+
+}  // namespace slide

@@ -1,0 +1,141 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace slide {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534C4944;  // "SLID"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+  return v;
+}
+
+void write_floats(std::ostream& out, std::span<const float> data) {
+  write_u32(out, static_cast<std::uint32_t>(data.size()));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+void read_floats(std::istream& in, std::span<float> data) {
+  const std::uint32_t n = read_u32(in);
+  SLIDE_CHECK(n == data.size(),
+              "load_weights: parameter block size mismatch (incompatible "
+              "architecture)");
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+}
+
+void write_header(std::ostream& out, std::uint32_t kind,
+                  std::uint32_t input_dim, std::uint32_t hidden,
+                  std::uint32_t num_layers) {
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, kind);
+  write_u32(out, input_dim);
+  write_u32(out, hidden);
+  write_u32(out, num_layers);
+}
+
+void check_header(std::istream& in, std::uint32_t kind,
+                  std::uint32_t input_dim, std::uint32_t hidden,
+                  std::uint32_t num_layers) {
+  SLIDE_CHECK(read_u32(in) == kMagic, "load_weights: not a SLIDE checkpoint");
+  SLIDE_CHECK(read_u32(in) == kVersion,
+              "load_weights: unsupported checkpoint version");
+  SLIDE_CHECK(read_u32(in) == kind, "load_weights: checkpoint kind mismatch");
+  SLIDE_CHECK(read_u32(in) == input_dim,
+              "load_weights: input_dim mismatch");
+  SLIDE_CHECK(read_u32(in) == hidden, "load_weights: hidden width mismatch");
+  SLIDE_CHECK(read_u32(in) == num_layers,
+              "load_weights: layer count mismatch");
+}
+
+}  // namespace
+
+void save_weights(const Network& network, std::ostream& out) {
+  const EmbeddingLayer& emb = network.embedding();
+  write_header(out, /*kind=*/0, emb.input_dim(), emb.units(),
+               static_cast<std::uint32_t>(network.num_sampled_layers()));
+  write_floats(out, emb.weights_span());
+  write_floats(out, emb.bias_span());
+  for (int i = 0; i < network.num_sampled_layers(); ++i) {
+    const SampledLayer& layer = network.layer(i);
+    write_u32(out, layer.units());
+    write_u32(out, layer.fan_in());
+    write_floats(out, layer.weights_span());
+    write_floats(out, layer.bias_span());
+  }
+  SLIDE_CHECK(out.good(), "save_weights: write failed");
+}
+
+void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
+  EmbeddingLayer& emb = network.embedding();
+  check_header(in, /*kind=*/0, emb.input_dim(), emb.units(),
+               static_cast<std::uint32_t>(network.num_sampled_layers()));
+  read_floats(in, emb.weights_span());
+  read_floats(in, emb.bias_span());
+  for (int i = 0; i < network.num_sampled_layers(); ++i) {
+    SampledLayer& layer = network.layer(i);
+    SLIDE_CHECK(read_u32(in) == layer.units(),
+                "load_weights: layer width mismatch");
+    SLIDE_CHECK(read_u32(in) == layer.fan_in(),
+                "load_weights: layer fan-in mismatch");
+    read_floats(in, layer.weights_span());
+    read_floats(in, layer.bias_span());
+    layer.invalidate_memo();
+  }
+  // Hash tables are a function of the weights: refresh them.
+  network.rebuild_all(pool);
+}
+
+void save_weights_file(const Network& network, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SLIDE_CHECK(out.good(), "save_weights_file: cannot open " + path);
+  save_weights(network, out);
+}
+
+void load_weights_file(Network& network, const std::string& path,
+                       ThreadPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  SLIDE_CHECK(in.good(), "load_weights_file: cannot open " + path);
+  load_weights(network, in, pool);
+}
+
+void save_weights(const DenseNetwork& network, std::ostream& out) {
+  const EmbeddingLayer& emb = network.embedding();
+  write_header(out, /*kind=*/1, emb.input_dim(), emb.units(), 1);
+  write_floats(out, emb.weights_span());
+  write_floats(out, emb.bias_span());
+  write_u32(out, network.output_dim());
+  write_u32(out, emb.units());
+  write_floats(out, network.output_weights_span());
+  write_floats(out, network.output_bias_span());
+  SLIDE_CHECK(out.good(), "save_weights: write failed");
+}
+
+void load_weights(DenseNetwork& network, std::istream& in) {
+  EmbeddingLayer& emb = network.embedding();
+  check_header(in, /*kind=*/1, emb.input_dim(), emb.units(), 1);
+  read_floats(in, emb.weights_span());
+  read_floats(in, emb.bias_span());
+  SLIDE_CHECK(read_u32(in) == network.output_dim(),
+              "load_weights: output width mismatch");
+  SLIDE_CHECK(read_u32(in) == emb.units(),
+              "load_weights: output fan-in mismatch");
+  read_floats(in, network.output_weights_span());
+  read_floats(in, network.output_bias_span());
+}
+
+}  // namespace slide

@@ -1,0 +1,34 @@
+// Checkpointing: save/load network parameters to a versioned binary format.
+//
+// The format stores the architecture signature (dims per layer) followed by
+// raw float32 parameter blocks, so a checkpoint can only be loaded into a
+// network with the same shape — load_weights validates and throws
+// slide::Error on mismatch. Hash tables are NOT serialized: they are a
+// function of the weights and are rebuilt after loading (load_weights does
+// this automatically).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "baseline/dense_network.h"
+#include "core/network.h"
+
+namespace slide {
+
+/// Serializes all weights and biases of the network.
+void save_weights(const Network& network, std::ostream& out);
+void save_weights_file(const Network& network, const std::string& path);
+
+/// Restores weights into an architecture-compatible network and rebuilds
+/// its hash tables (parallelized when a pool is given).
+void load_weights(Network& network, std::istream& in,
+                  ThreadPool* pool = nullptr);
+void load_weights_file(Network& network, const std::string& path,
+                       ThreadPool* pool = nullptr);
+
+/// Dense-baseline counterparts (same container format).
+void save_weights(const DenseNetwork& network, std::ostream& out);
+void load_weights(DenseNetwork& network, std::istream& in);
+
+}  // namespace slide

@@ -1,0 +1,68 @@
+// Batch-parallel trainer (paper §3.1, "OpenMP Parallelization across a
+// Batch"): every training instance of a mini-batch runs on its own thread
+// slot; gradients accumulate HOGWILD-style; lazy Adam applies once per
+// batch; hash tables refresh on the exponential-decay schedule.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/config.h"
+#include "core/network.h"
+#include "data/batching.h"
+#include "sys/thread_pool.h"
+#include "sys/timer.h"
+
+namespace slide {
+
+/// Wall-time decomposition of training work, used by the Figure 6 / Table 2
+/// instrumentation benches.
+struct TrainTimeBreakdown {
+  double batch_compute_seconds = 0.0;  // forward + backward fan-out
+  double update_seconds = 0.0;         // lazy Adam application
+  double rebuild_seconds = 0.0;        // hash table refreshes
+  double total_seconds = 0.0;
+
+  TrainTimeBreakdown operator-(const TrainTimeBreakdown& earlier) const;
+};
+
+class Trainer {
+ public:
+  Trainer(Network& network, const TrainerConfig& config);
+
+  /// Runs one mini-batch (the samples at `indices`); returns the mean loss.
+  float step(const Dataset& data, std::span<const std::size_t> indices);
+
+  /// Runs `iterations` batches drawn by an internal shuffling Batcher.
+  /// `callback(iteration)` fires every `callback_every` iterations (and on
+  /// the last one) when provided.
+  void train(const Dataset& data, long iterations,
+             const std::function<void(long)>& callback = nullptr,
+             long callback_every = 0);
+
+  long iteration() const noexcept { return iteration_; }
+  ThreadPool& pool() noexcept { return *pool_; }
+  Network& network() noexcept { return network_; }
+  const TrainerConfig& config() const noexcept { return config_; }
+
+  const TrainTimeBreakdown& time_breakdown() const noexcept {
+    return breakdown_;
+  }
+
+  /// Fraction of (threads x wall-time) actually spent executing batch work
+  /// since construction — the in-container stand-in for the paper's VTune
+  /// core-utilization numbers (Table 2).
+  double core_utilization() const;
+
+ private:
+  Network& network_;
+  TrainerConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<Rng> slot_rngs_;          // one per batch slot (reproducible)
+  std::vector<std::unique_ptr<VisitedSet>> visited_;  // one per thread
+  long iteration_ = 0;
+  TrainTimeBreakdown breakdown_;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace slide

@@ -1,0 +1,34 @@
+#include "data/batching.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace slide {
+
+Batcher::Batcher(const Dataset& dataset, std::size_t batch_size, bool shuffle,
+                 std::uint64_t seed)
+    : batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+  SLIDE_CHECK(batch_size_ > 0, "Batcher: batch_size must be positive");
+  SLIDE_CHECK(!dataset.empty(), "Batcher: dataset is empty");
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (shuffle_) reshuffle();
+  current_.reserve(batch_size_);
+}
+
+void Batcher::reshuffle() { std::shuffle(order_.begin(), order_.end(), rng_); }
+
+std::span<const std::size_t> Batcher::next() {
+  if (cursor_ >= order_.size()) {
+    cursor_ = 0;
+    ++epoch_;
+    if (shuffle_) reshuffle();
+  }
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  current_.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                  order_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  return current_;
+}
+
+}  // namespace slide

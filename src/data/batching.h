@@ -1,0 +1,48 @@
+// Mini-batch iteration with per-epoch shuffling.
+//
+// SLIDE trains with batch gradient descent (paper §3.1); each batch is a
+// list of sample indices that the trainer fans out across threads, one
+// training instance per thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sys/rng.h"
+
+namespace slide {
+
+class Batcher {
+ public:
+  /// Iterates `dataset` in batches of `batch_size` (last batch of an epoch
+  /// may be smaller). When `shuffle` is set, the order is re-drawn each
+  /// epoch from the seeded RNG.
+  Batcher(const Dataset& dataset, std::size_t batch_size, bool shuffle,
+          std::uint64_t seed = 7);
+
+  /// Returns the next batch as sample indices into the dataset. Rolls over
+  /// to a new epoch automatically.
+  std::span<const std::size_t> next();
+
+  std::size_t batch_size() const noexcept { return batch_size_; }
+  std::size_t batches_per_epoch() const noexcept {
+    return (order_.size() + batch_size_ - 1) / batch_size_;
+  }
+  /// Number of completed epochs.
+  std::size_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  std::size_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epoch_ = 0;
+  std::vector<std::size_t> current_;
+};
+
+}  // namespace slide

@@ -1,0 +1,48 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace slide {
+
+void Dataset::add(Sample sample) {
+  SLIDE_CHECK(sample.features.min_dim() <= feature_dim_,
+              "Dataset::add: feature index out of range");
+  std::sort(sample.labels.begin(), sample.labels.end());
+  sample.labels.erase(
+      std::unique(sample.labels.begin(), sample.labels.end()),
+      sample.labels.end());
+  SLIDE_CHECK(sample.labels.empty() || sample.labels.back() < label_dim_,
+              "Dataset::add: label out of range");
+  samples_.push_back(std::move(sample));
+}
+
+DatasetStats Dataset::stats() const {
+  DatasetStats s;
+  s.feature_dim = feature_dim_;
+  s.label_dim = label_dim_;
+  s.num_samples = samples_.size();
+  if (samples_.empty()) return s;
+  double nnz = 0.0, labels = 0.0;
+  for (const auto& sample : samples_) {
+    nnz += static_cast<double>(sample.features.nnz());
+    labels += static_cast<double>(sample.labels.size());
+  }
+  s.avg_nnz_per_sample = nnz / static_cast<double>(samples_.size());
+  s.avg_labels_per_sample = labels / static_cast<double>(samples_.size());
+  if (feature_dim_ > 0)
+    s.feature_density = s.avg_nnz_per_sample / feature_dim_;
+  return s;
+}
+
+std::string describe(const DatasetStats& stats, const std::string& name) {
+  std::ostringstream os;
+  os << name << ": " << stats.num_samples << " samples, "
+     << stats.feature_dim << " features (" << stats.avg_nnz_per_sample
+     << " avg nnz, density " << stats.feature_density * 100.0 << "%), "
+     << stats.label_dim << " labels (" << stats.avg_labels_per_sample
+     << " avg per sample)";
+  return os.str();
+}
+
+}  // namespace slide

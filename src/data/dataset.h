@@ -1,0 +1,63 @@
+// In-memory multi-label dataset (the extreme-classification workload shape
+// of paper Table 1: sparse features, a set of true labels per sample).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/sparse_vector.h"
+#include "sys/common.h"
+
+namespace slide {
+
+struct Sample {
+  SparseVector features;
+  std::vector<Index> labels;  // sorted, unique
+};
+
+/// Summary statistics in the shape of paper Table 1.
+struct DatasetStats {
+  Index feature_dim = 0;
+  Index label_dim = 0;
+  std::size_t num_samples = 0;
+  double avg_nnz_per_sample = 0.0;
+  double feature_density = 0.0;  // avg_nnz / feature_dim ("Feature Sparsity")
+  double avg_labels_per_sample = 0.0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Index feature_dim, Index label_dim)
+      : feature_dim_(feature_dim), label_dim_(label_dim) {}
+
+  Index feature_dim() const noexcept { return feature_dim_; }
+  Index label_dim() const noexcept { return label_dim_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  const Sample& operator[](std::size_t i) const noexcept {
+    SLIDE_ASSERT(i < samples_.size());
+    return samples_[i];
+  }
+  std::span<const Sample> samples() const noexcept { return samples_; }
+
+  /// Appends a sample. Labels are sorted/deduplicated; throws if any feature
+  /// index or label is out of range.
+  void add(Sample sample);
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  DatasetStats stats() const;
+
+ private:
+  Index feature_dim_ = 0;
+  Index label_dim_ = 0;
+  std::vector<Sample> samples_;
+};
+
+/// Human-readable one-line summary ("N samples, D features, ...").
+std::string describe(const DatasetStats& stats, const std::string& name);
+
+}  // namespace slide

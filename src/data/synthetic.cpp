@@ -1,0 +1,210 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sys/rng.h"
+
+namespace slide {
+
+namespace {
+
+/// Draws label ids with p(rank k) ∝ 1/(k+1)^s via inverse-CDF lookup.
+class ZipfSampler {
+ public:
+  ZipfSampler(Index n, double exponent) : cdf_(n) {
+    double total = 0.0;
+    for (Index k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k) + 1.0, exponent);
+      cdf_[k] = total;
+    }
+    total_ = total;
+  }
+
+  Index operator()(Rng& rng) const {
+    const double u = rng.uniform_double() * total_;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<Index>(std::min<std::ptrdiff_t>(
+        it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+/// The characteristic feature ids of a label, derived deterministically from
+/// (seed, label) so they never need to be stored.
+void label_features(std::uint64_t seed, Index label, int count,
+                    Index feature_dim, std::vector<Index>& out) {
+  out.clear();
+  Rng rng(seed ^ (0xA24BAED4963EE407ull + label * 0x9E3779B97F4A7C15ull));
+  for (int i = 0; i < count; ++i) out.push_back(rng.uniform(feature_dim));
+}
+
+Sample make_sample(const SyntheticConfig& cfg, const ZipfSampler& zipf,
+                   Rng& rng, std::vector<Index>& scratch) {
+  Sample sample;
+
+  const int span = cfg.max_labels_per_sample - cfg.min_labels_per_sample + 1;
+  const int num_labels =
+      cfg.min_labels_per_sample + static_cast<int>(rng.uniform(span));
+  // Draw distinct labels; with 10^4+ labels collisions are rare, so a small
+  // retry loop suffices.
+  for (int attempts = 0;
+       static_cast<int>(sample.labels.size()) < num_labels && attempts < 64;
+       ++attempts) {
+    const Index label = zipf(rng);
+    if (std::find(sample.labels.begin(), sample.labels.end(), label) ==
+        sample.labels.end()) {
+      sample.labels.push_back(label);
+    }
+  }
+
+  sample.features.reserve(sample.labels.size() * cfg.active_per_label +
+                          cfg.noise_features);
+  for (Index label : sample.labels) {
+    label_features(cfg.seed, label, cfg.features_per_label, cfg.feature_dim,
+                   scratch);
+    // Partial Fisher-Yates: the first active_per_label entries become the
+    // fired subset for this sample.
+    const int active = std::min<int>(cfg.active_per_label,
+                                     static_cast<int>(scratch.size()));
+    for (int i = 0; i < active; ++i) {
+      const std::uint32_t j =
+          i + rng.uniform(static_cast<std::uint32_t>(scratch.size()) - i);
+      std::swap(scratch[i], scratch[j]);
+      sample.features.push_back(scratch[i], 0.5f + rng.uniform_float());
+    }
+  }
+  for (int i = 0; i < cfg.noise_features; ++i) {
+    sample.features.push_back(rng.uniform(cfg.feature_dim),
+                              0.25f + 0.5f * rng.uniform_float());
+  }
+  sample.features.compact();
+  sample.features.l2_normalize();
+  return sample;
+}
+
+}  // namespace
+
+SyntheticDataset make_synthetic_xc(const SyntheticConfig& cfg) {
+  SLIDE_CHECK(cfg.feature_dim > 0 && cfg.label_dim > 0,
+              "make_synthetic_xc: dimensions must be positive");
+  SLIDE_CHECK(cfg.min_labels_per_sample >= 1 &&
+                  cfg.max_labels_per_sample >= cfg.min_labels_per_sample,
+              "make_synthetic_xc: invalid labels-per-sample range");
+  SLIDE_CHECK(cfg.active_per_label <= cfg.features_per_label,
+              "make_synthetic_xc: active_per_label > features_per_label");
+
+  SyntheticDataset out;
+  out.config = cfg;
+  out.train = Dataset(cfg.feature_dim, cfg.label_dim);
+  out.test = Dataset(cfg.feature_dim, cfg.label_dim);
+  out.train.reserve(cfg.num_train);
+  out.test.reserve(cfg.num_test);
+
+  const ZipfSampler zipf(cfg.label_dim, cfg.zipf_exponent);
+  std::vector<Index> scratch;
+
+  Rng train_rng(cfg.seed * 2 + 1);
+  for (std::size_t i = 0; i < cfg.num_train; ++i)
+    out.train.add(make_sample(cfg, zipf, train_rng, scratch));
+
+  Rng test_rng(cfg.seed * 2 + 7'919);
+  for (std::size_t i = 0; i < cfg.num_test; ++i)
+    out.test.add(make_sample(cfg, zipf, test_rng, scratch));
+
+  return out;
+}
+
+SyntheticConfig delicious_like(Scale scale) {
+  SyntheticConfig cfg;
+  cfg.name = "delicious-like";
+  cfg.zipf_exponent = 1.0;
+  cfg.features_per_label = 40;
+  cfg.active_per_label = 20;
+  cfg.noise_features = 15;
+  switch (scale) {
+    case Scale::kTiny:
+      cfg.feature_dim = 2'000;
+      cfg.label_dim = 500;
+      cfg.num_train = 1'500;
+      cfg.num_test = 500;
+      cfg.features_per_label = 12;
+      cfg.active_per_label = 6;
+      cfg.noise_features = 3;
+      break;
+    case Scale::kSmall:
+      cfg.feature_dim = 40'000;
+      cfg.label_dim = 16'000;
+      cfg.num_train = 10'000;
+      cfg.num_test = 2'000;
+      break;
+    case Scale::kMedium:
+      cfg.feature_dim = 150'000;
+      cfg.label_dim = 50'000;
+      cfg.num_train = 40'000;
+      cfg.num_test = 8'000;
+      break;
+    case Scale::kPaper:  // paper Table 1 dimensions
+      cfg.feature_dim = 782'585;
+      cfg.label_dim = 205'443;
+      cfg.num_train = 196'606;
+      cfg.num_test = 100'095;
+      break;
+  }
+  cfg.seed = 1'234;
+  return cfg;
+}
+
+SyntheticConfig amazon_like(Scale scale) {
+  SyntheticConfig cfg;
+  cfg.name = "amazon-like";
+  cfg.zipf_exponent = 1.2;
+  cfg.features_per_label = 30;
+  cfg.active_per_label = 15;
+  cfg.noise_features = 10;
+  switch (scale) {
+    case Scale::kTiny:
+      cfg.feature_dim = 1'500;
+      cfg.label_dim = 800;
+      cfg.num_train = 1'500;
+      cfg.num_test = 500;
+      cfg.features_per_label = 12;
+      cfg.active_per_label = 6;
+      cfg.noise_features = 3;
+      break;
+    case Scale::kSmall:
+      cfg.feature_dim = 24'000;
+      cfg.label_dim = 24'000;
+      cfg.num_train = 10'000;
+      cfg.num_test = 2'000;
+      break;
+    case Scale::kMedium:
+      cfg.feature_dim = 80'000;
+      cfg.label_dim = 100'000;
+      cfg.num_train = 40'000;
+      cfg.num_test = 8'000;
+      break;
+    case Scale::kPaper:  // paper Table 1 dimensions
+      cfg.feature_dim = 135'909;
+      cfg.label_dim = 670'091;
+      cfg.num_train = 490'449;
+      cfg.num_test = 153'025;
+      break;
+  }
+  cfg.seed = 5'678;
+  return cfg;
+}
+
+Scale parse_scale(const std::string& name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "small") return Scale::kSmall;
+  if (name == "medium") return Scale::kMedium;
+  if (name == "paper") return Scale::kPaper;
+  throw Error("parse_scale: unknown scale '" + name +
+              "' (expected tiny|small|medium|paper)");
+}
+
+}  // namespace slide

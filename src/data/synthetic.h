@@ -1,0 +1,75 @@
+// Synthetic extreme-classification dataset generators.
+//
+// The paper evaluates on Delicious-200K and Amazon-670K from the Extreme
+// Classification Repository; those downloads are unavailable offline, so the
+// benches run on planted-structure stand-ins that reproduce the workload
+// properties SLIDE exploits (see DESIGN.md §3):
+//   * extreme output width (hundreds of thousands of labels, configurable),
+//   * very sparse inputs (tens of nonzeros out of 10^5-10^6 dims),
+//   * Zipf-skewed label frequencies,
+//   * learnable structure: each label owns a random set of "characteristic"
+//     feature ids; a sample for that label activates a random subset of them
+//     plus uniform noise features, so a 1-hidden-layer network's accuracy
+//     curves behave like the paper's (rising, then saturating).
+//
+// Generators are deterministic in the seed, and train/test are drawn from
+// the same planted model with disjoint RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace slide {
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  Index feature_dim = 20'000;
+  Index label_dim = 10'000;
+  std::size_t num_train = 8'000;
+  std::size_t num_test = 2'000;
+
+  /// Size of each label's characteristic feature set.
+  int features_per_label = 24;
+  /// How many characteristic features fire per (sample, label).
+  int active_per_label = 12;
+  /// Uniformly random distractor features added per sample.
+  int noise_features = 6;
+
+  /// Label popularity follows p(rank k) ∝ 1/k^zipf_exponent.
+  double zipf_exponent = 1.0;
+  int min_labels_per_sample = 1;
+  int max_labels_per_sample = 5;
+
+  std::uint64_t seed = 42;
+};
+
+struct SyntheticDataset {
+  SyntheticConfig config;
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates train/test splits from the planted model described above.
+/// Features are L2-normalized per sample (matching XC preprocessing).
+SyntheticDataset make_synthetic_xc(const SyntheticConfig& config);
+
+/// Workload scale presets. The benches default to `kSmall` so the full
+/// harness completes in minutes on two cores; `kPaper` matches the
+/// dimensions of paper Table 1.
+enum class Scale { kTiny, kSmall, kMedium, kPaper };
+
+/// Delicious-200K-like: very wide sparse features, ~200K labels at kPaper
+/// scale, ~75 nnz per sample.
+SyntheticConfig delicious_like(Scale scale);
+
+/// Amazon-670K-like: narrower features, ~670K labels at kPaper scale,
+/// product-to-product recommendation shape.
+SyntheticConfig amazon_like(Scale scale);
+
+/// Parses "tiny"/"small"/"medium"/"paper" (used with the
+/// SLIDE_BENCH_SCALE environment variable); throws on anything else.
+Scale parse_scale(const std::string& name);
+
+}  // namespace slide

@@ -1,0 +1,116 @@
+#include "data/xc_reader.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace slide {
+
+namespace {
+
+// Parses an unsigned integer from [p, end); advances p. Throws on failure.
+Index parse_index(const char*& p, const char* end, const char* what) {
+  Index value = 0;
+  auto [next, ec] = std::from_chars(p, end, value);
+  if (ec != std::errc{} || next == p)
+    throw Error(std::string("read_xc: expected integer in ") + what);
+  p = next;
+  return value;
+}
+
+float parse_float(const char*& p, const char* end) {
+  float value = 0.0f;
+  auto [next, ec] = std::from_chars(p, end, value);
+  if (ec != std::errc{} || next == p)
+    throw Error("read_xc: expected float feature value");
+  p = next;
+  return value;
+}
+
+void skip_spaces(const char*& p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t')) ++p;
+}
+
+}  // namespace
+
+Dataset read_xc(std::istream& in, bool l2_normalize) {
+  std::string header;
+  if (!std::getline(in, header)) throw Error("read_xc: empty input");
+  std::istringstream hs(header);
+  std::size_t num_samples = 0;
+  Index feature_dim = 0, label_dim = 0;
+  if (!(hs >> num_samples >> feature_dim >> label_dim))
+    throw Error("read_xc: malformed header line");
+
+  Dataset dataset(feature_dim, label_dim);
+  dataset.reserve(num_samples);
+
+  std::string line;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    if (!std::getline(in, line))
+      throw Error("read_xc: fewer data lines than the header declares");
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    const char* p = line.data();
+    const char* end = p + line.size();
+    Sample sample;
+
+    // Label list: comma-separated indices up to the first space. Empty when
+    // the line starts with a space (unlabeled sample).
+    if (p < end && *p != ' ') {
+      for (;;) {
+        sample.labels.push_back(parse_index(p, end, "label list"));
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+    }
+    // Feature list: space-separated index:value pairs.
+    for (;;) {
+      skip_spaces(p, end);
+      if (p >= end) break;
+      const Index idx = parse_index(p, end, "feature index");
+      if (p >= end || *p != ':')
+        throw Error("read_xc: expected ':' after feature index");
+      ++p;
+      const float val = parse_float(p, end);
+      sample.features.push_back(idx, val);
+    }
+    sample.features.compact();
+    if (l2_normalize) sample.features.l2_normalize();
+    dataset.add(std::move(sample));
+  }
+  return dataset;
+}
+
+Dataset read_xc_file(const std::string& path, bool l2_normalize) {
+  std::ifstream in(path);
+  if (!in) throw Error("read_xc_file: cannot open " + path);
+  return read_xc(in, l2_normalize);
+}
+
+void write_xc(std::ostream& out, const Dataset& dataset) {
+  out << dataset.size() << ' ' << dataset.feature_dim() << ' '
+      << dataset.label_dim() << '\n';
+  for (const auto& sample : dataset.samples()) {
+    for (std::size_t i = 0; i < sample.labels.size(); ++i) {
+      if (i) out << ',';
+      out << sample.labels[i];
+    }
+    for (std::size_t i = 0; i < sample.features.nnz(); ++i) {
+      out << ' ' << sample.features.indices()[i] << ':'
+          << sample.features.values()[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_xc_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_xc_file: cannot open " + path);
+  write_xc(out, dataset);
+}
+
+}  // namespace slide

@@ -1,0 +1,32 @@
+// Reader/writer for the Extreme Classification Repository text format
+// (Bhatia et al.), the distribution format of Delicious-200K and
+// Amazon-670K used in the paper:
+//
+//   line 0:  <num_samples> <feature_dim> <label_dim>
+//   line i:  l1,l2,...,lk  f1:v1 f2:v2 ... fm:vm
+//
+// A sample may have zero labels (the label field is then empty and the line
+// starts with a space). The reader is tolerant of \r\n endings and blank
+// trailing lines. With this module, the real datasets can be dropped into
+// the benches in place of the synthetic stand-ins (see DESIGN.md §3).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace slide {
+
+/// Parses a dataset in XC repository format. Throws slide::Error on
+/// malformed input. `l2_normalize` applies per-sample feature normalization
+/// (the preprocessing used by the reference implementation).
+Dataset read_xc(std::istream& in, bool l2_normalize = true);
+Dataset read_xc_file(const std::string& path, bool l2_normalize = true);
+
+/// Writes a dataset in the same format (inverse of read_xc, modulo float
+/// formatting).
+void write_xc(std::ostream& out, const Dataset& dataset);
+void write_xc_file(const std::string& path, const Dataset& dataset);
+
+}  // namespace slide

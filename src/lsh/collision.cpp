@@ -1,0 +1,55 @@
+#include "lsh/collision.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sys/common.h"
+
+namespace slide {
+
+double simhash_collision_probability(double cosine_similarity) {
+  const double s = std::clamp(cosine_similarity, -1.0, 1.0);
+  return 1.0 - std::acos(s) / 3.14159265358979323846;
+}
+
+double meta_hash_probability(double p, int k) {
+  SLIDE_CHECK(p >= 0.0 && p <= 1.0, "collision probability out of [0,1]");
+  SLIDE_CHECK(k >= 1, "K must be >= 1");
+  return std::pow(p, k);
+}
+
+double any_bucket_probability(double p, int k, int l) {
+  SLIDE_CHECK(l >= 1, "L must be >= 1");
+  const double q = meta_hash_probability(p, k);
+  return 1.0 - std::pow(1.0 - q, l);
+}
+
+double vanilla_selection_probability(double p, int k, int l, int tau) {
+  SLIDE_CHECK(tau >= 0 && tau <= l, "tau must be in [0, L]");
+  const double q = meta_hash_probability(p, k);
+  return std::pow(q, tau) * std::pow(1.0 - q, l - tau);
+}
+
+double binomial_tail(int n, double q, int m) {
+  SLIDE_CHECK(n >= 0 && m >= 0, "binomial_tail: negative arguments");
+  if (m <= 0) return 1.0;
+  if (m > n) return 0.0;
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return 1.0;
+  // Sum in log space: log C(n,i) + i log q + (n-i) log(1-q).
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  double tail = 0.0;
+  for (int i = m; i <= n; ++i) {
+    const double log_choose = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
+                              std::lgamma(n - i + 1.0);
+    tail += std::exp(log_choose + i * log_q + (n - i) * log_1mq);
+  }
+  return std::min(tail, 1.0);
+}
+
+double hard_threshold_selection_probability(double p, int k, int l, int m) {
+  return binomial_tail(l, meta_hash_probability(p, k), m);
+}
+
+}  // namespace slide

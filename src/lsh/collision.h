@@ -1,0 +1,33 @@
+// Closed-form LSH collision and selection probabilities (paper §2, §4.1,
+// eqs. 2-3 and appendix B). Used by bench/fig11_threshold_theory and as the
+// oracle in the sampler property tests.
+#pragma once
+
+namespace slide {
+
+/// Simhash collision probability for two vectors with the given cosine
+/// similarity: p = 1 - acos(cos_sim)/pi (paper appendix B).
+double simhash_collision_probability(double cosine_similarity);
+
+/// Probability that a table's meta-hash matches, given per-function
+/// collision probability p and K concatenated functions: p^K.
+double meta_hash_probability(double p, int k);
+
+/// LSH-as-sampler retrieval probability over L tables (paper §2.1):
+/// 1 - (1 - p^K)^L.
+double any_bucket_probability(double p, int k, int l);
+
+/// Vanilla-sampling selection probability after probing tau of L tables
+/// (paper eq. 2): (p^K)^tau * (1 - p^K)^(L - tau).
+double vanilla_selection_probability(double p, int k, int l, int tau);
+
+/// Hard-thresholding selection probability (paper eq. 3): probability that
+/// a neuron appears in at least m of the L buckets,
+/// sum_{i=m..L} C(L,i) (p^K)^i (1-p^K)^(L-i).
+double hard_threshold_selection_probability(double p, int k, int l, int m);
+
+/// Binomial tail Pr[X >= m] for X ~ Binomial(n, q), computed in log space
+/// for numerical stability.
+double binomial_tail(int n, double q, int m);
+
+}  // namespace slide

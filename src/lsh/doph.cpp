@@ -1,0 +1,151 @@
+#include "lsh/doph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace slide {
+
+namespace {
+// 64-bit mix (splitmix finalizer) used as the universal hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+DophHash::DophHash(const Config& config)
+    : k_(config.k),
+      l_(config.l),
+      dim_(config.dim),
+      binarize_top_k_(config.binarize_top_k),
+      max_densify_attempts_(config.max_densify_attempts),
+      seed_a_(mix64(config.seed * 2 + 1)),
+      seed_b_(mix64(config.seed * 2 + 2)) {
+  SLIDE_CHECK(k_ >= 1 && l_ >= 1, "DophHash: K and L must be >= 1");
+  SLIDE_CHECK(dim_ >= 1, "DophHash: dim must be >= 1");
+  SLIDE_CHECK(binarize_top_k_ >= 1, "DophHash: binarize_top_k must be >= 1");
+}
+
+void DophHash::codes_for_set(std::span<const Index> elements,
+                             std::uint32_t* codes) const {
+  const int total_bins = k_ * l_;
+  thread_local std::vector<std::uint64_t> min_val;
+  min_val.assign(static_cast<std::size_t>(total_bins),
+                 std::numeric_limits<std::uint64_t>::max());
+
+  for (Index e : elements) {
+    SLIDE_ASSERT(e < dim_);
+    // One permutation: element -> bin via one hash, rank via another.
+    const std::uint64_t he = mix64(seed_a_ ^ e);
+    const int bin = static_cast<int>(he % static_cast<std::uint64_t>(total_bins));
+    const std::uint64_t rank = mix64(seed_b_ ^ e);
+    auto& slot = min_val[static_cast<std::size_t>(bin)];
+    slot = std::min(slot, rank);
+  }
+
+  // Densify empty bins from the pre-densification state.
+  for (int c = 0; c < total_bins; ++c) {
+    const auto v = min_val[static_cast<std::size_t>(c)];
+    if (v != std::numeric_limits<std::uint64_t>::max()) {
+      codes[c] = static_cast<std::uint32_t>(v);
+      continue;
+    }
+    std::uint32_t code = 0;
+    for (int attempt = 1; attempt <= max_densify_attempts_; ++attempt) {
+      const std::uint64_t h =
+          mix64(seed_a_ ^ (static_cast<std::uint64_t>(c) << 20) ^
+                static_cast<std::uint64_t>(attempt));
+      const int donor = static_cast<int>(h % static_cast<std::uint64_t>(total_bins));
+      const auto dv = min_val[static_cast<std::size_t>(donor)];
+      if (dv != std::numeric_limits<std::uint64_t>::max()) {
+        code = static_cast<std::uint32_t>(dv);
+        break;
+      }
+    }
+    codes[c] = code;
+  }
+}
+
+void DophHash::keys_from_codes(const std::uint32_t* codes,
+                               std::span<std::uint32_t> keys) const {
+  SLIDE_ASSERT(static_cast<int>(keys.size()) == l_);
+  int c = 0;
+  for (int t = 0; t < l_; ++t) {
+    detail::FingerprintMixer mixer;
+    for (int j = 0; j < k_; ++j, ++c) mixer.add(codes[c]);
+    keys[t] = mixer.value();
+  }
+}
+
+void DophHash::hash_set(std::span<const Index> elements,
+                        std::span<std::uint32_t> keys) const {
+  thread_local std::vector<std::uint32_t> codes;
+  codes.resize(static_cast<std::size_t>(k_) * l_);
+  codes_for_set(elements, codes.data());
+  keys_from_codes(codes.data(), keys);
+}
+
+std::vector<Index> DophHash::binarize_dense(const float* x) const {
+  // Bounded min-heap of (value, index): O(d log k), the paper's
+  // priority-queue alternative to a full O(d log d) sort.
+  using Entry = std::pair<float, Index>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (Index d = 0; d < dim_; ++d) {
+    if (static_cast<int>(heap.size()) < binarize_top_k_) {
+      heap.emplace(x[d], d);
+    } else if (x[d] > heap.top().first) {
+      heap.pop();
+      heap.emplace(x[d], d);
+    }
+  }
+  std::vector<Index> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void DophHash::hash_dense(const float* x,
+                          std::span<std::uint32_t> keys) const {
+  const std::vector<Index> set = binarize_dense(x);
+  hash_set(set, keys);
+}
+
+void DophHash::hash_sparse(const Index* idx, const float* val,
+                           std::size_t nnz,
+                           std::span<std::uint32_t> keys) const {
+  // For sparse inputs the support itself is the binary set (when it exceeds
+  // the top-k budget, keep the k largest values, matching the dense path).
+  if (static_cast<int>(nnz) <= binarize_top_k_) {
+    hash_set(std::span<const Index>(idx, nnz), keys);
+    return;
+  }
+  using Entry = std::pair<float, Index>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    if (static_cast<int>(heap.size()) < binarize_top_k_) {
+      heap.emplace(val[i], idx[i]);
+    } else if (val[i] > heap.top().first) {
+      heap.pop();
+      heap.emplace(val[i], idx[i]);
+    }
+  }
+  std::vector<Index> set;
+  set.reserve(heap.size());
+  while (!heap.empty()) {
+    set.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::sort(set.begin(), set.end());
+  hash_set(set, keys);
+}
+
+}  // namespace slide

@@ -1,0 +1,67 @@
+// Densified One-Permutation Hashing (DOPH, Shrivastava & Li 2014b) — minwise
+// hashing for Jaccard similarity over binary sets (paper appendix A).
+//
+// DOPH is designed for binary inputs: each set element is hashed once; a
+// universal hash assigns it to one of K*L bins and the minimum value hash
+// per bin is the code. Empty bins are repaired by the same universal-probe
+// densification as DWTA. Real-valued vectors are binarized first with the
+// paper's thresholding heuristic: the indices of the top-k values form the
+// set (maintained with a bounded heap in O(d log k)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/hash_function.h"
+
+namespace slide {
+
+class DophHash final : public HashFamily {
+ public:
+  struct Config {
+    int k = 4;
+    int l = 50;
+    Index dim = 0;
+    /// Top-k threshold for binarizing dense/real-valued inputs.
+    int binarize_top_k = 32;
+    int max_densify_attempts = 128;
+    std::uint64_t seed = 19;
+  };
+
+  explicit DophHash(const Config& config);
+
+  int k() const noexcept override { return k_; }
+  int l() const noexcept override { return l_; }
+  Index dim() const noexcept override { return dim_; }
+  std::string name() const override { return "doph"; }
+
+  void hash_dense(const float* x,
+                  std::span<std::uint32_t> keys) const override;
+  void hash_sparse(const Index* idx, const float* val, std::size_t nnz,
+                   std::span<std::uint32_t> keys) const override;
+
+  /// Hashes an explicit binary set (element ids < dim()); exposed for tests
+  /// and for binary-input callers that skip thresholding.
+  void hash_set(std::span<const Index> elements,
+                std::span<std::uint32_t> keys) const;
+
+  /// The thresholding heuristic: indices of the top-k values of x
+  /// (paper appendix A, "Threshold(x_i)"). Exposed for tests.
+  std::vector<Index> binarize_dense(const float* x) const;
+
+ private:
+  void codes_for_set(std::span<const Index> elements,
+                     std::uint32_t* codes) const;
+  void keys_from_codes(const std::uint32_t* codes,
+                       std::span<std::uint32_t> keys) const;
+
+  int k_;
+  int l_;
+  Index dim_;
+  int binarize_top_k_;
+  int max_densify_attempts_;
+  std::uint64_t seed_a_;
+  std::uint64_t seed_b_;
+};
+
+}  // namespace slide

@@ -1,0 +1,87 @@
+// Config-driven construction of the four built-in hash families
+// (paper §3.2: Simhash, WTA, DWTA, DOPH). Header-only.
+#pragma once
+
+#include <memory>
+
+#include "lsh/doph.h"
+#include "lsh/dwta.h"
+#include "lsh/simhash.h"
+#include "lsh/wta.h"
+
+namespace slide {
+
+enum class HashFamilyKind { kSimhash, kWta, kDwta, kDoph };
+
+inline const char* to_string(HashFamilyKind kind) {
+  switch (kind) {
+    case HashFamilyKind::kSimhash:
+      return "simhash";
+    case HashFamilyKind::kWta:
+      return "wta";
+    case HashFamilyKind::kDwta:
+      return "dwta";
+    case HashFamilyKind::kDoph:
+      return "doph";
+  }
+  return "?";
+}
+
+struct HashFamilyConfig {
+  HashFamilyKind kind = HashFamilyKind::kSimhash;
+  int k = 9;
+  int l = 50;
+  Index dim = 0;  // set by the layer to its fan-in
+  /// Simhash: fraction of nonzero projection coordinates.
+  double simhash_density = 1.0 / 3.0;
+  /// WTA/DWTA bin size m.
+  int bin_size = 8;
+  /// DOPH top-k binarization threshold.
+  int doph_top_k = 32;
+  std::uint64_t seed = 11;
+};
+
+inline std::unique_ptr<HashFamily> make_hash_family(
+    const HashFamilyConfig& cfg) {
+  switch (cfg.kind) {
+    case HashFamilyKind::kSimhash: {
+      Simhash::Config c;
+      c.k = cfg.k;
+      c.l = cfg.l;
+      c.dim = cfg.dim;
+      c.density = cfg.simhash_density;
+      c.seed = cfg.seed;
+      return std::make_unique<Simhash>(c);
+    }
+    case HashFamilyKind::kWta: {
+      WtaHash::Config c;
+      c.k = cfg.k;
+      c.l = cfg.l;
+      c.dim = cfg.dim;
+      c.bin_size = cfg.bin_size;
+      c.seed = cfg.seed;
+      return std::make_unique<WtaHash>(c);
+    }
+    case HashFamilyKind::kDwta: {
+      DwtaHash::Config c;
+      c.k = cfg.k;
+      c.l = cfg.l;
+      c.dim = cfg.dim;
+      c.bin_size = cfg.bin_size;
+      c.seed = cfg.seed;
+      return std::make_unique<DwtaHash>(c);
+    }
+    case HashFamilyKind::kDoph: {
+      DophHash::Config c;
+      c.k = cfg.k;
+      c.l = cfg.l;
+      c.dim = cfg.dim;
+      c.binarize_top_k = cfg.doph_top_k;
+      c.seed = cfg.seed;
+      return std::make_unique<DophHash>(c);
+    }
+  }
+  throw Error("make_hash_family: unknown kind");
+}
+
+}  // namespace slide

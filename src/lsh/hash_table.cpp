@@ -1,0 +1,81 @@
+#include "lsh/hash_table.h"
+
+#include <algorithm>
+
+namespace slide {
+
+HashTable::HashTable(const Config& config) : config_(config) {
+  SLIDE_CHECK(config_.range_pow >= 1 && config_.range_pow <= 28,
+              "HashTable: range_pow must be in [1, 28]");
+  SLIDE_CHECK(config_.bucket_size >= 1,
+              "HashTable: bucket_size must be >= 1");
+  const std::size_t buckets = std::size_t{1} << config_.range_pow;
+  shift_ = 32u - static_cast<unsigned>(config_.range_pow);
+  ids_.resize(buckets * static_cast<std::size_t>(config_.bucket_size));
+  counts_ = std::vector<std::atomic<std::uint32_t>>(buckets);
+}
+
+HashTable::HashTable(HashTable&& other) noexcept
+    : config_(other.config_),
+      shift_(other.shift_),
+      ids_(std::move(other.ids_)) {
+  counts_ = std::vector<std::atomic<std::uint32_t>>(other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void HashTable::insert(std::uint32_t key, Index id, Rng& rng) {
+  const std::uint32_t b = bucket_of(key);
+  const auto cap = static_cast<std::uint32_t>(config_.bucket_size);
+  Index* slots = ids_.data() + static_cast<std::size_t>(b) * cap;
+  // fetch_add gives each insert a unique sequence number within the bucket,
+  // which is exactly what both policies need.
+  const std::uint32_t n =
+      counts_[b].fetch_add(1, std::memory_order_relaxed);
+  if (n < cap) {
+    slots[n] = id;
+    return;
+  }
+  switch (config_.policy) {
+    case InsertionPolicy::kReservoir: {
+      // Vitter: the (n+1)-th item replaces a uniform slot with probability
+      // cap/(n+1); every item ends up retained with equal probability.
+      const std::uint32_t j = rng.uniform(n + 1);
+      if (j < cap) slots[j] = id;
+      break;
+    }
+    case InsertionPolicy::kFifo:
+      slots[n % cap] = id;
+      break;
+  }
+}
+
+std::span<const Index> HashTable::bucket(std::uint32_t key) const {
+  const std::uint32_t b = bucket_of(key);
+  const auto cap = static_cast<std::uint32_t>(config_.bucket_size);
+  const std::uint32_t n =
+      std::min(counts_[b].load(std::memory_order_relaxed), cap);
+  return {ids_.data() + static_cast<std::size_t>(b) * cap, n};
+}
+
+void HashTable::clear() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+std::size_t HashTable::total_stored() const {
+  std::size_t total = 0;
+  const auto cap = static_cast<std::uint32_t>(config_.bucket_size);
+  for (const auto& c : counts_)
+    total += std::min(c.load(std::memory_order_relaxed), cap);
+  return total;
+}
+
+std::size_t HashTable::occupied_buckets() const {
+  std::size_t occupied = 0;
+  for (const auto& c : counts_)
+    occupied += c.load(std::memory_order_relaxed) > 0 ? 1 : 0;
+  return occupied;
+}
+
+}  // namespace slide

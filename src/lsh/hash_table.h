@@ -1,0 +1,84 @@
+// A single LSH hash table with fixed-capacity buckets.
+//
+// Buckets store neuron ids only (paper §2: "We only store pointers ...
+// storing whole data vectors is very memory inefficient"). Every bucket is
+// limited to a fixed size, which caps memory and balances thread load
+// during parallel aggregation (paper §3.2). When a bucket is full, one of
+// two replacement policies applies (paper §4.2, Table 3):
+//   * Reservoir — Vitter's reservoir sampling; keeps every inserted item
+//     with equal probability, preserving the adaptive-sampling property.
+//   * FIFO — ring overwrite of the oldest entry; cheaper bookkeeping.
+//
+// Inserts may run concurrently from many threads (rebuilds are parallel
+// over neurons). The bucket counters are atomic; slot writes are
+// intentionally unsynchronized in the HOGWILD spirit — a lost update
+// replaces one sampled id with another equally-valid one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sys/common.h"
+#include "sys/rng.h"
+
+namespace slide {
+
+enum class InsertionPolicy { kReservoir, kFifo };
+
+class HashTable {
+ public:
+  struct Config {
+    /// Number of buckets = 2^range_pow.
+    int range_pow = 15;
+    /// Fixed bucket capacity (the paper's reference implementation uses 128).
+    int bucket_size = 128;
+    InsertionPolicy policy = InsertionPolicy::kReservoir;
+  };
+
+  explicit HashTable(const Config& config);
+
+  // Movable so std::vector<HashTable> can be built; not thread-safe to move
+  // while in use.
+  HashTable(HashTable&&) noexcept;
+  HashTable& operator=(HashTable&&) = delete;
+  HashTable(const HashTable&) = delete;
+
+  /// Inserts id into the bucket addressed by the fingerprint key.
+  void insert(std::uint32_t key, Index id, Rng& rng);
+
+  /// Returns the ids currently stored in the bucket for `key`.
+  std::span<const Index> bucket(std::uint32_t key) const;
+
+  /// Removes all entries (O(num_buckets)).
+  void clear();
+
+  std::size_t num_buckets() const noexcept { return counts_.size(); }
+  int bucket_size() const noexcept { return config_.bucket_size; }
+  InsertionPolicy policy() const noexcept { return config_.policy; }
+
+  /// Number of ids currently stored across all buckets.
+  std::size_t total_stored() const;
+  /// Number of non-empty buckets.
+  std::size_t occupied_buckets() const;
+
+  std::size_t memory_bytes() const noexcept {
+    return ids_.size() * sizeof(Index) +
+           counts_.size() * sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  std::uint32_t bucket_of(std::uint32_t key) const noexcept {
+    // Fibonacci multiplicative mixing of the (already mixed) fingerprint;
+    // top bits select the bucket.
+    return (key * 2654435761u) >> shift_;
+  }
+
+  Config config_;
+  unsigned shift_;
+  std::vector<Index> ids_;  // num_buckets × bucket_size, row-major
+  std::vector<std::atomic<std::uint32_t>> counts_;  // inserts seen per bucket
+};
+
+}  // namespace slide

@@ -1,0 +1,51 @@
+#include "lsh/mips.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+
+namespace slide {
+
+MipsTransform::MipsTransform(const Config& config)
+    : dim_(config.dim), m_(config.m), u_(config.u) {
+  SLIDE_CHECK(dim_ > 0, "MipsTransform: dim must be positive");
+  SLIDE_CHECK(m_ >= 1 && m_ <= 16, "MipsTransform: m must be in [1, 16]");
+  SLIDE_CHECK(u_ > 0.0f && u_ < 1.0f, "MipsTransform: U must be in (0, 1)");
+}
+
+void MipsTransform::fit(const float* rows, std::size_t row_stride,
+                        Index count) {
+  float max_sq = 0.0f;
+  for (Index i = 0; i < count; ++i) {
+    const float* row = rows + static_cast<std::size_t>(i) * row_stride;
+    max_sq = std::max(max_sq, simd::dot(row, row, dim_));
+  }
+  set_max_norm(std::sqrt(max_sq));
+}
+
+void MipsTransform::set_max_norm(float max_norm) {
+  SLIDE_CHECK(max_norm > 0.0f, "MipsTransform: max_norm must be positive");
+  max_norm_ = max_norm;
+}
+
+void MipsTransform::transform_data(const float* x, float* out) const {
+  const float scale = u_ / max_norm_;
+  for (Index d = 0; d < dim_; ++d) out[d] = scale * x[d];
+  // Augmentation: 1/2 - ||Sx||^(2^i). The squared norm is < u^2 < 1, so the
+  // powers decay geometrically toward 1/2 - 0.
+  float norm_pow = simd::dot(out, out, dim_);  // ||Sx||^2
+  for (int i = 0; i < m_; ++i) {
+    out[dim_ + static_cast<Index>(i)] = 0.5f - norm_pow;
+    norm_pow *= norm_pow;  // ^2 -> ^4 -> ^8 ...
+  }
+}
+
+void MipsTransform::transform_query(const float* q, float* out) const {
+  const float norm = std::sqrt(simd::dot(q, q, dim_));
+  const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
+  for (Index d = 0; d < dim_; ++d) out[d] = inv * q[d];
+  for (int i = 0; i < m_; ++i) out[dim_ + static_cast<Index>(i)] = 0.0f;
+}
+
+}  // namespace slide

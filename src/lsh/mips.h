@@ -1,0 +1,64 @@
+// Asymmetric LSH transform for Maximum Inner Product Search (paper §2.1.1,
+// following Shrivastava & Li 2014/2015, "Sign-ALSH").
+//
+// Simhash collides by *cosine*, but neuron selection wants large *inner
+// products* w·x (activation magnitude). The asymmetric trick turns MIPS
+// into cosine search: scale every data vector so its norm is at most U < 1,
+// then append m augmentation terms
+//     P(x) = [ Sx;  1/2 - ||Sx||^2;  1/2 - ||Sx||^4; ... ]
+//     Q(q) = [ q/||q||;  0;  0; ... ]
+// so that cos(Q(q), P(x)) is monotonically increasing in q·x (the norm
+// information moves into the augmented coordinates and the query side
+// ignores it). A Simhash family over the augmented space then samples
+// neurons with probability increasing in the activation — the MIPS sampling
+// view the paper builds on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sys/common.h"
+
+namespace slide {
+
+class MipsTransform {
+ public:
+  struct Config {
+    Index dim = 0;
+    /// Number of augmentation terms m (2-3 suffice in practice).
+    int m = 3;
+    /// Norm bound U after scaling (Shrivastava & Li recommend ~0.75-0.83).
+    float u = 0.75f;
+  };
+
+  explicit MipsTransform(const Config& config);
+
+  Index input_dim() const noexcept { return dim_; }
+  Index augmented_dim() const noexcept {
+    return dim_ + static_cast<Index>(m_);
+  }
+
+  /// Sets the data scale from the largest row norm of a collection
+  /// ([rows, rows + count*row_stride), row i at rows + i*row_stride).
+  void fit(const float* rows, std::size_t row_stride, Index count);
+
+  /// Sets the scale directly (max data norm M; vectors are multiplied by
+  /// u/M so every scaled norm is <= u).
+  void set_max_norm(float max_norm);
+  float max_norm() const noexcept { return max_norm_; }
+
+  /// Data-side transform P(x) into out[0 .. augmented_dim).
+  void transform_data(const float* x, float* out) const;
+
+  /// Query-side transform Q(q) into out[0 .. augmented_dim): normalized
+  /// query, zero-padded augmentation.
+  void transform_query(const float* q, float* out) const;
+
+ private:
+  Index dim_;
+  int m_;
+  float u_;
+  float max_norm_ = 1.0f;
+};
+
+}  // namespace slide

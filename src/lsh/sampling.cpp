@@ -1,0 +1,124 @@
+#include "lsh/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace slide {
+
+const char* to_string(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kVanilla:
+      return "vanilla";
+    case SamplingStrategy::kTopK:
+      return "topk";
+    case SamplingStrategy::kHardThreshold:
+      return "hard-threshold";
+  }
+  return "?";
+}
+
+VisitedSet::VisitedSet(Index max_ids)
+    : stamp_(max_ids, 0), freq_(max_ids, 0) {}
+
+void VisitedSet::begin_epoch() {
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped after 2^32 epochs: reset stamps once
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+namespace {
+
+/// Vanilla sampling: random table order, stop at target (paper §4.1 —
+/// O(β) time, the strategy used in the main experiments).
+void vanilla(const SamplingConfig& cfg,
+             std::span<const std::span<const Index>> buckets, VisitedSet& v,
+             Rng& rng, std::vector<Index>& out) {
+  const std::size_t num_tables = buckets.size();
+  thread_local std::vector<std::uint32_t> order;
+  order.resize(num_tables);
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (std::size_t i = 0; i < num_tables; ++i) {
+    // Incremental Fisher-Yates: draw the next random table lazily so early
+    // exit does the minimum shuffling work.
+    const std::size_t j =
+        i + rng.uniform(static_cast<std::uint32_t>(num_tables - i));
+    std::swap(order[i], order[j]);
+    for (Index id : buckets[order[i]]) {
+      if (!v.insert(id)) continue;
+      out.push_back(id);
+      if (out.size() >= cfg.target) return;
+    }
+  }
+}
+
+/// Shared frequency aggregation for TopK / HardThreshold: all buckets are
+/// scanned, unique ids land in `candidates` with their occurrence counts.
+void aggregate(std::span<const std::span<const Index>> buckets, VisitedSet& v,
+               std::vector<Index>& candidates) {
+  for (const auto& bucket : buckets) {
+    for (Index id : bucket) {
+      if (v.insert(id)) candidates.push_back(id);
+      v.bump(id);
+    }
+  }
+}
+
+void topk(const SamplingConfig& cfg,
+          std::span<const std::span<const Index>> buckets, VisitedSet& v,
+          std::vector<Index>& out) {
+  thread_local std::vector<Index> candidates;
+  candidates.clear();
+  aggregate(buckets, v, candidates);
+  if (candidates.size() > cfg.target) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(cfg.target),
+                     candidates.end(), [&](Index a, Index b) {
+                       return v.count(a) > v.count(b);
+                     });
+    candidates.resize(cfg.target);
+  }
+  // The paper's TopK sorts survivors by frequency — that sort is what makes
+  // it O(n log n) in Figure 4, so keep it for behavioural parity.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](Index a, Index b) { return v.count(a) > v.count(b); });
+  out.insert(out.end(), candidates.begin(), candidates.end());
+}
+
+void hard_threshold(const SamplingConfig& cfg,
+                    std::span<const std::span<const Index>> buckets,
+                    VisitedSet& v, std::vector<Index>& out) {
+  thread_local std::vector<Index> candidates;
+  candidates.clear();
+  aggregate(buckets, v, candidates);
+  const auto m = static_cast<std::uint16_t>(std::max(1, cfg.hard_threshold_m));
+  for (Index id : candidates) {
+    if (v.count(id) >= m) out.push_back(id);
+  }
+}
+
+}  // namespace
+
+void sample_neurons(const SamplingConfig& config,
+                    std::span<const std::span<const Index>> buckets,
+                    VisitedSet& visited, Rng& rng, std::vector<Index>& out,
+                    bool fresh_epoch) {
+  out.clear();
+  if (buckets.empty()) return;
+  if (fresh_epoch) visited.begin_epoch();
+  switch (config.strategy) {
+    case SamplingStrategy::kVanilla:
+      vanilla(config, buckets, visited, rng, out);
+      break;
+    case SamplingStrategy::kTopK:
+      topk(config, buckets, visited, out);
+      break;
+    case SamplingStrategy::kHardThreshold:
+      hard_threshold(config, buckets, visited, out);
+      break;
+  }
+}
+
+}  // namespace slide

@@ -1,0 +1,84 @@
+// Simhash: signed sparse random projections for cosine similarity
+// (paper §3.2 and appendix A).
+//
+// Each of the K*L projections is a random vector with entries in
+// {+1, 0, -1}; following the paper we keep 1/3 of the coordinates nonzero
+// and store only their indices and signs, so one code costs dim/3 additions
+// (no multiplications). The code is the sign bit of the projection; K sign
+// bits are mixed into one fingerprint per table.
+//
+// The class additionally exposes the raw projection values and an inverted
+// dim→projections index to support the paper's §4.2 optimization #3:
+// memoize w·proj per neuron and, after a sparse gradient update that touches
+// d' << d coordinates, recompute codes with O(d') additions instead of O(d).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/hash_function.h"
+#include "sys/rng.h"
+
+namespace slide {
+
+class Simhash final : public HashFamily {
+ public:
+  struct Config {
+    int k = 9;
+    int l = 50;
+    Index dim = 0;
+    /// Fraction of nonzero coordinates per projection (paper uses 1/3).
+    double density = 1.0 / 3.0;
+    std::uint64_t seed = 11;
+  };
+
+  explicit Simhash(const Config& config);
+
+  int k() const noexcept override { return k_; }
+  int l() const noexcept override { return l_; }
+  Index dim() const noexcept override { return dim_; }
+  std::string name() const override { return "simhash"; }
+
+  void hash_dense(const float* x,
+                  std::span<std::uint32_t> keys) const override;
+  void hash_sparse(const Index* idx, const float* val, std::size_t nnz,
+                   std::span<std::uint32_t> keys) const override;
+
+  // --- Incremental-rehash support (paper §4.2, optimization 3) -----------
+
+  int num_projections() const noexcept { return k_ * l_; }
+
+  /// Fills dots[p] = <x, projection_p> for all K*L projections.
+  void project_dense(const float* x, float* dots) const;
+
+  /// Converts memoized projection values into the L fingerprint keys.
+  void keys_from_projections(const float* dots,
+                             std::span<std::uint32_t> keys) const;
+
+  /// Applies a delta update: dots += delta * column(dim) — i.e. the change
+  /// in every projection value when coordinate `dim` of x changes by
+  /// `delta`. O(#projections containing dim) = O(K*L*density) expected.
+  void update_projections(Index dim, float delta, float* dots) const;
+
+  /// Entries of projection p: parallel spans of coordinate indices/signs.
+  std::span<const Index> projection_indices(int p) const;
+  std::span<const float> projection_signs(int p) const;
+
+ private:
+  int k_;
+  int l_;
+  Index dim_;
+
+  // CSR-like storage of the K*L sparse sign projections.
+  std::vector<std::size_t> proj_offsets_;  // size k*l + 1
+  std::vector<Index> proj_indices_;
+  std::vector<float> proj_signs_;  // +1 / -1
+
+  // Inverted index: for each coordinate, which projections contain it and
+  // with what sign. Used by update_projections.
+  std::vector<std::size_t> inv_offsets_;  // size dim + 1
+  std::vector<std::uint32_t> inv_proj_;
+  std::vector<float> inv_sign_;
+};
+
+}  // namespace slide

@@ -1,0 +1,71 @@
+#include "lsh/table_group.h"
+
+namespace slide {
+
+LshTableGroup::LshTableGroup(std::unique_ptr<HashFamily> family,
+                             const HashTable::Config& table_config,
+                             std::uint64_t seed)
+    : family_(std::move(family)), seed_(seed) {
+  SLIDE_CHECK(family_ != nullptr, "LshTableGroup: null hash family");
+  tables_.reserve(static_cast<std::size_t>(family_->l()));
+  for (int t = 0; t < family_->l(); ++t) tables_.emplace_back(table_config);
+}
+
+void LshTableGroup::insert(Index id, std::span<const std::uint32_t> keys,
+                           Rng& rng) {
+  SLIDE_ASSERT(keys.size() == tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t)
+    tables_[t].insert(keys[t], id, rng);
+}
+
+void LshTableGroup::insert_dense(Index id, const float* row, Rng& rng) {
+  thread_local std::vector<std::uint32_t> keys;
+  keys.resize(tables_.size());
+  family_->hash_dense(row, keys);
+  insert(id, keys, rng);
+}
+
+void LshTableGroup::buckets(std::span<const std::uint32_t> keys,
+                            std::vector<std::span<const Index>>& out) const {
+  SLIDE_ASSERT(keys.size() == tables_.size());
+  out.resize(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t)
+    out[t] = tables_[t].bucket(keys[t]);
+}
+
+void LshTableGroup::build_from_rows(const float* rows, std::size_t row_stride,
+                                    Index count, ThreadPool* pool) {
+  clear();
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // One RNG per thread keeps reservoir decisions uncorrelated without
+    // synchronization ("easily parallelized with multiple threads over
+    // different neurons", paper §3.1).
+    std::vector<Rng> rngs;
+    rngs.reserve(static_cast<std::size_t>(pool->num_threads()));
+    Rng seeder(seed_);
+    for (int t = 0; t < pool->num_threads(); ++t) rngs.push_back(seeder.fork());
+    pool->parallel_range(
+        count, [&](std::size_t begin, std::size_t end, int tid) {
+          Rng& rng = rngs[static_cast<std::size_t>(tid)];
+          for (std::size_t i = begin; i < end; ++i) {
+            insert_dense(static_cast<Index>(i), rows + i * row_stride, rng);
+          }
+        });
+  } else {
+    Rng rng(seed_);
+    for (Index i = 0; i < count; ++i)
+      insert_dense(i, rows + static_cast<std::size_t>(i) * row_stride, rng);
+  }
+}
+
+void LshTableGroup::clear() {
+  for (auto& table : tables_) table.clear();
+}
+
+std::size_t LshTableGroup::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& table : tables_) total += table.memory_bytes();
+  return total;
+}
+
+}  // namespace slide

@@ -1,0 +1,65 @@
+// The (K, L) LSH structure of one layer: a hash family plus L hash tables
+// (paper §2, Figure 1). Supports parallel (re)builds over neuron weight
+// rows and per-query bucket retrieval for the sampling strategies.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lsh/hash_function.h"
+#include "lsh/hash_table.h"
+#include "sys/thread_pool.h"
+
+namespace slide {
+
+class LshTableGroup {
+ public:
+  /// Takes ownership of the hash family. The group creates family->l()
+  /// tables with the given per-table configuration.
+  LshTableGroup(std::unique_ptr<HashFamily> family,
+                const HashTable::Config& table_config,
+                std::uint64_t seed = 23);
+
+  int k() const noexcept { return family_->k(); }
+  int l() const noexcept { return family_->l(); }
+  const HashFamily& family() const noexcept { return *family_; }
+
+  /// Computes the L fingerprint keys of a dense query of family().dim().
+  void query_keys_dense(const float* x, std::span<std::uint32_t> keys) const {
+    family_->hash_dense(x, keys);
+  }
+  void query_keys_sparse(const Index* idx, const float* val, std::size_t nnz,
+                         std::span<std::uint32_t> keys) const {
+    family_->hash_sparse(idx, val, nnz, keys);
+  }
+
+  /// Inserts id into table t's bucket for keys[t], for all t. Safe to call
+  /// concurrently from many threads (each with its own Rng).
+  void insert(Index id, std::span<const std::uint32_t> keys, Rng& rng);
+
+  /// Hash-and-insert for a dense vector (e.g. a neuron weight row).
+  void insert_dense(Index id, const float* row, Rng& rng);
+
+  /// Fills out[t] with the bucket of table t for keys[t].
+  void buckets(std::span<const std::uint32_t> keys,
+               std::vector<std::span<const Index>>& out) const;
+
+  /// Clears all tables and re-inserts ids [0, count) with vector i at
+  /// rows + i*row_stride, parallelized over ids when a pool is given.
+  /// This is the layer (re)build of paper §3.1 / §4.2.
+  void build_from_rows(const float* rows, std::size_t row_stride, Index count,
+                       ThreadPool* pool = nullptr);
+
+  void clear();
+
+  std::size_t memory_bytes() const;
+  const HashTable& table(int t) const { return tables_[static_cast<std::size_t>(t)]; }
+
+ private:
+  std::unique_ptr<HashFamily> family_;
+  std::vector<HashTable> tables_;
+  std::uint64_t seed_;
+};
+
+}  // namespace slide

@@ -1,0 +1,81 @@
+#include "lsh/wta.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace slide {
+
+WtaHash::WtaHash(const Config& config)
+    : k_(config.k),
+      l_(config.l),
+      dim_(config.dim),
+      bin_size_(config.bin_size) {
+  SLIDE_CHECK(k_ >= 1 && l_ >= 1, "WtaHash: K and L must be >= 1");
+  SLIDE_CHECK(bin_size_ >= 2, "WtaHash: bin_size must be >= 2");
+  SLIDE_CHECK(dim_ >= static_cast<Index>(bin_size_),
+              "WtaHash: dim must be >= bin_size");
+
+  bins_per_perm_ = static_cast<int>(dim_) / bin_size_;
+  const int total_codes = k_ * l_;
+  num_perms_ = (total_codes + bins_per_perm_ - 1) / bins_per_perm_;
+
+  Rng rng(config.seed);
+  perm_.resize(static_cast<std::size_t>(num_perms_) * dim_);
+  for (int p = 0; p < num_perms_; ++p) {
+    Index* perm = perm_.data() + static_cast<std::size_t>(p) * dim_;
+    std::iota(perm, perm + dim_, Index{0});
+    std::shuffle(perm, perm + dim_, rng);
+  }
+}
+
+void WtaHash::codes_dense(const float* x, std::uint32_t* codes) const {
+  const int total_codes = k_ * l_;
+  for (int c = 0; c < total_codes; ++c) {
+    const int p = c / bins_per_perm_;
+    const int b = c % bins_per_perm_;
+    const Index* perm =
+        perm_.data() + static_cast<std::size_t>(p) * dim_ +
+        static_cast<std::size_t>(b) * bin_size_;
+    std::uint32_t best_offset = 0;
+    float best_val = x[perm[0]];
+    for (int q = 1; q < bin_size_; ++q) {
+      const float v = x[perm[q]];
+      if (v > best_val) {
+        best_val = v;
+        best_offset = static_cast<std::uint32_t>(q);
+      }
+    }
+    codes[c] = best_offset;
+  }
+}
+
+void WtaHash::keys_from_codes(const std::uint32_t* codes,
+                              std::span<std::uint32_t> keys) const {
+  SLIDE_ASSERT(static_cast<int>(keys.size()) == l_);
+  int c = 0;
+  for (int t = 0; t < l_; ++t) {
+    detail::FingerprintMixer mixer;
+    for (int j = 0; j < k_; ++j, ++c) mixer.add(codes[c]);
+    keys[t] = mixer.value();
+  }
+}
+
+void WtaHash::hash_dense(const float* x, std::span<std::uint32_t> keys) const {
+  thread_local std::vector<std::uint32_t> codes;
+  codes.resize(static_cast<std::size_t>(k_) * l_);
+  codes_dense(x, codes.data());
+  keys_from_codes(codes.data(), keys);
+}
+
+void WtaHash::hash_sparse(const Index* idx, const float* val, std::size_t nnz,
+                          std::span<std::uint32_t> keys) const {
+  thread_local std::vector<float> dense;
+  dense.assign(dim_, 0.0f);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    SLIDE_ASSERT(idx[i] < dim_);
+    dense[idx[i]] = val[i];
+  }
+  hash_dense(dense.data(), keys);
+}
+
+}  // namespace slide

@@ -1,0 +1,67 @@
+// Winner-Takes-All hashing (Yagnik et al. 2011) with the paper's memory
+// optimization (appendix A): instead of K*L full permutations, generate
+// ceil(K*L / (d/m)) permutations and split each into d/m bins of size m;
+// every bin yields one code — the within-bin offset of the maximum element.
+// Total permutation storage is O(K*L*m) instead of O(K*L*d).
+//
+// WTA preserves rank ("comparative reasoning") similarity. For very sparse
+// inputs its codes are dominated by ties among zeros — the failure mode that
+// motivates DWTA (see dwta.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/hash_function.h"
+#include "sys/rng.h"
+
+namespace slide {
+
+class WtaHash final : public HashFamily {
+ public:
+  struct Config {
+    int k = 6;
+    int l = 50;
+    Index dim = 0;
+    /// Bin size m (paper's adjustable hyper-parameter, m << d).
+    int bin_size = 8;
+    std::uint64_t seed = 13;
+  };
+
+  explicit WtaHash(const Config& config);
+
+  int k() const noexcept override { return k_; }
+  int l() const noexcept override { return l_; }
+  Index dim() const noexcept override { return dim_; }
+  std::string name() const override { return "wta"; }
+
+  void hash_dense(const float* x,
+                  std::span<std::uint32_t> keys) const override;
+  /// Densifies into thread-local scratch: classic WTA is not meaningful
+  /// natively on sparse inputs (that is DWTA's job).
+  void hash_sparse(const Index* idx, const float* val, std::size_t nnz,
+                   std::span<std::uint32_t> keys) const override;
+
+  int bin_size() const noexcept { return bin_size_; }
+  int num_permutations() const noexcept { return num_perms_; }
+
+  /// Raw codes (one per K*L bins), exposed for tests.
+  void codes_dense(const float* x, std::uint32_t* codes) const;
+
+ private:
+  void keys_from_codes(const std::uint32_t* codes,
+                       std::span<std::uint32_t> keys) const;
+
+  int k_;
+  int l_;
+  Index dim_;
+  int bin_size_;
+  int bins_per_perm_;
+  int num_perms_;
+  // perm_[p * dim_ + q] = the coordinate at position q of permutation p.
+  std::vector<Index> perm_;
+
+  friend class DwtaHash;
+};
+
+}  // namespace slide

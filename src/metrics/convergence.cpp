@@ -1,0 +1,83 @@
+#include "metrics/convergence.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace slide {
+
+double ConvergenceRecorder::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.accuracy);
+  return best;
+}
+
+double ConvergenceRecorder::seconds_to_accuracy(double target) const {
+  for (const auto& p : points_) {
+    if (p.accuracy >= target) return p.seconds;
+  }
+  return -1.0;
+}
+
+long ConvergenceRecorder::iterations_to_accuracy(double target) const {
+  for (const auto& p : points_) {
+    if (p.accuracy >= target) return p.iteration;
+  }
+  return -1;
+}
+
+std::string ConvergenceRecorder::to_markdown() const {
+  std::ostringstream os;
+  os << "| iteration | seconds | accuracy (P@1) | active fraction |\n";
+  os << "|---:|---:|---:|---:|\n";
+  os << std::fixed;
+  for (const auto& p : points_) {
+    os << "| " << p.iteration << " | " << std::setprecision(2) << p.seconds
+       << " | " << std::setprecision(4) << p.accuracy << " | "
+       << std::setprecision(4) << p.active_fraction << " |\n";
+  }
+  return os.str();
+}
+
+std::string ConvergenceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "series,iteration,seconds,accuracy,active_fraction\n";
+  os << std::fixed << std::setprecision(6);
+  for (const auto& p : points_) {
+    os << name_ << ',' << p.iteration << ',' << p.seconds << ','
+       << p.accuracy << ',' << p.active_fraction << '\n';
+  }
+  return os.str();
+}
+
+std::string merge_to_markdown(
+    const std::vector<const ConvergenceRecorder*>& recorders) {
+  std::ostringstream os;
+  os << "|";
+  for (const auto* r : recorders)
+    os << " " << r->name() << " iter | " << r->name() << " sec | "
+       << r->name() << " P@1 |";
+  os << "\n|";
+  for (std::size_t i = 0; i < recorders.size(); ++i) os << "---:|---:|---:|";
+  os << "\n";
+  std::size_t rows = 0;
+  for (const auto* r : recorders) rows = std::max(rows, r->points().size());
+  os << std::fixed;
+  for (std::size_t row = 0; row < rows; ++row) {
+    os << "|";
+    for (const auto* r : recorders) {
+      if (row < r->points().size()) {
+        const auto& p = r->points()[row];
+        os << " " << p.iteration << " | " << std::setprecision(2)
+           << p.seconds << " | " << std::setprecision(4) << p.accuracy
+           << " |";
+      } else {
+        os << " | | |";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace slide

@@ -1,0 +1,54 @@
+// Convergence recording: (iteration, wall-seconds, accuracy) series — the
+// raw material of the paper's time-vs-accuracy and iteration-vs-accuracy
+// plots (Figures 5, 7, 8) and of the convergence-time scalability sweeps
+// (Figures 9, 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace slide {
+
+struct ConvergencePoint {
+  long iteration = 0;
+  double seconds = 0.0;   // training wall time, excluding evaluation
+  double accuracy = 0.0;  // P@1
+  double active_fraction = 0.0;  // output-layer active share (SLIDE only)
+};
+
+class ConvergenceRecorder {
+ public:
+  explicit ConvergenceRecorder(std::string name = "") : name_(std::move(name)) {}
+
+  void add(const ConvergencePoint& point) { points_.push_back(point); }
+  const std::vector<ConvergencePoint>& points() const noexcept {
+    return points_;
+  }
+  const std::string& name() const noexcept { return name_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  double best_accuracy() const;
+
+  /// Wall seconds of the first recorded point with accuracy >= target;
+  /// negative if never reached.
+  double seconds_to_accuracy(double target) const;
+  /// Iteration count of the first point with accuracy >= target; -1 if
+  /// never reached.
+  long iterations_to_accuracy(double target) const;
+
+  /// One-series markdown table: | iteration | seconds | accuracy |.
+  std::string to_markdown() const;
+  /// CSV with a `series` column so several recorders can be concatenated.
+  std::string to_csv() const;
+
+ private:
+  std::string name_;
+  std::vector<ConvergencePoint> points_;
+};
+
+/// Joint markdown table of several series aligned by row index (the shape
+/// in which the benches print a figure's multiple curves).
+std::string merge_to_markdown(const std::vector<const ConvergenceRecorder*>&
+                                  recorders);
+
+}  // namespace slide

@@ -1,0 +1,41 @@
+// Accuracy evaluation. The paper's "accuracy" for these multi-label extreme
+// classification tasks is precision@1: the fraction of test samples whose
+// top-1 predicted class is among the true labels.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/dense_network.h"
+#include "core/network.h"
+#include "data/dataset.h"
+#include "sys/thread_pool.h"
+
+namespace slide {
+
+struct EvalOptions {
+  /// Score every output neuron instead of LSH-sampled inference.
+  bool exact = false;
+  /// Cap on evaluated samples (0 = all); the paper-scale test sets are large
+  /// and a few thousand samples give a stable estimate.
+  std::size_t max_samples = 0;
+  std::uint64_t seed = 7'001;
+};
+
+/// P@1 of the SLIDE network on a dataset, parallelized over samples.
+double evaluate_p_at_1(const Network& network, const Dataset& data,
+                       ThreadPool& pool, const EvalOptions& options = {});
+
+/// P@1 of the dense baseline (always exact — it has no sampled mode).
+double evaluate_p_at_1(const DenseNetwork& network, const Dataset& data,
+                       ThreadPool& pool, const EvalOptions& options = {});
+
+/// Precision@k (the standard XC metric family): mean over samples of
+/// |top-k predictions ∩ true labels| / k.
+double evaluate_p_at_k(const Network& network, const Dataset& data,
+                       ThreadPool& pool, int k,
+                       const EvalOptions& options = {});
+double evaluate_p_at_k(const DenseNetwork& network, const Dataset& data,
+                       ThreadPool& pool, int k,
+                       const EvalOptions& options = {});
+
+}  // namespace slide

@@ -1,0 +1,31 @@
+// Small markdown-table builder shared by the bench harness so every
+// reproduced table/figure prints in one consistent format.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slide {
+
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::string str() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers for table cells.
+std::string fmt(double value, int precision = 3);
+std::string fmt_pct(double fraction, int precision = 1);
+std::string fmt_int(long long value);
+
+}  // namespace slide

@@ -1,0 +1,49 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "simd/kernels.h"
+
+namespace slide {
+
+Adam::Adam(const AdamConfig& config, std::size_t num_params)
+    : config_(config), m_(num_params), v_(num_params) {
+  // HugeArray zero-initializes (fresh kernel pages), so moments start at 0.
+}
+
+void Adam::step_begin() {
+  ++t_;
+  bias1_ = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  bias2_ = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+}
+
+void Adam::update_span(float* w, const float* g, std::size_t offset,
+                       std::size_t n, float lr) {
+  SLIDE_ASSERT(offset + n <= m_.size());
+  simd::adam_step(w, m_.data() + offset, v_.data() + offset, g, n, lr,
+                  config_.beta1, config_.beta2, config_.epsilon, bias1_,
+                  bias2_);
+}
+
+void Adam::update_at(float* w, float g, std::size_t offset, float lr) {
+  SLIDE_ASSERT(offset < m_.size());
+  float& m = m_.data()[offset];
+  float& v = v_.data()[offset];
+  m = config_.beta1 * m + (1.0f - config_.beta1) * g;
+  v = config_.beta2 * v + (1.0f - config_.beta2) * g * g;
+  const float mhat = m / bias1_;
+  const float vhat = v / bias2_;
+  *w -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+}
+
+void Adam::reset() {
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_.data()[i] = 0.0f;
+    v_.data()[i] = 0.0f;
+  }
+  t_ = 0;
+  bias1_ = 1.0f;
+  bias2_ = 1.0f;
+}
+
+}  // namespace slide

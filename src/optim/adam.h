@@ -1,0 +1,62 @@
+// Adam optimizer state (Kingma & Ba 2014) — the optimizer used by all
+// trainers in the paper's experiments.
+//
+// The state owns the first/second moment arrays for a fixed parameter count
+// and supports both dense whole-array steps (baselines) and *lazy* sparse
+// steps over arbitrary sub-spans (SLIDE): moments of untouched weights are
+// left to decay only when next touched, matching the s² sparse-update cost
+// model of paper §3.1. Bias correction uses the global step count.
+//
+// Thread-safety: update_span / update_at on disjoint parameter ranges may
+// run concurrently; step_begin() must be externally ordered (the trainer
+// calls it once per batch before fanning out).
+#pragma once
+
+#include <cstddef>
+
+#include "sys/hugepages.h"
+
+namespace slide {
+
+struct AdamConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+class Adam {
+ public:
+  Adam() = default;
+  Adam(const AdamConfig& config, std::size_t num_params);
+
+  std::size_t num_params() const noexcept { return m_.size(); }
+  long step() const noexcept { return t_; }
+
+  /// Advances the step counter and refreshes the bias corrections. Call
+  /// once per optimizer step before any update_* call of that step.
+  void step_begin();
+
+  /// Dense/lazy step over params [offset, offset+n): reads grads g[0..n),
+  /// updates moments in place and applies the step to w[0..n).
+  void update_span(float* w, const float* g, std::size_t offset,
+                   std::size_t n, float lr);
+
+  /// Single-parameter lazy step (scattered updates, e.g. embedding columns
+  /// under a row-major layout).
+  void update_at(float* w, float g, std::size_t offset, float lr);
+
+  /// Clears moments and the step counter.
+  void reset();
+
+  const AdamConfig& config() const noexcept { return config_; }
+
+ private:
+  AdamConfig config_;
+  HugeArray m_;
+  HugeArray v_;
+  long t_ = 0;
+  float bias1_ = 1.0f;  // 1 - beta1^t
+  float bias2_ = 1.0f;  // 1 - beta2^t
+};
+
+}  // namespace slide

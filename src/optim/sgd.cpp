@@ -1,0 +1,31 @@
+#include "optim/sgd.h"
+
+#include "sys/common.h"
+
+namespace slide {
+
+Sgd::Sgd(const SgdConfig& config, std::size_t num_params)
+    : config_(config), velocity_(num_params) {}
+
+void Sgd::update_span(float* w, const float* g, std::size_t offset,
+                      std::size_t n, float lr) {
+  SLIDE_ASSERT(offset + n <= velocity_.size());
+  float* v = velocity_.data() + offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = config_.momentum * v[i] + g[i];
+    w[i] -= lr * v[i];
+  }
+}
+
+void Sgd::update_at(float* w, float g, std::size_t offset, float lr) {
+  SLIDE_ASSERT(offset < velocity_.size());
+  float& v = velocity_.data()[offset];
+  v = config_.momentum * v + g;
+  *w -= lr * v;
+}
+
+void Sgd::reset() {
+  for (std::size_t i = 0; i < velocity_.size(); ++i) velocity_.data()[i] = 0.0f;
+}
+
+}  // namespace slide

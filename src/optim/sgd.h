@@ -1,0 +1,40 @@
+// SGD with classical momentum. Not used in the paper's headline runs (all
+// use Adam) but provided for the optimizer ablation and as a simpler
+// reference in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "sys/hugepages.h"
+
+namespace slide {
+
+struct SgdConfig {
+  float momentum = 0.9f;
+};
+
+class Sgd {
+ public:
+  Sgd() = default;
+  Sgd(const SgdConfig& config, std::size_t num_params);
+
+  std::size_t num_params() const noexcept { return velocity_.size(); }
+
+  /// No-op (kept API-compatible with Adam so layers can template over the
+  /// optimizer if desired).
+  void step_begin() {}
+
+  /// v = momentum*v + g;  w -= lr*v  over [offset, offset+n).
+  void update_span(float* w, const float* g, std::size_t offset,
+                   std::size_t n, float lr);
+
+  void update_at(float* w, float g, std::size_t offset, float lr);
+
+  void reset();
+
+ private:
+  SgdConfig config_;
+  HugeArray velocity_;
+};
+
+}  // namespace slide

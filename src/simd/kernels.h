@@ -1,0 +1,85 @@
+// Vectorized math kernels with scalar reference implementations.
+//
+// The paper's appendix D attributes ~1.3x of SLIDE's final speedup to
+// platform micro-optimization: AVX SIMD for the dense inner loops
+// (activation dot products, weight updates) plus software prefetching.
+// This module provides those kernels behind a process-wide toggle so the
+// Figure-10 bench can A/B "plain SLIDE" (scalar) against "optimized SLIDE"
+// (AVX2/FMA). Every vector kernel has a scalar twin in simd::scalar used
+// both as the fallback and as the oracle in the test suite.
+//
+// All pointers may be unaligned; kernels handle the tail scalar-wise.
+#pragma once
+
+#include <cstddef>
+
+#include "sys/common.h"
+
+namespace slide::simd {
+
+/// True when the AVX2+FMA paths were compiled in (requires -march with AVX2).
+bool compiled_with_avx2() noexcept;
+
+/// Process-wide dispatch switch. When false, all kernels use the scalar
+/// path. Defaults to true. Used by bench/fig10_optimizations.
+void set_simd_enabled(bool enabled) noexcept;
+bool simd_enabled() noexcept;
+
+/// Dense dot product <a, b> over n floats.
+float dot(const float* a, const float* b, std::size_t n) noexcept;
+
+/// y[i] += alpha * x[i] for i in [0, n).
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept;
+
+/// x[i] *= alpha.
+void scale(float* x, float alpha, std::size_t n) noexcept;
+
+/// Sum of x[0..n).
+float sum(const float* x, std::size_t n) noexcept;
+
+/// Max of x[0..n); returns -inf for n == 0.
+float max(const float* x, std::size_t n) noexcept;
+
+/// x[i] = max(x[i], 0).
+void relu(float* x, std::size_t n) noexcept;
+
+/// Dot product of a sparse vector (idx/val pairs, nnz entries) with a dense
+/// vector. Indices must be < the dense vector's length.
+float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
+                 const float* dense) noexcept;
+
+/// dense[idx[i]] += alpha * val[i] — scatter-accumulate of a sparse vector.
+void sparse_axpy(float alpha, const Index* idx, const float* val,
+                 std::size_t nnz, float* dense) noexcept;
+
+/// Numerically-stable in-place softmax over x[0..n).
+void softmax_inplace(float* x, std::size_t n) noexcept;
+
+/// One Adam step over a contiguous span of n weights:
+///   m = beta1*m + (1-beta1)*g;  v = beta2*v + (1-beta2)*g^2
+///   w -= lr * (m/bias1) / (sqrt(v/bias2) + eps)
+/// bias1/bias2 are the bias-correction denominators (1 - beta^t).
+void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
+               float lr, float beta1, float beta2, float eps, float bias1,
+               float bias2) noexcept;
+
+/// Scalar reference implementations (always available; used as the oracle in
+/// tests and as the dispatch target when SIMD is disabled).
+namespace scalar {
+float dot(const float* a, const float* b, std::size_t n) noexcept;
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept;
+void scale(float* x, float alpha, std::size_t n) noexcept;
+float sum(const float* x, std::size_t n) noexcept;
+float max(const float* x, std::size_t n) noexcept;
+void relu(float* x, std::size_t n) noexcept;
+float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
+                 const float* dense) noexcept;
+void sparse_axpy(float alpha, const Index* idx, const float* val,
+                 std::size_t nnz, float* dense) noexcept;
+void softmax_inplace(float* x, std::size_t n) noexcept;
+void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
+               float lr, float beta1, float beta2, float eps, float bias1,
+               float bias2) noexcept;
+}  // namespace scalar
+
+}  // namespace slide::simd

@@ -1,0 +1,58 @@
+// Cache-line-aligned allocation.
+//
+// SLIDE's weight matrices and per-neuron batch arrays are allocated on
+// 64-byte boundaries so that (a) AVX2 loads are aligned and (b) per-thread
+// data does not straddle cache lines shared with another thread's data
+// (false-sharing mitigation, paper appendix D).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "sys/common.h"
+
+namespace slide {
+
+/// Minimal standard-conforming allocator returning storage aligned to
+/// `Alignment` bytes. Use through AlignedVector.
+template <typename T, std::size_t Alignment = kCacheLineSize>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// A std::vector whose storage starts on a cache-line boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace slide

@@ -1,0 +1,62 @@
+// Common foundation: error type, assertions, and small shared typedefs.
+//
+// Every other module in the library includes this header; keep it minimal
+// and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace slide {
+
+/// Exception thrown for configuration and I/O errors (anything a caller can
+/// plausibly recover from or report to the user). Programming errors use
+/// SLIDE_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr,
+                                     const std::source_location& loc) {
+  throw std::logic_error(std::string("SLIDE_ASSERT failed: ") + expr + " at " +
+                         loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+}  // namespace slide
+
+/// Invariant check. Active in debug builds; compiled out with NDEBUG so the
+/// release benchmarks measure the unchecked fast path.
+#ifndef NDEBUG
+#define SLIDE_ASSERT(expr)                                            \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::slide::detail::assert_fail(#expr,                             \
+                                   std::source_location::current());  \
+  } while (0)
+#else
+#define SLIDE_ASSERT(expr) ((void)0)
+#endif
+
+/// Check that is always active regardless of build type. Use for conditions
+/// on user-supplied configuration.
+#define SLIDE_CHECK(expr, msg)                         \
+  do {                                                 \
+    if (!(expr)) throw ::slide::Error(msg);            \
+  } while (0)
+
+namespace slide {
+
+/// Neuron / feature / label index. 32-bit: the paper's largest layer is
+/// 670K neurons and the largest feature space 782K dims, far below 2^32.
+using Index = std::uint32_t;
+
+/// Size of a CPU cache line; used to pad shared structures against false
+/// sharing (paper appendix D).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace slide

@@ -1,0 +1,88 @@
+#include "sys/hugepages.h"
+
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#define SLIDE_HAVE_MMAP 1
+#else
+#define SLIDE_HAVE_MMAP 0
+#endif
+
+namespace slide {
+
+namespace {
+std::atomic<bool> g_hugepages_enabled{true};
+constexpr std::size_t kHugePageSize = 2u << 20;  // 2 MB
+}  // namespace
+
+void set_hugepages_enabled(bool enabled) noexcept {
+  g_hugepages_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool hugepages_enabled() noexcept {
+  return g_hugepages_enabled.load(std::memory_order_relaxed);
+}
+
+bool hugepages_supported() noexcept {
+#if SLIDE_HAVE_MMAP && defined(MADV_HUGEPAGE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+HugeBuffer::HugeBuffer(std::size_t bytes) {
+  if (bytes == 0) return;
+  bytes_ = (bytes + kHugePageSize - 1) / kHugePageSize * kHugePageSize;
+#if SLIDE_HAVE_MMAP
+  void* p = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw Error("HugeBuffer: mmap failed");
+  data_ = p;
+#if defined(MADV_HUGEPAGE)
+  if (hugepages_enabled()) {
+    // Advisory only: the kernel may or may not promote the range. We record
+    // whether the advice was *accepted*, which is what the A/B benches toggle.
+    thp_ = ::madvise(data_, bytes_, MADV_HUGEPAGE) == 0;
+  } else {
+    // Explicitly opt this range out so an enabled system THP default does
+    // not silently back the "without hugepages" arm of the comparison.
+#if defined(MADV_NOHUGEPAGE)
+    ::madvise(data_, bytes_, MADV_NOHUGEPAGE);
+#endif
+  }
+#endif
+#else
+  data_ = std::calloc(bytes_, 1);
+  if (data_ == nullptr) throw Error("HugeBuffer: allocation failed");
+#endif
+}
+
+HugeBuffer::~HugeBuffer() {
+  if (data_ == nullptr) return;
+#if SLIDE_HAVE_MMAP
+  ::munmap(data_, bytes_);
+#else
+  std::free(data_);
+#endif
+}
+
+HugeBuffer::HugeBuffer(HugeBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      thp_(std::exchange(other.thp_, false)) {}
+
+HugeBuffer& HugeBuffer::operator=(HugeBuffer&& other) noexcept {
+  if (this != &other) {
+    this->~HugeBuffer();
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    thp_ = std::exchange(other.thp_, false);
+  }
+  return *this;
+}
+
+}  // namespace slide

@@ -1,0 +1,87 @@
+// Transparent-Huge-Page-backed allocation.
+//
+// SLIDE is a memory-bound workload with a large footprint (paper appendix D):
+// the dominant cost on wide layers is TLB misses and page-table walks while
+// streaming weight rows. The paper pre-allocates 2MB/1GB hugepages and
+// reports a ~1.3x end-to-end speedup (Figure 10) and large TLB/page-fault
+// reductions (Table 4).
+//
+// This module provides an mmap-based buffer that requests Transparent Huge
+// Pages via madvise(MADV_HUGEPAGE) — the in-container equivalent of the
+// paper's libhugetlbfs setup — and falls back to ordinary pages when THP is
+// unavailable. A process-wide toggle lets benchmarks A/B the two modes
+// (bench/fig10_optimizations, bench/table4_hugepages).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sys/common.h"
+
+namespace slide {
+
+/// Process-wide preference: when enabled, HugeBuffer requests THP backing.
+/// Defaults to enabled; bench harnesses flip it to A/B the two modes.
+void set_hugepages_enabled(bool enabled) noexcept;
+bool hugepages_enabled() noexcept;
+
+/// True if this buffer implementation can use madvise(MADV_HUGEPAGE) on the
+/// current platform (Linux with mmap available).
+bool hugepages_supported() noexcept;
+
+/// A raw byte buffer, page-aligned, optionally THP-advised. Movable,
+/// non-copyable; frees its mapping on destruction.
+class HugeBuffer {
+ public:
+  HugeBuffer() = default;
+  /// Allocates `bytes` rounded up to a 2MB boundary (so THP can back the
+  /// whole range). Zero-initialized by the kernel.
+  explicit HugeBuffer(std::size_t bytes);
+  ~HugeBuffer();
+
+  HugeBuffer(HugeBuffer&& other) noexcept;
+  HugeBuffer& operator=(HugeBuffer&& other) noexcept;
+  HugeBuffer(const HugeBuffer&) = delete;
+  HugeBuffer& operator=(const HugeBuffer&) = delete;
+
+  void* data() noexcept { return data_; }
+  const void* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return bytes_; }
+  bool uses_thp() const noexcept { return thp_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool thp_ = false;
+};
+
+/// A fixed-size float array in (optionally) hugepage-backed storage. This is
+/// the storage type for layer weight matrices and optimizer state.
+class HugeArray {
+ public:
+  HugeArray() = default;
+  explicit HugeArray(std::size_t count)
+      : buffer_(count * sizeof(float)), count_(count) {}
+
+  float* data() noexcept { return static_cast<float*>(buffer_.data()); }
+  const float* data() const noexcept {
+    return static_cast<const float*>(buffer_.data());
+  }
+  std::size_t size() const noexcept { return count_; }
+  bool uses_thp() const noexcept { return buffer_.uses_thp(); }
+
+  float& operator[](std::size_t i) noexcept {
+    SLIDE_ASSERT(i < count_);
+    return data()[i];
+  }
+  float operator[](std::size_t i) const noexcept {
+    SLIDE_ASSERT(i < count_);
+    return data()[i];
+  }
+
+ private:
+  HugeBuffer buffer_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace slide

@@ -1,0 +1,89 @@
+#include "sys/perf_counters.h"
+
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define SLIDE_HAVE_RUSAGE 1
+#else
+#define SLIDE_HAVE_RUSAGE 0
+#endif
+
+namespace slide {
+
+namespace {
+double timeval_seconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+}  // namespace
+
+PerfSnapshot PerfSnapshot::now() {
+  PerfSnapshot s;
+#if SLIDE_HAVE_RUSAGE
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.minor_page_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+    s.major_page_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+    s.voluntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+    s.involuntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+    s.user_cpu_seconds = timeval_seconds(ru.ru_utime);
+    s.system_cpu_seconds = timeval_seconds(ru.ru_stime);
+  }
+#endif
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  if (statm) {
+    std::uint64_t total_pages = 0, resident_pages = 0;
+    statm >> total_pages >> resident_pages;
+    s.resident_set_bytes =
+        resident_pages * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return s;
+}
+
+PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& earlier) const {
+  PerfSnapshot d;
+  d.minor_page_faults = minor_page_faults - earlier.minor_page_faults;
+  d.major_page_faults = major_page_faults - earlier.major_page_faults;
+  d.voluntary_ctx_switches =
+      voluntary_ctx_switches - earlier.voluntary_ctx_switches;
+  d.involuntary_ctx_switches =
+      involuntary_ctx_switches - earlier.involuntary_ctx_switches;
+  d.user_cpu_seconds = user_cpu_seconds - earlier.user_cpu_seconds;
+  d.system_cpu_seconds = system_cpu_seconds - earlier.system_cpu_seconds;
+  d.resident_set_bytes = resident_set_bytes;  // absolute, not cumulative
+  return d;
+}
+
+std::string thp_mode() {
+  std::ifstream f("/sys/kernel/mm/transparent_hugepage/enabled");
+  if (!f) return "unknown";
+  std::string line;
+  std::getline(f, line);
+  // Format: "always [madvise] never" — the bracketed token is active.
+  auto open = line.find('[');
+  auto close = line.find(']');
+  if (open == std::string::npos || close == std::string::npos) return line;
+  return line.substr(open + 1, close - open - 1);
+}
+
+std::uint64_t anon_hugepage_bytes() {
+  std::ifstream f("/proc/self/smaps_rollup");
+  if (!f) return 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("AnonHugePages:", 0) == 0) {
+      std::istringstream iss(line.substr(14));
+      std::uint64_t kb = 0;
+      iss >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace slide

@@ -1,0 +1,42 @@
+// OS-level performance counters.
+//
+// Stands in for the Intel VTune measurements of paper Table 2 / Figure 6 /
+// Table 4 (see DESIGN.md §3): we read what the container exposes — minor and
+// major page faults, voluntary/involuntary context switches, user/system CPU
+// time — via getrusage(2), plus resident-set size from /proc/self/statm.
+// Deltas between two snapshots around a workload give the per-run counters
+// the benches report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slide {
+
+/// A snapshot of process-wide counters. Fields are cumulative since process
+/// start; subtract two snapshots to get a per-interval reading.
+struct PerfSnapshot {
+  std::uint64_t minor_page_faults = 0;
+  std::uint64_t major_page_faults = 0;
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  std::uint64_t resident_set_bytes = 0;
+
+  static PerfSnapshot now();
+
+  /// Component-wise difference (this - earlier); RSS is reported as the
+  /// later absolute value since it is not cumulative.
+  PerfSnapshot operator-(const PerfSnapshot& earlier) const;
+};
+
+/// Kernel THP status parsed from /sys/kernel/mm/transparent_hugepage/enabled
+/// ("always", "madvise", "never", or "unknown" when unreadable).
+std::string thp_mode();
+
+/// Anonymous hugepage bytes currently mapped by this process, from
+/// /proc/self/smaps_rollup (AnonHugePages). Returns 0 when unreadable.
+std::uint64_t anon_hugepage_bytes();
+
+}  // namespace slide

@@ -1,0 +1,31 @@
+// Explicit software prefetch, used in the weight-update software pipeline
+// (paper appendix D: "Vector Processing, Software Pipelining, and
+// Prefetching" — prefetch weight W[i+d] while updating W[i]).
+#pragma once
+
+namespace slide {
+
+/// Depth of the software pipeline: how many items ahead to prefetch while
+/// streaming through weight rows.
+inline constexpr int kPrefetchDistance = 8;
+
+/// Prefetch the cache line containing `addr` into all cache levels
+/// (PREFETCHT0). No-op if the compiler lacks the builtin.
+inline void prefetch_read(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+/// Prefetch for an impending write.
+inline void prefetch_write(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace slide

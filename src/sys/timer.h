@@ -1,0 +1,29 @@
+// Monotonic wall-clock timing used by the trainer, the convergence recorder
+// and every benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace slide {
+
+/// Stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slide

@@ -1,0 +1,203 @@
+// End-to-end integration tests across the whole stack: SLIDE vs dense
+// parity on learnability, per-iteration convergence equivalence (the paper
+// Figure 5 right-panels claim, at test scale), XC round-trip into training,
+// DWTA on a sparse-input configuration, and the speed mechanism itself
+// (fewer active neurons => less work per iteration).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "slide/slide.h"
+
+namespace slide {
+namespace {
+
+SyntheticDataset planted(std::uint64_t seed, Index features = 500,
+                         Index labels = 100) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = features;
+  cfg.label_dim = labels;
+  cfg.num_train = 800;
+  cfg.num_test = 200;
+  cfg.features_per_label = 12;
+  cfg.active_per_label = 7;
+  cfg.noise_features = 2;
+  cfg.max_labels_per_sample = 2;
+  cfg.seed = seed;
+  return make_synthetic_xc(cfg);
+}
+
+NetworkConfig slide_config(const SyntheticDataset& data, Index target,
+                           HashFamilyKind kind = HashFamilyKind::kSimhash) {
+  HashFamilyConfig family;
+  family.kind = kind;
+  family.k = 5;
+  family.l = 16;
+  family.bin_size = 4;
+  NetworkConfig cfg = make_paper_network(data.train.feature_dim(),
+                                         data.train.label_dim(), family,
+                                         target, /*hidden=*/16);
+  cfg.max_batch_size = 32;
+  cfg.layers[0].table.range_pow = 9;
+  cfg.layers[0].table.bucket_size = 32;
+  cfg.layers[0].rebuild.initial_period = 25;
+  return cfg;
+}
+
+TEST(Integration, SlideReachesDenseAccuracyBallpark) {
+  const auto data = planted(101);
+
+  // SLIDE with ~30% active neurons.
+  Network net(slide_config(data, 32), 2);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(data.train, 250);
+  const double slide_acc =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+
+  // Dense baseline, same architecture/optimizer/schedule.
+  DenseNetwork::Config dcfg;
+  dcfg.input_dim = data.train.feature_dim();
+  dcfg.hidden_units = 16;
+  dcfg.output_units = data.train.label_dim();
+  dcfg.max_batch_size = 32;
+  DenseNetwork dense(dcfg, 2);
+  ThreadPool pool(2);
+  Batcher batcher(data.train, 32, true, 2);
+  for (int i = 0; i < 250; ++i)
+    dense.step(data.train, batcher.next(), 5e-3f, pool);
+  const double dense_acc = evaluate_p_at_1(dense, data.test, pool);
+
+  EXPECT_GT(slide_acc, 0.35);
+  EXPECT_GT(dense_acc, 0.35);
+  // "Adaptively selecting neurons does not hurt convergence": within a
+  // tolerance band of the dense result.
+  EXPECT_GT(slide_acc, dense_acc - 0.12);
+}
+
+TEST(Integration, DwtaHandlesSparseInputConfiguration) {
+  // Amazon-style configuration: DWTA family on the output layer.
+  const auto data = planted(103);
+  Network net(slide_config(data, 32, HashFamilyKind::kDwta), 2);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(data.train, 200);
+  const double acc =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+  EXPECT_GT(acc, 0.3);
+}
+
+TEST(Integration, XcRoundTripFeedsTraining) {
+  const auto data = planted(105, 300, 50);
+  std::stringstream buffer;
+  write_xc(buffer, data.train);
+  const Dataset loaded = read_xc(buffer, /*l2_normalize=*/false);
+  ASSERT_EQ(loaded.size(), data.train.size());
+
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 12;
+  NetworkConfig cfg =
+      make_paper_network(loaded.feature_dim(), loaded.label_dim(), family,
+                         24, 16);
+  cfg.max_batch_size = 32;
+  cfg.layers[0].table.range_pow = 8;
+  Network net(cfg, 2);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(loaded, 150);
+  const double acc =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+  EXPECT_GT(acc, 0.3);
+}
+
+TEST(Integration, SmallerActiveSetDoesLessWorkPerIteration) {
+  // The core systems claim: per-iteration compute scales with the active
+  // set, not the layer width. Compare layer-compute seconds at two targets.
+  const auto data = planted(107, 500, 400);
+  auto run = [&](Index target) {
+    Network net(slide_config(data, target), 2);
+    net.output_layer().reset_phase_timers();
+    TrainerConfig tc;
+    tc.batch_size = 32;
+    tc.num_threads = 1;
+    Trainer trainer(net, tc);
+    trainer.train(data.train, 30);
+    return net.output_layer().compute_seconds();
+  };
+  const double small = run(8);
+  const double large = run(200);
+  EXPECT_LT(small * 2.0, large);
+}
+
+TEST(Integration, SampledInferenceApproachesExactAfterTraining) {
+  const auto data = planted(109);
+  Network net(slide_config(data, 48), 2);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(data.train, 250);
+  net.rebuild_all(&trainer.pool());
+  const double exact =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+  const double sampled =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = false});
+  EXPECT_GT(sampled, exact * 0.6);  // hash-sampled inference stays close
+}
+
+TEST(Integration, HugepagesToggleDoesNotChangeResults) {
+  const auto data = planted(111, 300, 50);
+  auto run = [&](bool huge) {
+    set_hugepages_enabled(huge);
+    NetworkConfig cfg = slide_config(data, 16);
+    Network net(cfg, 1);
+    TrainerConfig tc;
+    tc.batch_size = 16;
+    tc.num_threads = 1;
+    tc.seed = 5;
+    Trainer trainer(net, tc);
+    Batcher batcher(data.train, 16, true, 3);
+    float total = 0.0f;
+    for (int i = 0; i < 20; ++i)
+      total += trainer.step(data.train, batcher.next());
+    set_hugepages_enabled(true);
+    return total;
+  };
+  EXPECT_EQ(run(true), run(false));  // bit-identical: allocation-only change
+}
+
+TEST(Integration, SimdToggleKeepsTrainingCorrect) {
+  const auto data = planted(113, 300, 50);
+  auto run = [&](bool simd_on) {
+    simd::set_simd_enabled(simd_on);
+    NetworkConfig cfg = slide_config(data, 16);
+    Network net(cfg, 2);
+    TrainerConfig tc;
+    tc.batch_size = 16;
+    tc.num_threads = 2;
+    tc.learning_rate = 5e-3f;
+    Trainer trainer(net, tc);
+    trainer.train(data.train, 100);
+    const double acc =
+        evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+    simd::set_simd_enabled(true);
+    return acc;
+  };
+  EXPECT_GT(run(true), 0.25);
+  EXPECT_GT(run(false), 0.25);
+}
+
+}  // namespace
+}  // namespace slide

@@ -1,0 +1,249 @@
+// Hash-table and table-group tests: bucket addressing, both replacement
+// policies (including the reservoir's equal-retention property), parallel
+// builds, and retrieval quality of the full (K, L) structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "lsh/factory.h"
+#include "lsh/hash_table.h"
+#include "lsh/table_group.h"
+#include "sys/rng.h"
+
+namespace slide {
+namespace {
+
+TEST(HashTable, InsertThenQueryReturnsId) {
+  HashTable table({.range_pow = 8, .bucket_size = 16});
+  Rng rng(1);
+  table.insert(/*key=*/12345u, /*id=*/7, rng);
+  const auto bucket = table.bucket(12345u);
+  ASSERT_EQ(bucket.size(), 1u);
+  EXPECT_EQ(bucket[0], 7u);
+}
+
+TEST(HashTable, DistinctKeysUsuallyLandInDistinctBuckets) {
+  HashTable table({.range_pow = 12, .bucket_size = 4});
+  Rng rng(2);
+  for (Index id = 0; id < 64; ++id) table.insert(id * 2'654'435'761u, id, rng);
+  EXPECT_GT(table.occupied_buckets(), 48u);  // few aliases at 4096 buckets
+}
+
+TEST(HashTable, BucketNeverExceedsCapacity) {
+  HashTable table({.range_pow = 4, .bucket_size = 8,
+                   .policy = InsertionPolicy::kReservoir});
+  Rng rng(3);
+  for (Index id = 0; id < 1'000; ++id) table.insert(42u, id, rng);
+  EXPECT_EQ(table.bucket(42u).size(), 8u);
+  EXPECT_EQ(table.total_stored(), 8u);
+}
+
+TEST(HashTable, FifoKeepsTheNewestEntries) {
+  HashTable table({.range_pow = 4, .bucket_size = 4,
+                   .policy = InsertionPolicy::kFifo});
+  Rng rng(4);
+  for (Index id = 0; id < 10; ++id) table.insert(7u, id, rng);
+  const auto bucket = table.bucket(7u);
+  std::set<Index> got(bucket.begin(), bucket.end());
+  // Ring overwrite: ids 6..9 survive.
+  EXPECT_EQ(got, (std::set<Index>{6, 7, 8, 9}));
+}
+
+TEST(HashTable, ReservoirRetainsItemsUniformly) {
+  // Vitter's property: after inserting N items into capacity C, every item
+  // survives with probability C/N. Check per-item retention across trials.
+  constexpr int kTrials = 2'000;
+  constexpr Index kItems = 20;
+  constexpr int kCap = 5;
+  std::vector<int> survived(kItems, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    HashTable table({.range_pow = 2, .bucket_size = kCap,
+                     .policy = InsertionPolicy::kReservoir});
+    Rng rng(static_cast<std::uint64_t>(trial) + 10);
+    for (Index id = 0; id < kItems; ++id) table.insert(0u, id, rng);
+    for (Index id : table.bucket(0u)) ++survived[id];
+  }
+  const double expected = static_cast<double>(kCap) / kItems;
+  for (Index id = 0; id < kItems; ++id) {
+    const double rate = static_cast<double>(survived[id]) / kTrials;
+    EXPECT_NEAR(rate, expected, 0.04) << "id=" << id;
+  }
+}
+
+TEST(HashTable, ClearEmptiesEverything) {
+  HashTable table({.range_pow = 6, .bucket_size = 8});
+  Rng rng(5);
+  for (Index id = 0; id < 100; ++id) table.insert(id * 77u, id, rng);
+  table.clear();
+  EXPECT_EQ(table.total_stored(), 0u);
+  EXPECT_EQ(table.occupied_buckets(), 0u);
+}
+
+TEST(HashTable, RejectsBadConfig) {
+  EXPECT_THROW(HashTable({.range_pow = 0}), Error);
+  EXPECT_THROW(HashTable({.range_pow = 29}), Error);
+  EXPECT_THROW(HashTable({.range_pow = 8, .bucket_size = 0}), Error);
+}
+
+class PolicyParam : public ::testing::TestWithParam<InsertionPolicy> {};
+
+TEST_P(PolicyParam, OverflowKeepsExactlyCapacityEntriesFromTheStream) {
+  HashTable table({.range_pow = 3, .bucket_size = 16, .policy = GetParam()});
+  Rng rng(6);
+  for (Index id = 0; id < 500; ++id) table.insert(99u, id, rng);
+  const auto bucket = table.bucket(99u);
+  EXPECT_EQ(bucket.size(), 16u);
+  std::set<Index> unique(bucket.begin(), bucket.end());
+  EXPECT_EQ(unique.size(), 16u);  // all distinct
+  for (Index id : bucket) EXPECT_LT(id, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyParam,
+                         ::testing::Values(InsertionPolicy::kReservoir,
+                                           InsertionPolicy::kFifo));
+
+// ---------------------------------------------------------------------------
+// LshTableGroup
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<HashFamily> simhash_family(int k, int l, Index dim,
+                                           std::uint64_t seed = 31) {
+  HashFamilyConfig cfg;
+  cfg.kind = HashFamilyKind::kSimhash;
+  cfg.k = k;
+  cfg.l = l;
+  cfg.dim = dim;
+  cfg.seed = seed;
+  return make_hash_family(cfg);
+}
+
+/// Rows: `count` unit vectors, row i = normalized random vector.
+std::vector<float> random_rows(Index count, Index dim, Rng& rng) {
+  std::vector<float> rows(static_cast<std::size_t>(count) * dim);
+  for (Index r = 0; r < count; ++r) {
+    float norm = 0.0f;
+    float* row = rows.data() + static_cast<std::size_t>(r) * dim;
+    for (Index d = 0; d < dim; ++d) {
+      row[d] = rng.normal();
+      norm += row[d] * row[d];
+    }
+    norm = std::sqrt(norm);
+    for (Index d = 0; d < dim; ++d) row[d] /= norm;
+  }
+  return rows;
+}
+
+TEST(TableGroup, BuildAndQueryRetrievesSelf) {
+  const Index n = 200, dim = 32;
+  Rng rng(7);
+  const auto rows = random_rows(n, dim, rng);
+  LshTableGroup group(simhash_family(4, 16, dim),
+                      {.range_pow = 10, .bucket_size = 32});
+  group.build_from_rows(rows.data(), dim, n);
+
+  // Querying with a stored vector must find its own id in some bucket.
+  int self_hits = 0;
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(group.l()));
+  std::vector<std::span<const Index>> buckets;
+  for (Index i = 0; i < 50; ++i) {
+    group.query_keys_dense(rows.data() + static_cast<std::size_t>(i) * dim,
+                           keys);
+    group.buckets(keys, buckets);
+    bool found = false;
+    for (const auto& b : buckets)
+      if (std::find(b.begin(), b.end(), i) != b.end()) found = true;
+    self_hits += found ? 1 : 0;
+  }
+  EXPECT_EQ(self_hits, 50);
+}
+
+TEST(TableGroup, ParallelBuildMatchesSerialContentApproximately) {
+  // K=6 gives 64 addressable fingerprints, so no bucket exceeds the
+  // capacity of 64 and both builds must store every insert.
+  const Index n = 500, dim = 16;
+  Rng rng(8);
+  const auto rows = random_rows(n, dim, rng);
+  LshTableGroup serial(simhash_family(6, 8, dim),
+                       {.range_pow = 9, .bucket_size = 64});
+  serial.build_from_rows(rows.data(), dim, n);
+
+  ThreadPool pool(4);
+  LshTableGroup parallel(simhash_family(6, 8, dim),
+                         {.range_pow = 9, .bucket_size = 64});
+  parallel.build_from_rows(rows.data(), dim, n, &pool);
+
+  // Same hash family seeds -> same buckets addressed; contents may be
+  // ordered differently but totals must match when no bucket overflows.
+  std::size_t serial_total = 0, parallel_total = 0;
+  for (int t = 0; t < serial.l(); ++t) {
+    serial_total += serial.table(t).total_stored();
+    parallel_total += parallel.table(t).total_stored();
+  }
+  EXPECT_EQ(serial_total, parallel_total);
+  EXPECT_EQ(serial_total, static_cast<std::size_t>(n) * serial.l());
+}
+
+TEST(TableGroup, NearbyVectorRetrievesNeighborMoreThanRandom) {
+  const Index n = 400, dim = 64;
+  Rng rng(9);
+  auto rows = random_rows(n, dim, rng);
+  LshTableGroup group(simhash_family(6, 30, dim),
+                      {.range_pow = 11, .bucket_size = 32});
+  group.build_from_rows(rows.data(), dim, n);
+
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(group.l()));
+  std::vector<std::span<const Index>> buckets;
+  int neighbor_hits = 0, random_hits = 0;
+  for (Index trial = 0; trial < 40; ++trial) {
+    const Index target = trial * 10 % n;
+    // Query = slightly perturbed copy of the target row.
+    std::vector<float> q(rows.begin() + static_cast<std::ptrdiff_t>(target) * dim,
+                         rows.begin() + static_cast<std::ptrdiff_t>(target + 1) * dim);
+    for (auto& v : q) v += 0.05f * rng.normal();
+    group.query_keys_dense(q.data(), keys);
+    group.buckets(keys, buckets);
+    const Index random_id = rng.uniform(n);
+    for (const auto& b : buckets) {
+      if (std::find(b.begin(), b.end(), target) != b.end()) {
+        ++neighbor_hits;
+        break;
+      }
+    }
+    for (const auto& b : buckets) {
+      if (std::find(b.begin(), b.end(), random_id) != b.end()) {
+        ++random_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(neighbor_hits, random_hits + 10);
+}
+
+TEST(TableGroup, ClearThenRebuildRestoresContent) {
+  const Index n = 100, dim = 16;
+  Rng rng(10);
+  const auto rows = random_rows(n, dim, rng);
+  LshTableGroup group(simhash_family(3, 6, dim),
+                      {.range_pow = 8, .bucket_size = 32});
+  group.build_from_rows(rows.data(), dim, n);
+  group.clear();
+  std::size_t total = 0;
+  for (int t = 0; t < group.l(); ++t) total += group.table(t).total_stored();
+  EXPECT_EQ(total, 0u);
+  group.build_from_rows(rows.data(), dim, n);
+  for (int t = 0; t < group.l(); ++t)
+    EXPECT_EQ(group.table(t).total_stored(), n);
+}
+
+TEST(TableGroup, MemoryAccountingIsPlausible) {
+  LshTableGroup group(simhash_family(3, 10, 16),
+                      {.range_pow = 8, .bucket_size = 16});
+  // 10 tables x 256 buckets x 16 slots x 4B ids + counters.
+  EXPECT_GE(group.memory_bytes(), 10u * 256u * 16u * 4u);
+}
+
+}  // namespace
+}  // namespace slide

@@ -1,0 +1,211 @@
+// Metrics tests: P@1 evaluation semantics, the convergence recorder, the
+// markdown table printer and the CPU-efficiency probe plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "metrics/convergence.h"
+#include "metrics/instrumentation.h"
+#include "metrics/metrics.h"
+#include "metrics/table_printer.h"
+
+namespace slide {
+namespace {
+
+TEST(ConvergenceRecorder, ThresholdQueries) {
+  ConvergenceRecorder rec("slide");
+  rec.add({.iteration = 10, .seconds = 1.0, .accuracy = 0.1});
+  rec.add({.iteration = 20, .seconds = 2.0, .accuracy = 0.3});
+  rec.add({.iteration = 30, .seconds = 3.0, .accuracy = 0.5});
+  EXPECT_DOUBLE_EQ(rec.seconds_to_accuracy(0.25), 2.0);
+  EXPECT_EQ(rec.iterations_to_accuracy(0.25), 20);
+  EXPECT_DOUBLE_EQ(rec.seconds_to_accuracy(0.9), -1.0);
+  EXPECT_EQ(rec.iterations_to_accuracy(0.9), -1);
+  EXPECT_DOUBLE_EQ(rec.best_accuracy(), 0.5);
+}
+
+TEST(ConvergenceRecorder, MarkdownAndCsvContainData) {
+  ConvergenceRecorder rec("run");
+  rec.add({.iteration = 5, .seconds = 0.5, .accuracy = 0.25,
+           .active_fraction = 0.01});
+  const std::string md = rec.to_markdown();
+  EXPECT_NE(md.find("0.2500"), std::string::npos);
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("run,5,"), std::string::npos);
+}
+
+TEST(ConvergenceRecorder, MergePrintsAllSeries) {
+  ConvergenceRecorder a("slide"), b("dense");
+  a.add({.iteration = 1, .seconds = 0.1, .accuracy = 0.2});
+  a.add({.iteration = 2, .seconds = 0.2, .accuracy = 0.4});
+  b.add({.iteration = 1, .seconds = 0.3, .accuracy = 0.1});
+  const std::string md = merge_to_markdown({&a, &b});
+  EXPECT_NE(md.find("slide"), std::string::npos);
+  EXPECT_NE(md.find("dense"), std::string::npos);
+  EXPECT_NE(md.find("0.4000"), std::string::npos);
+}
+
+TEST(MarkdownTable, RendersAlignedTable) {
+  MarkdownTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("23456"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(MarkdownTable, FormattersBehave) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.5, 1), "50.0%");
+  EXPECT_EQ(fmt_int(42), "42");
+}
+
+TEST(Evaluate, ExactP1IsCorrectOnHandmadeModel) {
+  // Train nothing: accuracy of an untrained model on 60 labels should be
+  // near chance; after planting a strong association it should be high.
+  SyntheticConfig dcfg;
+  dcfg.feature_dim = 200;
+  dcfg.label_dim = 40;
+  dcfg.num_train = 300;
+  dcfg.num_test = 100;
+  dcfg.features_per_label = 8;
+  dcfg.active_per_label = 5;
+  dcfg.noise_features = 1;
+  const auto data = make_synthetic_xc(dcfg);
+
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 8;
+  NetworkConfig cfg = make_paper_network(200, 40, family, 12, 8);
+  cfg.max_batch_size = 16;
+  cfg.layers[0].table.range_pow = 8;
+  Network net(cfg, 2);
+  ThreadPool pool(2);
+
+  // Untrained accuracy is not ~1/40: labels are Zipf-skewed and samples are
+  // multi-label, so a constant head-label prediction already scores ~0.25.
+  const double untrained =
+      evaluate_p_at_1(net, data.test, pool, {.exact = true});
+  EXPECT_LT(untrained, 0.45);
+
+  TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(data.train, 150);
+  const double trained =
+      evaluate_p_at_1(net, data.test, pool, {.exact = true});
+  EXPECT_GT(trained, untrained + 0.2);
+
+  // max_samples caps work.
+  const double capped = evaluate_p_at_1(
+      net, data.test, pool, {.exact = true, .max_samples = 10});
+  EXPECT_GE(capped, 0.0);
+  EXPECT_LE(capped, 1.0);
+}
+
+TEST(Evaluate, PAtKIsMonotoneAndBounded) {
+  SyntheticConfig dcfg;
+  dcfg.feature_dim = 200;
+  dcfg.label_dim = 40;
+  dcfg.num_train = 300;
+  dcfg.num_test = 100;
+  dcfg.min_labels_per_sample = 3;
+  dcfg.max_labels_per_sample = 5;
+  const auto data = make_synthetic_xc(dcfg);
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 8;
+  NetworkConfig cfg = make_paper_network(200, 40, family, 12, 8);
+  cfg.max_batch_size = 16;
+  cfg.layers[0].table.range_pow = 8;
+  Network net(cfg, 2);
+  TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(data.train, 120);
+
+  const double p1 = evaluate_p_at_k(net, data.test, trainer.pool(), 1,
+                                    {.exact = true});
+  const double p1_ref =
+      evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+  EXPECT_NEAR(p1, p1_ref, 1e-9);  // P@1 definitions agree
+
+  const double p5 = evaluate_p_at_k(net, data.test, trainer.pool(), 5,
+                                    {.exact = true});
+  EXPECT_GE(p5, 0.0);
+  EXPECT_LE(p5, 1.0);
+  // With >=3 labels per sample a trained model fills several top-5 slots.
+  EXPECT_GT(p5, 0.2);
+}
+
+TEST(Evaluate, DensePAtKMatchesNetworkShape) {
+  SyntheticConfig dcfg;
+  dcfg.feature_dim = 150;
+  dcfg.label_dim = 30;
+  dcfg.num_train = 200;
+  dcfg.num_test = 60;
+  const auto data = make_synthetic_xc(dcfg);
+  DenseNetwork::Config cfg;
+  cfg.input_dim = 150;
+  cfg.hidden_units = 8;
+  cfg.output_units = 30;
+  cfg.max_batch_size = 16;
+  DenseNetwork net(cfg, 2);
+  ThreadPool pool(2);
+  const double p1 = evaluate_p_at_k(net, data.test, pool, 1);
+  const double p1_ref = evaluate_p_at_1(net, data.test, pool);
+  EXPECT_NEAR(p1, p1_ref, 1e-9);
+  EXPECT_THROW(evaluate_p_at_k(net, data.test, pool, 0), Error);
+}
+
+TEST(EfficiencyProbe, ProducesConsistentReport) {
+  SyntheticConfig dcfg;
+  dcfg.feature_dim = 200;
+  dcfg.label_dim = 40;
+  dcfg.num_train = 200;
+  dcfg.num_test = 10;
+  const auto data = make_synthetic_xc(dcfg);
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 8;
+  NetworkConfig cfg = make_paper_network(200, 40, family, 12, 8);
+  cfg.max_batch_size = 16;
+  cfg.layers[0].table.range_pow = 8;
+  Network net(cfg, 2);
+  TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.num_threads = 2;
+  Trainer trainer(net, tc);
+
+  EfficiencyProbe probe(trainer);
+  trainer.train(data.train, 15);
+  const CpuEfficiencyReport report = probe.finish();
+  EXPECT_EQ(report.threads, 2);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.core_utilization, 0.0);
+  EXPECT_LE(report.core_utilization, 1.1);
+  EXPECT_GT(report.compute_fraction, 0.0);
+  EXPECT_LE(report.compute_fraction + report.update_fraction +
+                report.rebuild_fraction,
+            1.05);
+  EXPECT_GT(report.lsh_sampling_seconds, 0.0);
+  EXPECT_GT(report.layer_compute_seconds, 0.0);
+  const std::string row = report.to_markdown_row("slide");
+  EXPECT_NE(row.find("slide"), std::string::npos);
+  EXPECT_FALSE(CpuEfficiencyReport::markdown_header().empty());
+}
+
+}  // namespace
+}  // namespace slide

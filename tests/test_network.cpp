@@ -1,0 +1,230 @@
+// Network-level tests: construction, the all-active equivalence between the
+// hashed path and dense computation, training-sample mechanics, prediction
+// paths, and parameter accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/network.h"
+
+namespace slide {
+namespace {
+
+NetworkConfig tiny_config(Index input_dim = 20, Index labels = 50,
+                          Index hidden = 8, Index target = 16) {
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 8;
+  NetworkConfig cfg = make_paper_network(input_dim, labels, family, target,
+                                         hidden);
+  cfg.max_batch_size = 8;
+  cfg.layers[0].table.range_pow = 8;
+  cfg.layers[0].table.bucket_size = 32;
+  return cfg;
+}
+
+Sample make_sample(std::initializer_list<Index> feat,
+                   std::initializer_list<Index> labels) {
+  Sample s;
+  std::vector<Index> idx(feat);
+  std::vector<float> val(idx.size(), 0.5f);
+  s.features = SparseVector(std::move(idx), std::move(val));
+  s.features.l2_normalize();
+  s.labels = labels;
+  return s;
+}
+
+TEST(Network, ConstructionAndShapes) {
+  Network net(tiny_config(), 2);
+  EXPECT_EQ(net.input_dim(), 20u);
+  EXPECT_EQ(net.output_dim(), 50u);
+  EXPECT_EQ(net.num_layers(), 2);
+  EXPECT_EQ(net.embedding().units(), 8u);
+  EXPECT_TRUE(net.output_layer().hashed());
+  // params: 20*8 + 8 (embedding) + 50*8 + 50 (output)
+  EXPECT_EQ(net.num_parameters(), 20u * 8 + 8 + 50u * 8 + 50);
+}
+
+TEST(Network, RejectsInvalidConfig) {
+  NetworkConfig cfg = tiny_config();
+  cfg.input_dim = 0;
+  EXPECT_THROW(Network(cfg, 2), Error);
+  cfg = tiny_config();
+  cfg.layers.clear();
+  EXPECT_THROW(Network(cfg, 2), Error);
+}
+
+TEST(Network, TrainSampleReturnsFiniteLossAndActivatesLabels) {
+  Network net(tiny_config(), 2);
+  const Sample s = make_sample({1, 5, 7}, {13, 30});
+  Rng rng(1);
+  VisitedSet visited(net.max_sampled_units());
+  const float loss = net.train_sample(0, s, 1.0f, rng, visited, 0);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+  const auto& ids = net.output_layer().slot(0).ids;
+  ASSERT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 13u);
+  EXPECT_EQ(ids[1], 30u);
+}
+
+TEST(Network, LossDecreasesWithRepeatedUpdatesOnOneSample) {
+  Network net(tiny_config(), 2);
+  const Sample s = make_sample({2, 3}, {7});
+  Rng rng(2);
+  VisitedSet visited(net.max_sampled_units());
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    const float loss = net.train_sample(0, s, 1.0f, rng, visited, 0);
+    if (step == 0) first = loss;
+    last = loss;
+    net.apply_updates(0.01f, nullptr);
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Network, PredictLearnsTheTrainedLabel) {
+  Network net(tiny_config(), 2);
+  const Sample s = make_sample({2, 3}, {7});
+  Rng rng(3);
+  VisitedSet visited(net.max_sampled_units());
+  for (int step = 0; step < 80; ++step) {
+    net.train_sample(0, s, 1.0f, rng, visited, 0);
+    net.apply_updates(0.01f, nullptr);
+  }
+  net.rebuild_all(nullptr);
+  InferenceContext ctx(net.max_sampled_units());
+  EXPECT_EQ(net.predict_top1(s.features, ctx, /*exact=*/true), 7u);
+  EXPECT_EQ(net.predict_top1(s.features, ctx, /*exact=*/false), 7u);
+}
+
+TEST(Network, AllActiveHashedMatchesExactPrediction) {
+  // With sampling.target >= units the hashed path activates every neuron, so
+  // sampled and exact predictions must agree everywhere.
+  NetworkConfig cfg = tiny_config(20, 40, 8, /*target=*/1'000);
+  Network net(cfg, 2);
+  InferenceContext ctx(net.max_sampled_units());
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sample s = make_sample({rng.uniform(20), rng.uniform(20)}, {0});
+    const Index exact = net.predict_top1(s.features, ctx, true);
+    const Index sampled = net.predict_top1(s.features, ctx, false);
+    EXPECT_EQ(exact, sampled);
+  }
+}
+
+TEST(Network, MaybeRebuildHonorsSchedule) {
+  NetworkConfig cfg = tiny_config();
+  cfg.layers[0].rebuild.initial_period = 5;
+  cfg.layers[0].rebuild.decay = 0.0;  // constant gap
+  Network net(cfg, 2);
+  net.maybe_rebuild(4, nullptr);
+  EXPECT_EQ(net.output_layer().rebuild_count(), 0);
+  net.maybe_rebuild(5, nullptr);
+  EXPECT_EQ(net.output_layer().rebuild_count(), 1);
+  net.maybe_rebuild(9, nullptr);
+  EXPECT_EQ(net.output_layer().rebuild_count(), 1);
+  net.maybe_rebuild(10, nullptr);
+  EXPECT_EQ(net.output_layer().rebuild_count(), 2);
+}
+
+TEST(Network, MultiLayerSampledStackTrains) {
+  // Three-layer net with a hashed middle layer (paper Figure 2 shows hash
+  // tables in hidden layers as well).
+  NetworkConfig cfg;
+  cfg.input_dim = 30;
+  cfg.hidden_units = 8;
+  cfg.max_batch_size = 4;
+
+  LayerSpec middle;
+  middle.units = 64;
+  middle.activation = Activation::kReLU;
+  middle.hashed = true;
+  middle.family.kind = HashFamilyKind::kSimhash;
+  middle.family.k = 3;
+  middle.family.l = 6;
+  middle.table.range_pow = 6;
+  middle.table.bucket_size = 16;
+  middle.sampling.target = 16;
+
+  LayerSpec output;
+  output.units = 40;
+  output.activation = Activation::kSoftmax;
+  output.hashed = true;
+  output.family.kind = HashFamilyKind::kSimhash;
+  output.family.k = 3;
+  output.family.l = 6;
+  output.table.range_pow = 6;
+  output.table.bucket_size = 16;
+  output.sampling.target = 12;
+
+  cfg.layers = {middle, output};
+  Network net(cfg, 2);
+  EXPECT_EQ(net.num_layers(), 3);
+
+  const Sample s = make_sample({1, 2, 3}, {5});
+  Rng rng(5);
+  VisitedSet visited(net.max_sampled_units());
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 80; ++step) {
+    const float loss = net.train_sample(0, s, 1.0f, rng, visited, 0);
+    if (step == 0) first = loss;
+    last = loss;
+    net.apply_updates(0.02f, nullptr);
+  }
+  EXPECT_LT(last, first);
+  InferenceContext ctx(net.max_sampled_units());
+  EXPECT_EQ(net.predict_top1(s.features, ctx, true), 5u);
+}
+
+TEST(Network, IncrementalRehashKeepsTablesConsistent) {
+  // Train two identical nets, one with incremental Simhash re-hashing; after
+  // a rebuild, both table sets must place each neuron in the same buckets
+  // (the memo path is exact, not approximate).
+  NetworkConfig base = tiny_config(20, 30, 8, 10);
+  base.layers[0].rebuild.initial_period = 1'000'000;  // manual rebuilds only
+  NetworkConfig incremental = base;
+  incremental.layers[0].incremental_rehash = true;
+
+  Network a(base, 1), b(incremental, 1);
+  const Sample s = make_sample({2, 9}, {3});
+  Rng rng_a(6), rng_b(6);
+  VisitedSet va(a.max_sampled_units()), vb(b.max_sampled_units());
+  for (int step = 0; step < 10; ++step) {
+    a.train_sample(0, s, 1.0f, rng_a, va, 0);
+    b.train_sample(0, s, 1.0f, rng_b, vb, 0);
+    a.apply_updates(0.01f, nullptr);
+    b.apply_updates(0.01f, nullptr);
+  }
+  a.rebuild_all(nullptr);
+  b.rebuild_all(nullptr);
+  // Same seeds -> identical weights; exact-mode predictions must agree.
+  InferenceContext ca(a.max_sampled_units()), cb(b.max_sampled_units());
+  for (Index f = 0; f < 10; ++f) {
+    Sample probe = make_sample({f, f + 5}, {0});
+    EXPECT_EQ(a.predict_top1(probe.features, ca, true),
+              b.predict_top1(probe.features, cb, true));
+  }
+}
+
+TEST(Network, SampledSoftmaxModeActivatesLabelsPlusRandom) {
+  NetworkConfig cfg = tiny_config();
+  cfg.layers[0].hashed = false;
+  cfg.layers[0].random_sampled = true;
+  cfg.layers[0].sampling.target = 20;
+  Network net(cfg, 2);
+  const Sample s = make_sample({1, 2}, {11});
+  Rng rng(7);
+  VisitedSet visited(net.max_sampled_units());
+  net.train_sample(0, s, 1.0f, rng, visited, 0);
+  const auto& ids = net.output_layer().slot(0).ids;
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(ids[0], 11u);
+  std::set<Index> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+}
+
+}  // namespace
+}  // namespace slide

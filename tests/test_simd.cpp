@@ -1,0 +1,189 @@
+// SIMD kernels vs the scalar reference oracle, across a sweep of sizes
+// (including non-multiple-of-8 tails) and both dispatch modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simd/kernels.h"
+#include "sys/rng.h"
+
+namespace slide {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = scale * (rng.uniform_float() * 2.0f - 1.0f);
+  return v;
+}
+
+class KernelSizes : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { simd::set_simd_enabled(true); }
+  void TearDown() override { simd::set_simd_enabled(true); }
+};
+
+TEST_P(KernelSizes, DotMatchesScalar) {
+  Rng rng(GetParam() + 1);
+  const auto a = random_vec(GetParam(), rng);
+  const auto b = random_vec(GetParam(), rng);
+  const float ref = simd::scalar::dot(a.data(), b.data(), a.size());
+  const float got = simd::dot(a.data(), b.data(), a.size());
+  EXPECT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)));
+}
+
+TEST_P(KernelSizes, AxpyMatchesScalar) {
+  Rng rng(GetParam() + 2);
+  const auto x = random_vec(GetParam(), rng);
+  auto y1 = random_vec(GetParam(), rng);
+  auto y2 = y1;
+  simd::scalar::axpy(0.37f, x.data(), y1.data(), x.size());
+  simd::axpy(0.37f, x.data(), y2.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(y1[i], y2[i], 1e-5f) << i;
+}
+
+TEST_P(KernelSizes, ScaleMatchesScalar) {
+  Rng rng(GetParam() + 3);
+  auto x1 = random_vec(GetParam(), rng);
+  auto x2 = x1;
+  simd::scalar::scale(x1.data(), -1.83f, x1.size());
+  simd::scale(x2.data(), -1.83f, x2.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) ASSERT_EQ(x1[i], x2[i]);
+}
+
+TEST_P(KernelSizes, SumMatchesScalar) {
+  Rng rng(GetParam() + 4);
+  const auto x = random_vec(GetParam(), rng);
+  EXPECT_NEAR(simd::sum(x.data(), x.size()),
+              simd::scalar::sum(x.data(), x.size()),
+              1e-4f * (1.0f + x.size() * 0.01f));
+}
+
+TEST_P(KernelSizes, MaxMatchesScalar) {
+  Rng rng(GetParam() + 5);
+  const auto x = random_vec(GetParam(), rng);
+  if (x.empty()) return;
+  EXPECT_EQ(simd::max(x.data(), x.size()),
+            simd::scalar::max(x.data(), x.size()));
+}
+
+TEST_P(KernelSizes, ReluClampsNegatives) {
+  Rng rng(GetParam() + 6);
+  auto x1 = random_vec(GetParam(), rng);
+  auto x2 = x1;
+  simd::scalar::relu(x1.data(), x1.size());
+  simd::relu(x2.data(), x2.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_EQ(x1[i], x2[i]);
+    ASSERT_GE(x2[i], 0.0f);
+  }
+}
+
+TEST_P(KernelSizes, SoftmaxSumsToOneAndMatchesScalar) {
+  if (GetParam() == 0) return;
+  Rng rng(GetParam() + 7);
+  auto x1 = random_vec(GetParam(), rng, 5.0f);
+  auto x2 = x1;
+  simd::scalar::softmax_inplace(x1.data(), x1.size());
+  simd::softmax_inplace(x2.data(), x2.size());
+  float total = 0.0f;
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_NEAR(x1[i], x2[i], 1e-5f);
+    total += x2[i];
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-4f);
+}
+
+TEST_P(KernelSizes, AdamStepMatchesScalar) {
+  Rng rng(GetParam() + 8);
+  const std::size_t n = GetParam();
+  auto w1 = random_vec(n, rng);
+  auto w2 = w1;
+  auto m1 = random_vec(n, rng, 0.1f);
+  auto m2 = m1;
+  std::vector<float> v1(n), v2(n);
+  for (auto& v : v1) v = rng.uniform_float() * 0.01f;
+  v2 = v1;
+  const auto g = random_vec(n, rng);
+  simd::scalar::adam_step(w1.data(), m1.data(), v1.data(), g.data(), n,
+                          1e-3f, 0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
+  simd::adam_step(w2.data(), m2.data(), v2.data(), g.data(), n, 1e-3f, 0.9f,
+                  0.999f, 1e-8f, 0.1f, 0.001f);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(w1[i], w2[i], 2e-5f) << i;
+    ASSERT_NEAR(m1[i], m2[i], 1e-6f) << i;
+    ASSERT_NEAR(v1[i], v2[i], 1e-6f) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizes,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 31,
+                                           64, 100, 128, 1000));
+
+TEST(SparseKernels, SparseDotMatchesDenseExpansion) {
+  Rng rng(77);
+  const std::size_t dim = 500;
+  const auto dense = random_vec(dim, rng);
+  std::vector<Index> idx = {3, 17, 42, 99, 100, 101, 250, 331, 400, 499};
+  std::vector<float> val(idx.size());
+  for (auto& v : val) v = rng.uniform_float();
+  float ref = 0.0f;
+  for (std::size_t i = 0; i < idx.size(); ++i) ref += val[i] * dense[idx[i]];
+  EXPECT_NEAR(simd::sparse_dot(idx.data(), val.data(), idx.size(),
+                               dense.data()),
+              ref, 1e-5f);
+  EXPECT_NEAR(simd::scalar::sparse_dot(idx.data(), val.data(), idx.size(),
+                                       dense.data()),
+              ref, 1e-5f);
+}
+
+TEST(SparseKernels, SparseAxpyScattersCorrectly) {
+  Rng rng(78);
+  std::vector<float> dense(100, 1.0f);
+  std::vector<Index> idx = {0, 5, 99};
+  std::vector<float> val = {1.0f, 2.0f, 3.0f};
+  simd::sparse_axpy(2.0f, idx.data(), val.data(), idx.size(), dense.data());
+  EXPECT_FLOAT_EQ(dense[0], 3.0f);
+  EXPECT_FLOAT_EQ(dense[5], 5.0f);
+  EXPECT_FLOAT_EQ(dense[99], 7.0f);
+  EXPECT_FLOAT_EQ(dense[1], 1.0f);
+}
+
+TEST(SparseKernels, LargeSparseDotUsesGatherPath) {
+  Rng rng(79);
+  const std::size_t dim = 10'000;
+  const auto dense = random_vec(dim, rng);
+  std::vector<Index> idx;
+  std::vector<float> val;
+  for (int i = 0; i < 531; ++i) {  // > 8 so the AVX2 gather loop runs
+    idx.push_back(rng.uniform(static_cast<std::uint32_t>(dim)));
+    val.push_back(rng.uniform_float());
+  }
+  const float ref = simd::scalar::sparse_dot(idx.data(), val.data(),
+                                             idx.size(), dense.data());
+  const float got =
+      simd::sparse_dot(idx.data(), val.data(), idx.size(), dense.data());
+  EXPECT_NEAR(got, ref, 1e-3f * (1.0f + std::fabs(ref)));
+}
+
+TEST(Dispatch, ToggleSwitchesPath) {
+  EXPECT_TRUE(simd::simd_enabled() == simd::compiled_with_avx2());
+  simd::set_simd_enabled(false);
+  EXPECT_FALSE(simd::simd_enabled());
+  // Kernels still work in scalar mode.
+  std::vector<float> a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(simd::dot(a.data(), b.data(), 3), 32.0f);
+  simd::set_simd_enabled(true);
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  std::vector<float> x = {1000.0f, 1000.0f, 999.0f};
+  simd::softmax_inplace(x.data(), x.size());
+  EXPECT_NEAR(x[0], x[1], 1e-6f);
+  EXPECT_GT(x[0], x[2]);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace slide

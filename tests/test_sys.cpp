@@ -1,0 +1,280 @@
+// Tests for the platform substrate: aligned allocation, RNG, timers,
+// thread pool (scheduling, exceptions, busy accounting), hugepages and
+// perf counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "sys/aligned.h"
+#include "sys/hugepages.h"
+#include "sys/perf_counters.h"
+#include "sys/rng.h"
+#include "sys/thread_pool.h"
+#include "sys/timer.h"
+
+namespace slide {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AlignedAllocator
+// ---------------------------------------------------------------------------
+
+TEST(Aligned, VectorStorageIsCacheLineAligned) {
+  AlignedVector<float> v(100, 1.0f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineSize, 0u);
+}
+
+TEST(Aligned, GrowPreservesContentAndAlignment) {
+  AlignedVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineSize, 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint32_t n : {1u, 2u, 7u, 1000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(n), n);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const float u = rng.uniform_float();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasUnitVarianceRoughly) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const float x = rng.normal();
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------------------------
+// WallTimer
+// ---------------------------------------------------------------------------
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+class ThreadPoolParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolParam, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i, int) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ThreadPoolParam, ParallelRangeCoversAllWithoutOverlap) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 999;  // not a multiple of the thread count
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_range(n, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ThreadPoolParam, RunOnAllUsesEveryThreadId) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(GetParam()));
+  pool.run_on_all([&](int tid) {
+    seen[static_cast<std::size_t>(tid)].fetch_add(1);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST_P(ThreadPoolParam, SumsMatchSerialReference) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 100'000;
+  std::atomic<long long> total{0};
+  pool.parallel_range(n, [&](std::size_t b, std::size_t e, int) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += static_cast<long long>(i);
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(),
+            static_cast<long long>(n) * static_cast<long long>(n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParam,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, int) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, BusyAccountingGrowsWithWork) {
+  ThreadPool pool(2);
+  pool.reset_busy();
+  pool.parallel_for(4, [&](std::size_t, int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  const auto busy = pool.busy_seconds();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_GT(busy[0] + busy[1], 0.015);
+  pool.reset_busy();
+  for (double b : pool.busy_seconds()) EXPECT_EQ(b, 0.0);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Hugepages
+// ---------------------------------------------------------------------------
+
+TEST(Hugepages, BufferIsZeroInitializedAndWritable) {
+  HugeBuffer buf(1 << 20);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_GE(buf.size(), std::size_t{1} << 20);
+  auto* p = static_cast<unsigned char*>(buf.data());
+  for (std::size_t i = 0; i < (1 << 20); i += 4096) EXPECT_EQ(p[i], 0);
+  p[0] = 42;
+  p[buf.size() - 1] = 7;
+  EXPECT_EQ(p[0], 42);
+}
+
+TEST(Hugepages, SizeRoundsUpTo2MB) {
+  HugeBuffer buf(1);
+  EXPECT_EQ(buf.size(), std::size_t{2} << 20);
+}
+
+TEST(Hugepages, MoveTransfersOwnership) {
+  HugeBuffer a(1 << 20);
+  void* ptr = a.data();
+  HugeBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Hugepages, ToggleControlsThpRequest) {
+  const bool was = hugepages_enabled();
+  set_hugepages_enabled(false);
+  HugeBuffer off(1 << 20);
+  EXPECT_FALSE(off.uses_thp());
+  set_hugepages_enabled(true);
+  HugeBuffer on(1 << 20);
+  if (hugepages_supported()) {
+    EXPECT_TRUE(on.uses_thp());
+  }
+  set_hugepages_enabled(was);
+}
+
+TEST(Hugepages, HugeArrayIndexing) {
+  HugeArray a(1000);
+  EXPECT_EQ(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 0.0f);
+  a[999] = 3.5f;
+  EXPECT_EQ(a[999], 3.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Perf counters
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, SnapshotDeltasAreNonNegativeAndGrowWithTouching) {
+  const PerfSnapshot before = PerfSnapshot::now();
+  // Touch a few MB of fresh memory to generate minor faults.
+  std::vector<char> block(8 << 20);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 1;
+  const PerfSnapshot after = PerfSnapshot::now();
+  const PerfSnapshot delta = after - before;
+  // Some sandboxed kernels report zero fault counts via getrusage; only
+  // require growth when the platform exposes the counter at all.
+  if (after.minor_page_faults > 0) {
+    EXPECT_GT(delta.minor_page_faults, 0u);
+  }
+  EXPECT_GE(delta.user_cpu_seconds + delta.system_cpu_seconds, 0.0);
+  EXPECT_GT(delta.resident_set_bytes, 0u);
+}
+
+TEST(PerfCounters, ThpModeIsKnownString) {
+  const std::string mode = thp_mode();
+  EXPECT_FALSE(mode.empty());
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1); }
+
+}  // namespace
+}  // namespace slide
