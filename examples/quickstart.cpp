@@ -1,11 +1,15 @@
 // Quickstart: train a SLIDE network on a small synthetic extreme-
-// classification dataset and evaluate precision@1.
+// classification dataset, evaluate precision@1, then serve it through the
+// concurrent inference engine.
 //
 //   ./build/examples/quickstart
 //
 // This is the 60-second tour of the public API: generate data, describe the
 // paper's architecture (sparse input -> 128 dense ReLU -> LSH-sampled
-// softmax), train with the batch-parallel HOGWILD trainer, evaluate.
+// softmax), train with the batch-parallel HOGWILD trainer, evaluate, and
+// finally stand up the serve/ stack (ModelStore snapshot + InferenceEngine
+// micro-batching). See examples/serve_cli.cpp for the full load driver with
+// hot-swapping, and bench/serve_throughput.cpp for the tuning numbers.
 #include <cstdio>
 
 #include "slide/slide.h"
@@ -66,5 +70,36 @@ int main() {
   const Sample& probe = data.test[0];
   std::printf("sample 0: true label %u, predicted %u\n", probe.labels[0],
               network.predict_top1(probe.features, ctx, true));
+
+  // 5. Serve: snapshot the trained model into a ModelStore and drive a few
+  //    requests through the concurrent micro-batching engine. Futures
+  //    resolve with top-k labels; ModelStore::publish / publish_clone
+  //    hot-swaps a newer model under live traffic. The store's contract:
+  //    hash tables must be current when a network is published.
+  network.rebuild_all(&trainer.pool());
+  // std::move relinquishes `network` — neither it nor `trainer` may be
+  // used past this line. To keep training while serving, hand the store a
+  // copy instead: publish_clone(*store, network) (see serve_cli.cpp).
+  auto store = std::make_shared<ModelStore>(
+      std::make_shared<Network>(std::move(network)), "quickstart");
+  ServeConfig serve_cfg;
+  serve_cfg.num_workers = 2;
+  serve_cfg.max_batch = 8;
+  serve_cfg.max_wait_us = 200;
+  InferenceEngine engine(store, serve_cfg);
+  std::vector<std::future<Prediction>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    // nullopt = backpressure (queue full); real clients retry or shed.
+    auto future = engine.submit(data.test[i].features, /*top_k=*/3);
+    if (future.has_value()) futures.push_back(std::move(*future));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Prediction p = futures[i].get();
+    if (p.labels.empty()) continue;  // sampled inference may come up empty
+    std::printf("  served %zu: top label %u (snapshot v%llu, %.0fus)\n", i,
+                p.labels[0], static_cast<unsigned long long>(
+                                 p.snapshot_version),
+                p.latency_us);
+  }
   return 0;
 }

@@ -1,0 +1,211 @@
+// Closed-loop load driver for the inference serving engine.
+//
+//   ./build/examples/serve_cli [options]
+//     --workers N     engine worker threads            (default 2)
+//     --clients N     closed-loop client threads       (default 4)
+//     --batch N       micro-batch size cap             (default 16)
+//     --wait US       micro-batch deadline, usec       (default 200)
+//     --queue N       admission queue capacity         (default 4096)
+//     --topk N        labels returned per request      (default 5)
+//     --seconds S     seconds of load per phase        (default 3)
+//     --iters N       pre-serve training iterations    (default 300)
+//     --exact         exact (all-class) scoring instead of LSH sampling
+//
+// The driver trains a SLIDE model on a synthetic Delicious-like XC
+// dataset (SLIDE_BENCH_SCALE widens it), checkpoints it, boots a
+// ModelStore + InferenceEngine from the checkpoint, then runs two load
+// phases: steady-state, and a phase with a concurrent train-and-serve
+// hot-swap (the trainer keeps improving the model, the store publishes a
+// fresh snapshot mid-traffic — zero pause, zero failed requests).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slide/slide.h"
+
+using namespace slide;
+
+namespace {
+
+struct Options {
+  int workers = 2;
+  int clients = 4;
+  int batch = 16;
+  long wait_us = 200;
+  std::size_t queue = 4096;
+  int topk = 5;
+  double seconds = 3.0;
+  long iters = 300;
+  bool exact = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--workers") opt.workers = std::stoi(next());
+    else if (arg == "--clients") opt.clients = std::stoi(next());
+    else if (arg == "--batch") opt.batch = std::stoi(next());
+    else if (arg == "--wait") opt.wait_us = std::stol(next());
+    else if (arg == "--queue") opt.queue = std::stoul(next());
+    else if (arg == "--topk") opt.topk = std::stoi(next());
+    else if (arg == "--seconds") opt.seconds = std::stod(next());
+    else if (arg == "--iters") opt.iters = std::stol(next());
+    else if (arg == "--exact") opt.exact = true;
+    else throw Error("unknown option: " + arg);
+  }
+  SLIDE_CHECK(opt.workers > 0, "--workers must be positive");
+  SLIDE_CHECK(opt.clients > 0, "--clients must be positive");
+  SLIDE_CHECK(opt.batch > 0, "--batch must be positive");
+  SLIDE_CHECK(opt.wait_us >= 0, "--wait must be non-negative");
+  SLIDE_CHECK(opt.queue > 0, "--queue must be positive");
+  SLIDE_CHECK(opt.topk > 0, "--topk must be positive");
+  SLIDE_CHECK(opt.seconds > 0, "--seconds must be positive");
+  SLIDE_CHECK(opt.iters >= 0, "--iters must be non-negative");
+  return opt;
+}
+
+/// Runs `clients` closed-loop threads against the engine for `seconds`.
+/// Each client waits for its previous request before issuing the next —
+/// the classic closed-loop driver, so offered load tracks service rate.
+struct LoadResult {
+  std::uint64_t completed = 0;
+  std::uint64_t retried = 0;  // backpressure rejections (resubmitted)
+  std::uint64_t invalid = 0;  // empty/out-of-range results (must stay 0)
+  double wall_seconds = 0.0;
+};
+
+LoadResult run_load(InferenceEngine& engine, const Dataset& queries,
+                    int clients, double seconds, int topk, Index output_dim) {
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> completed{0}, retried{0}, invalid{0};
+  std::vector<std::thread> threads;
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t i = static_cast<std::size_t>(c);
+      while (running.load(std::memory_order_relaxed)) {
+        auto f = engine.submit(queries[i % queries.size()].features, topk);
+        ++i;
+        if (!f.has_value()) {
+          retried.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const Prediction p = f->get();
+        const bool ok = !p.labels.empty() && p.labels[0] < output_dim;
+        (ok ? completed : invalid).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (timer.seconds() < seconds)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  running.store(false);
+  for (auto& t : threads) t.join();
+  return {completed.load(), retried.load(), invalid.load(), timer.seconds()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  Scale scale = Scale::kTiny;
+  try {
+    opt = parse(argc, argv);
+    const char* scale_env = std::getenv("SLIDE_BENCH_SCALE");
+    if (scale_env != nullptr) scale = parse_scale(scale_env);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("== serve_cli: SLIDE inference serving demo ==\n");
+
+  // 1. Train a model to serve.
+  const SyntheticDataset data = make_synthetic_xc(delicious_like(scale));
+  std::printf("%s\n", describe(data.train.stats(), "train").c_str());
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 9;
+  family.l = 50;
+  family.bin_size = 8;
+  NetworkConfig net_cfg = make_paper_network(
+      data.train.feature_dim(), data.train.label_dim(), family,
+      /*sampling_target=*/std::max<Index>(32, data.train.label_dim() / 50),
+      /*hidden_units=*/64);
+  net_cfg.max_batch_size = 128;
+  net_cfg.layers[0].table.range_pow = 12;
+  net_cfg.layers[0].table.bucket_size = 128;
+  Network network(net_cfg, hardware_threads());
+  TrainerConfig train_cfg;
+  train_cfg.batch_size = 128;
+  train_cfg.learning_rate = 1e-3f;
+  Trainer trainer(network, train_cfg);
+  std::printf("[train] %ld iterations...\n", opt.iters);
+  trainer.train(data.train, opt.iters);
+  network.rebuild_all(&trainer.pool());
+
+  // 2. Checkpoint, then boot the serving stack from the checkpoint — the
+  //    same path a standalone server process would take.
+  const std::string checkpoint =
+      (std::filesystem::temp_directory_path() / "serve_cli_model.slide")
+          .string();
+  save_weights_file(network, checkpoint);
+  auto store = ModelStore::from_checkpoint_file(net_cfg, checkpoint);
+  std::printf("[store] loaded %s (version %llu)\n", checkpoint.c_str(),
+              static_cast<unsigned long long>(store->version()));
+
+  ServeConfig serve_cfg;
+  serve_cfg.num_workers = opt.workers;
+  serve_cfg.max_batch = opt.batch;
+  serve_cfg.max_wait_us = opt.wait_us;
+  serve_cfg.queue_capacity = opt.queue;
+  serve_cfg.default_top_k = opt.topk;
+  serve_cfg.exact = opt.exact;
+  InferenceEngine engine(store, serve_cfg);
+
+  // 3. Phase 1: steady-state closed-loop load.
+  std::printf("\n[phase 1] %d clients, %.1fs steady-state load\n",
+              opt.clients, opt.seconds);
+  LoadResult steady = run_load(engine, data.test, opt.clients, opt.seconds,
+                               opt.topk, network.output_dim());
+  std::printf("  %.0f qps, %llu retried (backpressure), %llu invalid\n",
+              static_cast<double>(steady.completed) / steady.wall_seconds,
+              static_cast<unsigned long long>(steady.retried),
+              static_cast<unsigned long long>(steady.invalid));
+
+  // 4. Phase 2: the same load with a train-and-serve hot-swap in the
+  //    middle: train further, publish, traffic never pauses.
+  std::printf("\n[phase 2] load + concurrent train-and-swap\n");
+  std::thread swapper([&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(opt.seconds * 300)));
+    trainer.train(data.train, std::max(50L, opt.iters / 4));
+    network.rebuild_all(&trainer.pool());
+    const std::uint64_t v = publish_clone(*store, network);
+    std::printf("  [swap] published snapshot version %llu mid-traffic\n",
+                static_cast<unsigned long long>(v));
+  });
+  LoadResult swapped = run_load(engine, data.test, opt.clients, opt.seconds,
+                                opt.topk, network.output_dim());
+  swapper.join();
+  std::printf("  %.0f qps, %llu retried, %llu invalid (must be 0)\n",
+              static_cast<double>(swapped.completed) / swapped.wall_seconds,
+              static_cast<unsigned long long>(swapped.retried),
+              static_cast<unsigned long long>(swapped.invalid));
+
+  // 5. Report.
+  std::printf("\n== engine stats ==\n");
+  engine.print_stats(std::cout);
+  engine.stop();
+  std::filesystem::remove(checkpoint);
+  return swapped.invalid == 0 && steady.invalid == 0 ? 0 : 1;
+}

@@ -63,6 +63,7 @@ Network::Network(const NetworkConfig& config, int max_threads)
 float Network::train_sample(int slot, const Sample& sample, float inv_batch,
                             Rng& rng, VisitedSet& visited, int tid) {
   SLIDE_ASSERT(slot >= 0 && slot < config_.max_batch_size);
+  WriteGuard guard(*this);
 
   // ---- Forward ----
   embedding_->forward(slot, sample.features);
@@ -95,15 +96,18 @@ float Network::train_sample(int slot, const Sample& sample, float inv_batch,
 }
 
 void Network::apply_updates(float lr, ThreadPool* pool) {
+  WriteGuard guard(*this);
   embedding_->apply_updates(lr, pool);
   for (auto& layer : layers_) layer->apply_updates(lr, pool);
 }
 
 void Network::maybe_rebuild(long iteration, ThreadPool* pool) {
+  WriteGuard guard(*this);
   for (auto& layer : layers_) layer->maybe_rebuild(iteration, pool);
 }
 
 void Network::rebuild_all(ThreadPool* pool) {
+  WriteGuard guard(*this);
   for (auto& layer : layers_) layer->rebuild_tables(pool);
 }
 
@@ -111,6 +115,10 @@ std::vector<Index> Network::predict_topk(const SparseVector& x,
                                          InferenceContext& ctx, int k,
                                          bool exact) const {
   SLIDE_CHECK(k >= 1, "predict_topk: k must be >= 1");
+#ifndef NDEBUG
+  SLIDE_ASSERT(writers_active() == 0);
+  const std::uint64_t epoch_at_entry = write_epoch();
+#endif
   // Run the same inference forward as predict_top1, then partial-sort the
   // output activations.
   ctx.dense.resize(embedding_->units());
@@ -145,11 +153,18 @@ std::vector<Index> Network::predict_topk(const SparseVector& x,
     out.push_back(prev_ids->empty() ? static_cast<Index>(order[i])
                                     : (*prev_ids)[order[i]]);
   }
+  // A moved epoch or live writer means a writer overlapped this read — a
+  // data race the thread-safety contract (see network.h) forbids.
+  SLIDE_ASSERT(write_epoch() == epoch_at_entry && writers_active() == 0);
   return out;
 }
 
 Index Network::predict_top1(const SparseVector& x, InferenceContext& ctx,
                             bool exact) const {
+#ifndef NDEBUG
+  SLIDE_ASSERT(writers_active() == 0);
+  const std::uint64_t epoch_at_entry = write_epoch();
+#endif
   ctx.dense.resize(embedding_->units());
   embedding_->forward_inference(x, ctx.dense.data());
 
@@ -173,6 +188,7 @@ Index Network::predict_top1(const SparseVector& x, InferenceContext& ctx,
   for (std::size_t i = 1; i < prev_act->size(); ++i) {
     if ((*prev_act)[i] > (*prev_act)[best]) best = i;
   }
+  SLIDE_ASSERT(write_epoch() == epoch_at_entry && writers_active() == 0);
   return prev_ids->empty() ? static_cast<Index>(best) : (*prev_ids)[best];
 }
 

@@ -4,6 +4,7 @@
 // the per-slot forward/backward API.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -25,11 +26,41 @@ struct InferenceContext {
   std::vector<float> act_a, act_b;
 };
 
+/// Thread-safety contract
+/// -----------------------
+/// Readers: predict_top1 / predict_topk are const and safe for any number
+/// of concurrent callers, each with its own InferenceContext — they touch
+/// only immutable layer state (weights, hash tables) plus per-context and
+/// thread_local scratch. This is what the serving engine (serve/) relies
+/// on: many workers share one const Network with zero locks.
+///
+/// Writers: train_sample, apply_updates, maybe_rebuild, rebuild_all and
+/// checkpoint loads mutate shared state and must never overlap a reader.
+/// The supported patterns are (a) a frozen network serving concurrent
+/// readers, or (b) RCU-style snapshots (serve/snapshot.h) where writers
+/// build a fresh network off to the side and swap it in whole.
+///
+/// Debug builds enforce the contract with a write-epoch counter plus an
+/// active-writer count: every mutating entry point bumps the epoch and
+/// holds the writer count for its duration, and predict_* asserts that no
+/// writer is active at entry or exit and that the epoch did not move while
+/// the read was in flight (see write_epoch()). Release compiles all of it
+/// out.
 class Network {
  public:
   /// max_threads sizes the per-thread structures (touched lists, timers);
   /// pass the trainer's thread count (or more).
   Network(const NetworkConfig& config, int max_threads);
+
+  /// Movable (the write epoch carries over); not copyable. Moving while
+  /// any reader or writer is active is undefined, as for any container.
+  Network(Network&& other) noexcept
+      : config_(std::move(other.config_)),
+        embedding_(std::move(other.embedding_)),
+        layers_(std::move(other.layers_)),
+        write_epoch_(other.write_epoch_.load(std::memory_order_acquire)),
+        writers_active_(
+            other.writers_active_.load(std::memory_order_acquire)) {}
 
   const NetworkConfig& config() const noexcept { return config_; }
   Index input_dim() const noexcept { return config_.input_dim; }
@@ -71,12 +102,14 @@ class Network {
 
   /// Top-1 prediction. `exact` scores every output neuron (dense forward);
   /// otherwise the output layer is sampled through the hash tables exactly
-  /// as in training (without label forcing).
+  /// as in training (without label forcing). Safe for concurrent callers
+  /// (one InferenceContext each) while no writer is active — see the
+  /// thread-safety contract above.
   Index predict_top1(const SparseVector& x, InferenceContext& ctx,
                      bool exact = false) const;
 
   /// Top-k predictions ordered by descending score (k results, fewer if the
-  /// sampled active set is smaller).
+  /// sampled active set is smaller). Same thread-safety as predict_top1.
   std::vector<Index> predict_topk(const SparseVector& x, InferenceContext& ctx,
                                   int k, bool exact = false) const;
 
@@ -88,10 +121,56 @@ class Network {
   /// Largest unit count across sampled layers (sizes VisitedSet scratch).
   Index max_sampled_units() const noexcept;
 
+  /// Number of mutations observed so far (debug builds only; always 0 with
+  /// NDEBUG so the hot training path carries no shared-counter traffic).
+  /// A stable epoch across a code region with no active writer at either
+  /// end proves no writer overlapped it.
+  std::uint64_t write_epoch() const noexcept {
+    return write_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Brackets an external mutation (e.g. core/serialize writing into the
+  /// weight spans): epoch bumps at begin, and the active-writer count
+  /// covers the whole bracket so overlapping reads assert even when they
+  /// start mid-write. Nestable; no-ops with NDEBUG.
+  void begin_write() noexcept {
+#ifndef NDEBUG
+    writers_active_.fetch_add(1, std::memory_order_acq_rel);
+    write_epoch_.fetch_add(1, std::memory_order_release);
+#endif
+  }
+  void end_write() noexcept {
+#ifndef NDEBUG
+    writers_active_.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+  }
+
+  /// Active writer count (debug builds only; always 0 with NDEBUG).
+  int writers_active() const noexcept {
+    return writers_active_.load(std::memory_order_acquire);
+  }
+
+  /// RAII form of begin_write()/end_write(): exception-safe, so a throwing
+  /// writer cannot leak the active-writer count and poison later reads.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(Network& network) : network_(network) {
+      network_.begin_write();
+    }
+    ~WriteGuard() { network_.end_write(); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    Network& network_;
+  };
+
  private:
   NetworkConfig config_;
   std::unique_ptr<EmbeddingLayer> embedding_;
   std::vector<std::unique_ptr<SampledLayer>> layers_;
+  std::atomic<std::uint64_t> write_epoch_{0};
+  std::atomic<int> writers_active_{0};
 };
 
 }  // namespace slide

@@ -81,6 +81,9 @@ void save_weights(const Network& network, std::ostream& out) {
 }
 
 void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
+  // Weights change behind the layers' backs: bracket the whole load so
+  // concurrent debug readers assert (see network.h thread-safety).
+  Network::WriteGuard guard(network);
   EmbeddingLayer& emb = network.embedding();
   check_header(in, /*kind=*/0, emb.input_dim(), emb.units(),
                static_cast<std::uint32_t>(network.num_sampled_layers()));

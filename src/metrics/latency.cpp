@@ -1,0 +1,124 @@
+#include "metrics/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace slide {
+
+LatencyHistogram::LatencyHistogram() { reset(); }
+
+int LatencyHistogram::bucket_of(double us) noexcept {
+  if (!(us > 1.0)) return 0;
+  const int b = static_cast<int>(std::log2(us) * kSubBuckets);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower_us(int bucket) noexcept {
+  return std::exp2(static_cast<double>(bucket) / kSubBuckets);
+}
+
+double LatencyHistogram::bucket_upper_us(int bucket) noexcept {
+  return std::exp2(static_cast<double>(bucket + 1) / kSubBuckets);
+}
+
+void LatencyHistogram::record(double us) noexcept {
+  if (us < 0.0) us = 0.0;
+  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  // min/max via CAS races: losing a race re-checks against the new value.
+  // min_us_ starts at +inf (not 0, which is a valid observation).
+  double seen = min_us_.load(std::memory_order_relaxed);
+  while (us < seen &&
+         !min_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+  seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_us() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum_us_.load(std::memory_order_relaxed) /
+                            static_cast<double>(n);
+}
+
+double LatencyHistogram::min_us() const noexcept {
+  return count() == 0 ? 0.0 : min_us_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::max_us() const noexcept {
+  return max_us_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t below = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (rank < static_cast<double>(below + counts[i])) {
+      // Interpolate inside the bucket, clamped to the observed extremes so
+      // p0/p100 match min/max exactly.
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      const double lo = std::max(bucket_lower_us(i), min_us());
+      const double hi = std::min(bucket_upper_us(i), max_us());
+      // Clamp into the observed range: sub-microsecond observations land
+      // in bucket 0 whose lower bound (1us) can exceed the true max.
+      return std::clamp(lo + frac * std::max(0.0, hi - lo), min_us(),
+                        max_us());
+    }
+    below += counts[i];
+  }
+  return max_us();
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0.0, std::memory_order_relaxed);
+  min_us_.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  max_us_.store(0.0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+  Summary s;
+  s.count = count();
+  s.mean_us = mean_us();
+  s.min_us = min_us();
+  s.max_us = max_us();
+  s.p50_us = percentile(0.50);
+  s.p95_us = percentile(0.95);
+  s.p99_us = percentile(0.99);
+  return s;
+}
+
+std::string fmt_latency_us(double us) {
+  char buf[32];
+  if (us < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  } else if (us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us * 1e-6);
+  }
+  return buf;
+}
+
+}  // namespace slide

@@ -1,0 +1,224 @@
+#include "serve/engine.h"
+
+#include <ostream>
+#include <utility>
+
+#include "metrics/table_printer.h"
+
+namespace slide {
+
+InferenceEngine::InferenceEngine(std::shared_ptr<ModelStore> store,
+                                 const ServeConfig& config)
+    : config_(config),
+      store_(std::move(store)),
+      queue_(config.queue_capacity) {
+  SLIDE_CHECK(store_ != nullptr, "InferenceEngine: store must not be null");
+  SLIDE_CHECK(config_.num_workers > 0,
+              "InferenceEngine: num_workers must be positive");
+  SLIDE_CHECK(config_.max_batch > 0,
+              "InferenceEngine: max_batch must be positive");
+  SLIDE_CHECK(config_.max_wait_us >= 0,
+              "InferenceEngine: max_wait_us must be non-negative");
+  SLIDE_CHECK(config_.default_top_k > 0,
+              "InferenceEngine: default_top_k must be positive");
+  worker_state_.resize(static_cast<std::size_t>(config_.num_workers));
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+ServeRequest InferenceEngine::prepare_request(SparseVector features,
+                                              int top_k,
+                                              std::optional<bool> exact) {
+  // Validate at admission (indices are sorted, so this is one lock-free
+  // comparison) — a malformed request must never reach a worker, where it
+  // would corrupt or kill the whole serving process. Workers re-validate
+  // against the snapshot actually serving the batch, so a hot-swap between
+  // admission and service cannot re-open the hole.
+  SLIDE_CHECK(features.min_dim() <= store_->input_dim(),
+              "InferenceEngine: feature index out of range for the served "
+              "model");
+  ServeRequest request;
+  request.features = std::move(features);
+  request.top_k = top_k > 0 ? top_k : config_.default_top_k;
+  request.exact = exact.value_or(config_.exact);
+  request.enqueue_time = std::chrono::steady_clock::now();
+  return request;
+}
+
+bool InferenceEngine::enqueue(ServeRequest&& request) {
+  if (!queue_.try_push(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<std::future<Prediction>> InferenceEngine::submit(
+    SparseVector features, int top_k, std::optional<bool> exact) {
+  ServeRequest request = prepare_request(std::move(features), top_k, exact);
+  std::future<Prediction> future = request.promise.get_future();
+  if (!enqueue(std::move(request))) return std::nullopt;
+  return future;
+}
+
+bool InferenceEngine::submit_callback(SparseVector features,
+                                      std::function<void(Prediction)> callback,
+                                      int top_k, std::optional<bool> exact) {
+  SLIDE_CHECK(callback != nullptr,
+              "InferenceEngine: callback must not be empty");
+  ServeRequest request = prepare_request(std::move(features), top_k, exact);
+  request.callback = std::move(callback);
+  return enqueue(std::move(request));
+}
+
+void InferenceEngine::pause() { queue_.set_paused(true); }
+
+void InferenceEngine::resume() { queue_.set_paused(false); }
+
+void InferenceEngine::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();        // admission off; queued items still drain
+  queue_.set_paused(false);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void InferenceEngine::worker_main(int worker_id) {
+  std::vector<ServeRequest> batch;
+  batch.reserve(static_cast<std::size_t>(config_.max_batch));
+  ServeRequest request;
+  while (queue_.pop(request)) {
+    batch.clear();
+    batch.push_back(std::move(request));
+    // Window closes at max_batch requests or max_wait_us after the oldest
+    // enqueue — an already-late first request drains only what is
+    // immediately available (deadline in the past).
+    const auto deadline =
+        batch.front().enqueue_time + std::chrono::microseconds(config_.max_wait_us);
+    while (static_cast<int>(batch.size()) < config_.max_batch) {
+      ServeRequest next;
+      if (!queue_.pop_until(next, deadline)) break;
+      batch.push_back(std::move(next));
+    }
+    serve_batch(batch, worker_id);
+  }
+}
+
+void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
+                                  int worker_id) {
+  WorkerState& state = worker_state_[static_cast<std::size_t>(worker_id)];
+  // One snapshot reference for the whole batch: a concurrent publish
+  // never mixes two models inside a batch, and the old model stays alive
+  // until the last in-flight batch releases it (RCU grace period).
+  std::shared_ptr<const ModelSnapshot> snap = store_->current();
+  if (state.snapshot == nullptr || state.snapshot->version != snap->version) {
+    if (state.snapshot != nullptr)
+      swaps_observed_.fetch_add(1, std::memory_order_relaxed);
+    // Scratch is sized by the snapshot's architecture; rebuild on swap
+    // (cheap next to a swap's checkpoint load + table rebuild).
+    if (state.ctx == nullptr || state.snapshot == nullptr ||
+        state.snapshot->max_units != snap->max_units) {
+      state.ctx = std::make_unique<InferenceContext>(
+          snap->max_units,
+          config_.seed + 0x9E37u * static_cast<std::uint64_t>(worker_id + 1));
+    }
+    state.snapshot = snap;
+  }
+  // Batch composition is final here; count it before fulfilling any
+  // promise so stats() read after a future resolves always sees the batch.
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const Network& network = *snap->network;
+  for (ServeRequest& r : batch) {
+    // A failure on one request must not take down the worker (an uncaught
+    // exception in a std::thread is std::terminate — the whole server):
+    // route it into the request's future and keep draining.
+    try {
+      // Admission validated against the then-current snapshot; a hot-swap
+      // to a narrower model may have happened since, so re-check against
+      // the snapshot actually serving this batch.
+      SLIDE_CHECK(r.features.min_dim() <= snap->input_dim,
+                  "InferenceEngine: feature index out of range for the "
+                  "snapshot serving this request");
+      Prediction result;
+      result.snapshot_version = snap->version;
+      result.labels =
+          network.predict_topk(r.features, *state.ctx, r.top_k, r.exact);
+      result.latency_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - r.enqueue_time)
+              .count();
+      latency_.record(result.latency_us);
+      if (r.callback) {
+        r.callback(std::move(result));
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Counted before set_value so stats() observed after the future
+        // resolves always includes this request; set_value runs no user
+        // code, so it cannot fail past this point.
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        r.promise.set_value(std::move(result));
+      }
+    } catch (...) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!r.callback) {
+        try {
+          r.promise.set_exception(std::current_exception());
+        } catch (const std::future_error&) {
+          // set_value already succeeded: the exception came from the
+          // callback-free tail (nothing left to report) — counted above.
+        }
+      }
+    }
+  }
+}
+
+ServeStats InferenceEngine::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  const std::uint64_t batched =
+      batched_requests_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches == 0 ? 0.0
+                     : static_cast<double>(batched) /
+                           static_cast<double>(s.batches);
+  s.queue_depth = queue_.depth();
+  s.snapshot_version = store_->version();
+  s.swaps_observed = swaps_observed_.load(std::memory_order_relaxed);
+  s.latency = latency_.summary();
+  return s;
+}
+
+void InferenceEngine::print_stats(std::ostream& out) const {
+  const ServeStats s = stats();
+  MarkdownTable table({"metric", "value"});
+  table.add_row({"submitted", fmt_int(static_cast<long long>(s.submitted))});
+  table.add_row({"completed", fmt_int(static_cast<long long>(s.completed))});
+  table.add_row({"rejected", fmt_int(static_cast<long long>(s.rejected))});
+  table.add_row({"errors", fmt_int(static_cast<long long>(s.errors))});
+  table.add_row({"queue depth", fmt_int(static_cast<long long>(s.queue_depth))});
+  table.add_row({"batches", fmt_int(static_cast<long long>(s.batches))});
+  table.add_row({"mean batch", fmt(s.mean_batch_size, 2)});
+  table.add_row({"snapshot version",
+                 fmt_int(static_cast<long long>(s.snapshot_version))});
+  table.add_row({"swaps observed",
+                 fmt_int(static_cast<long long>(s.swaps_observed))});
+  table.add_row({"latency p50", fmt_latency_us(s.latency.p50_us)});
+  table.add_row({"latency p95", fmt_latency_us(s.latency.p95_us)});
+  table.add_row({"latency p99", fmt_latency_us(s.latency.p99_us)});
+  table.add_row({"latency mean", fmt_latency_us(s.latency.mean_us)});
+  table.add_row({"latency max", fmt_latency_us(s.latency.max_us)});
+  table.print(out);
+}
+
+}  // namespace slide

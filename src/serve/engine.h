@@ -1,0 +1,154 @@
+// Concurrent inference engine: bounded admission, adaptive micro-batching,
+// hot-swappable snapshots.
+//
+// Shape of the system (cf. "Accelerating SLIDE Deep Learning on Modern
+// CPUs", 2021 — on CPUs, batching and memory placement decide serving
+// throughput):
+//
+//   clients --> try_push --> [bounded RequestQueue] --> N workers
+//                  |                                     |  drain up to
+//                  v (full)                              |  max_batch, or
+//               rejected                                 |  until the oldest
+//                                                        |  waits max_wait_us
+//                                                        v
+//                                            snapshot = store->current()
+//                                            predict_topk per request
+//                                            fulfill future / callback
+//
+// Adaptive micro-batching: a worker takes one request (blocking), then
+// keeps draining until either `max_batch` requests are in hand or
+// `max_wait_us` has elapsed since the *oldest* request was enqueued —
+// whichever comes first. Under light load the window closes on the
+// deadline (latency-bound, batch of 1-2); under heavy load it closes on
+// size (throughput-bound, full batches) — no tuning knob to flip between
+// the two regimes. The whole batch runs against one snapshot reference, so
+// a concurrent hot-swap never mixes models within a batch, and per-worker
+// InferenceContext scratch is reused across batches (resized only when a
+// swap changes the architecture).
+//
+// Thread-safety contract with the model: predict_topk is safe for any
+// number of concurrent readers while no writer is active (see
+// core/network.h); snapshots are immutable by construction, so workers
+// need no locks on the model at all.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "metrics/latency.h"
+#include "serve/request_queue.h"
+#include "serve/snapshot.h"
+
+namespace slide {
+
+struct ServeConfig {
+  /// Worker threads draining the queue.
+  int num_workers = 2;
+  /// Dispatch a micro-batch at this many requests...
+  int max_batch = 16;
+  /// ...or when the oldest queued request has waited this long.
+  long max_wait_us = 200;
+  /// Admission bound; try_push past this is rejected (backpressure).
+  std::size_t queue_capacity = 4096;
+  /// Default top-k when submit is called with k = 0.
+  int default_top_k = 5;
+  /// Score every class instead of LSH-sampled inference (slower, exact).
+  bool exact = false;
+  /// Seeds the per-worker RNGs driving sampled inference.
+  std::uint64_t seed = 0x51CE;
+};
+
+/// Point-in-time counters (monotonic since engine construction).
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   // backpressure at admission
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;     // exceptions routed into futures
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  std::size_t queue_depth = 0;
+  std::uint64_t snapshot_version = 0;  // store version at reading time
+  std::uint64_t swaps_observed = 0;    // version changes seen by workers
+  LatencyHistogram::Summary latency;   // end-to-end, microseconds
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(std::shared_ptr<ModelStore> store, const ServeConfig& config);
+  ~InferenceEngine();  // stop(): drains the queue, joins workers
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Submits a request; the future resolves when a worker completes it
+  /// (with the result, or with the exception the worker hit serving it).
+  /// nullopt = rejected by backpressure (queue full or engine stopped).
+  /// Throws slide::Error at admission when a feature index exceeds the
+  /// served model's input dimension. top_k = 0 uses
+  /// config().default_top_k; exact overrides config().exact when set.
+  std::optional<std::future<Prediction>> submit(
+      SparseVector features, int top_k = 0,
+      std::optional<bool> exact = std::nullopt);
+
+  /// Callback flavor: `callback` runs on the worker thread that served the
+  /// request (keep it light). False = rejected by backpressure.
+  bool submit_callback(SparseVector features,
+                       std::function<void(Prediction)> callback, int top_k = 0,
+                       std::optional<bool> exact = std::nullopt);
+
+  /// Drain control: paused workers finish their in-flight batch, then hold;
+  /// admission stays open (the queue absorbs up to queue_capacity).
+  void pause();
+  void resume();
+
+  /// Closes admission, drains every queued request, joins workers. Futures
+  /// of already-admitted requests all resolve. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  ServeStats stats() const;
+  /// Renders stats as a markdown table (metrics/table_printer).
+  void print_stats(std::ostream& out) const;
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const ServeConfig& config() const noexcept { return config_; }
+  const ModelStore& store() const noexcept { return *store_; }
+
+ private:
+  /// Shared admission path: validates features (throws slide::Error on an
+  /// out-of-range index) and stamps defaults + enqueue time.
+  ServeRequest prepare_request(SparseVector features, int top_k,
+                               std::optional<bool> exact);
+  /// Pushes or rejects (backpressure), keeping the counters in step.
+  bool enqueue(ServeRequest&& request);
+
+  void worker_main(int worker_id);
+  void serve_batch(std::vector<ServeRequest>& batch, int worker_id);
+
+  ServeConfig config_;
+  std::shared_ptr<ModelStore> store_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+
+  // Per-worker snapshot + scratch, touched only by that worker's thread.
+  struct WorkerState {
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    std::unique_ptr<InferenceContext> ctx;
+  };
+  std::vector<WorkerState> worker_state_;
+
+  LatencyHistogram latency_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> swaps_observed_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace slide

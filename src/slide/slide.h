@@ -25,10 +25,14 @@
 #include "lsh/table_group.h"           // IWYU pragma: export
 #include "metrics/convergence.h"       // IWYU pragma: export
 #include "metrics/instrumentation.h"   // IWYU pragma: export
+#include "metrics/latency.h"           // IWYU pragma: export
 #include "metrics/metrics.h"           // IWYU pragma: export
 #include "metrics/table_printer.h"     // IWYU pragma: export
 #include "optim/adam.h"                // IWYU pragma: export
 #include "optim/sgd.h"                 // IWYU pragma: export
+#include "serve/engine.h"              // IWYU pragma: export
+#include "serve/request_queue.h"       // IWYU pragma: export
+#include "serve/snapshot.h"            // IWYU pragma: export
 #include "simd/kernels.h"              // IWYU pragma: export
 #include "sys/hugepages.h"             // IWYU pragma: export
 #include "sys/perf_counters.h"         // IWYU pragma: export

@@ -1,0 +1,532 @@
+// Serving-path tests: request queue semantics, latency histogram,
+// snapshot store hot-swap, and the inference engine's micro-batching,
+// backpressure, and result-correctness contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/serialize.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "serve/engine.h"
+
+namespace slide {
+namespace {
+
+using namespace std::chrono_literals;
+
+SyntheticDataset planted() {
+  SyntheticConfig cfg;
+  cfg.feature_dim = 300;
+  cfg.label_dim = 60;
+  cfg.num_train = 400;
+  cfg.num_test = 100;
+  cfg.features_per_label = 10;
+  cfg.active_per_label = 6;
+  cfg.noise_features = 2;
+  cfg.seed = 911;
+  return make_synthetic_xc(cfg);
+}
+
+NetworkConfig planted_config(const SyntheticDataset& data) {
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 5;
+  family.l = 12;
+  NetworkConfig cfg = make_paper_network(data.train.feature_dim(),
+                                         data.train.label_dim(), family, 20,
+                                         16);
+  cfg.max_batch_size = 32;
+  cfg.layers[0].table.range_pow = 9;
+  return cfg;
+}
+
+std::shared_ptr<const Network> trained_network(const SyntheticDataset& data,
+                                               long iterations = 100) {
+  auto net = std::make_shared<Network>(planted_config(data), 2);
+  TrainerConfig tc;
+  tc.batch_size = 32;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(*net, tc);
+  trainer.train(data.train, iterations);
+  net->rebuild_all(&trainer.pool());
+  return net;
+}
+
+ServeRequest make_request(const SparseVector& x, int k = 3) {
+  ServeRequest r;
+  r.features = x;
+  r.top_k = k;
+  r.enqueue_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+// ---- RequestQueue ---------------------------------------------------------
+
+TEST(RequestQueue, BackpressureRejectsWhenFull) {
+  const auto data = planted();
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_request(data.test[0].features)));
+  EXPECT_TRUE(queue.try_push(make_request(data.test[1].features)));
+  EXPECT_FALSE(queue.try_push(make_request(data.test[2].features)));
+  EXPECT_EQ(queue.depth(), 2u);
+  ServeRequest out;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.try_push(make_request(data.test[2].features)));
+}
+
+TEST(RequestQueue, PopUntilTimesOutOnEmptyQueue) {
+  RequestQueue queue(4);
+  ServeRequest out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_until(out, t0 + 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
+}
+
+TEST(RequestQueue, CloseDrainsRemainingItems) {
+  const auto data = planted();
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.try_push(make_request(data.test[0].features)));
+  ASSERT_TRUE(queue.try_push(make_request(data.test[1].features)));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(make_request(data.test[2].features)));
+  ServeRequest out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_FALSE(queue.pop(out));  // closed and drained
+}
+
+TEST(RequestQueue, PauseHoldsPopsButAdmits) {
+  const auto data = planted();
+  RequestQueue queue(4);
+  queue.set_paused(true);
+  ASSERT_TRUE(queue.try_push(make_request(data.test[0].features)));
+  ServeRequest out;
+  EXPECT_FALSE(
+      queue.pop_until(out, std::chrono::steady_clock::now() + 10ms));
+  queue.set_paused(false);
+  EXPECT_TRUE(
+      queue.pop_until(out, std::chrono::steady_clock::now() + 100ms));
+}
+
+// ---- LatencyHistogram -----------------------------------------------------
+
+TEST(LatencyHistogram, PercentilesTrackObservations) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  for (int i = 1; i <= 1000; ++i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.min_us(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max_us(), 1000.0);
+  EXPECT_NEAR(hist.mean_us(), 500.5, 1e-6);
+  // Geometric buckets: <~19% relative error plus interpolation slack.
+  EXPECT_NEAR(hist.percentile(0.50), 500.0, 150.0);
+  EXPECT_NEAR(hist.percentile(0.95), 950.0, 250.0);
+  EXPECT_GE(hist.percentile(0.99), hist.percentile(0.95));
+  EXPECT_LE(hist.percentile(0.99), hist.max_us());
+}
+
+TEST(LatencyHistogram, SubMicrosecondObservationsStayInRange) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.record(0.5);
+  EXPECT_DOUBLE_EQ(hist.max_us(), 0.5);
+  EXPECT_LE(hist.percentile(0.5), hist.max_us());
+  EXPECT_LE(hist.summary().p99_us, hist.max_us());
+  EXPECT_GE(hist.percentile(0.5), hist.min_us());
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAreAllCounted) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.record(static_cast<double>(100 + t));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto s = hist.summary();
+  EXPECT_EQ(s.count, hist.count());
+  EXPECT_GE(s.p99_us, s.p50_us);
+}
+
+// ---- ModelStore -----------------------------------------------------------
+
+TEST(ModelStore, PublishBumpsVersionAndSwapsPointer) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 20));
+  const auto snap1 = store->current();
+  EXPECT_EQ(snap1->version, 1u);
+  const std::uint64_t v2 = store->publish(trained_network(data, 25));
+  EXPECT_EQ(v2, 2u);
+  const auto snap2 = store->current();
+  EXPECT_NE(snap1->network.get(), snap2->network.get());
+  // The old snapshot stays valid for readers still holding it (RCU).
+  InferenceContext ctx(snap1->max_units);
+  EXPECT_LT(snap1->network->predict_top1(data.test[0].features, ctx, true),
+            snap1->network->output_dim());
+}
+
+TEST(ModelStore, CheckpointRoundTripPreservesExactPredictions) {
+  const auto data = planted();
+  auto trained = trained_network(data);
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  save_weights(*trained, checkpoint);
+  checkpoint.seekg(0);
+
+  auto store = std::make_shared<ModelStore>(trained_network(data, 5));
+  const std::uint64_t v =
+      store->load_checkpoint(planted_config(data), checkpoint, "roundtrip", 2);
+  EXPECT_EQ(v, 2u);
+  const auto snap = store->current();
+  InferenceContext ctx_a(trained->max_sampled_units());
+  InferenceContext ctx_b(snap->max_units);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(
+        trained->predict_topk(data.test[i].features, ctx_a, 5, true),
+        snap->network->predict_topk(data.test[i].features, ctx_b, 5, true));
+  }
+}
+
+TEST(ModelStore, BootsDirectlyFromCheckpointFile) {
+  const auto data = planted();
+  auto trained = trained_network(data);
+  const std::string path =
+      testing::TempDir() + "slide_test_serve_checkpoint.bin";
+  save_weights_file(*trained, path);
+  auto store = ModelStore::from_checkpoint_file(planted_config(data), path, 1);
+  EXPECT_EQ(store->version(), 1u);
+  const auto snap = store->current();
+  EXPECT_EQ(snap->source, path);
+  InferenceContext ctx_a(trained->max_sampled_units());
+  InferenceContext ctx_b(snap->max_units);
+  EXPECT_EQ(trained->predict_topk(data.test[0].features, ctx_a, 5, true),
+            snap->network->predict_topk(data.test[0].features, ctx_b, 5,
+                                        true));
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, AsyncLoadSurvivesCallerDroppingTheStore) {
+  const auto data = planted();
+  const std::string path =
+      testing::TempDir() + "slide_test_serve_async_checkpoint.bin";
+  save_weights_file(*trained_network(data, 5), path);
+  std::future<std::uint64_t> pending;
+  {
+    auto store = std::make_shared<ModelStore>(trained_network(data, 5));
+    pending = store->load_checkpoint_file_async(planted_config(data), path, 1);
+    // The caller's reference dies here; the load task co-owns the store.
+  }
+  EXPECT_EQ(pending.get(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, LoadCheckpointRejectsArchitectureMismatch) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 5));
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  save_weights(*trained_network(data, 5), checkpoint);
+  checkpoint.seekg(0);
+  NetworkConfig wrong = planted_config(data);
+  wrong.hidden_units += 1;
+  EXPECT_THROW(store->load_checkpoint(wrong, checkpoint, "mismatch", 1),
+               Error);
+  EXPECT_EQ(store->version(), 1u);  // store unchanged on failure
+}
+
+// ---- InferenceEngine ------------------------------------------------------
+
+TEST(InferenceEngine, ExactResultsMatchDirectPredictTopk) {
+  const auto data = planted();
+  auto network = trained_network(data);
+  auto store = std::make_shared<ModelStore>(network);
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100;
+  cfg.exact = true;
+  InferenceEngine engine(store, cfg);
+
+  std::vector<std::future<Prediction>> futures;
+  for (std::size_t i = 0; i < 40; ++i) {
+    auto f = engine.submit(data.test[i].features, 5);
+    ASSERT_TRUE(f.has_value()) << i;
+    futures.push_back(std::move(*f));
+  }
+  InferenceContext ctx(network->max_sampled_units());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Prediction p = futures[i].get();
+    EXPECT_EQ(p.labels,
+              network->predict_topk(data.test[i].features, ctx, 5, true))
+        << i;
+    EXPECT_EQ(p.snapshot_version, 1u);
+    EXPECT_GT(p.latency_us, 0.0);
+  }
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.latency.count, 40u);
+}
+
+TEST(InferenceEngine, BatchingDeadlineDispatchesPartialBatch) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 20));
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 64;        // far more than we submit
+  cfg.max_wait_us = 20'000;  // 20ms window
+  InferenceEngine engine(store, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f = engine.submit(data.test[0].features);
+  ASSERT_TRUE(f.has_value());
+  ASSERT_EQ(f->wait_for(5s), std::future_status::ready)
+      << "deadline did not fire: a lone request must not wait for a full "
+         "batch";
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, 4s);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(InferenceEngine, PausedQueueAccumulatesOneFullBatch) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 20));
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 500'000;  // generous: size, not deadline, closes it
+  InferenceEngine engine(store, cfg);
+
+  engine.pause();
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto f = engine.submit(data.test[static_cast<std::size_t>(i)].features);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  EXPECT_EQ(engine.queue_depth(), 8u);
+  engine.resume();
+  for (auto& f : futures)
+    ASSERT_EQ(f.wait_for(10s), std::future_status::ready);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.batches, 1u);  // one worker, all 8 already queued
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 8.0);
+}
+
+TEST(InferenceEngine, BackpressureRejectsWhenQueueFull) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 20));
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.queue_capacity = 4;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 1'000;
+  InferenceEngine engine(store, cfg);
+
+  engine.pause();  // hold workers so the queue fills deterministically
+  std::vector<std::future<Prediction>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    auto f = engine.submit(data.test[static_cast<std::size_t>(i)].features);
+    ASSERT_TRUE(f.has_value()) << i;
+    admitted.push_back(std::move(*f));
+  }
+  EXPECT_FALSE(engine.submit(data.test[4].features).has_value());
+  EXPECT_FALSE(
+      engine.submit_callback(data.test[5].features, [](Prediction) {}));
+  EXPECT_EQ(engine.stats().rejected, 2u);
+  engine.resume();
+  for (auto& f : admitted)
+    ASSERT_EQ(f.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(engine.stats().completed, 4u);
+}
+
+TEST(InferenceEngine, RejectsOutOfRangeFeaturesAtAdmission) {
+  const auto data = planted();
+  auto network = trained_network(data, 20);
+  auto store = std::make_shared<ModelStore>(network);
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_wait_us = 100;
+  InferenceEngine engine(store, cfg);
+  SparseVector bad({network->input_dim() + 7}, {1.0f});
+  EXPECT_THROW(engine.submit(bad), Error);
+  EXPECT_THROW(engine.submit_callback(bad, [](Prediction) {}), Error);
+  // The malformed request never reached a worker; the engine still serves.
+  auto ok = engine.submit(data.test[0].features);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_LT(ok->get().labels[0], network->output_dim());
+}
+
+TEST(InferenceEngine, CallbackPathDeliversResults) {
+  const auto data = planted();
+  auto network = trained_network(data);
+  auto store = std::make_shared<ModelStore>(network);
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_wait_us = 100;
+  cfg.exact = true;
+  std::atomic<int> delivered{0};
+  std::atomic<bool> all_valid{true};
+  {
+    InferenceEngine engine(store, cfg);
+    const Index output_dim = network->output_dim();
+    for (std::size_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(engine.submit_callback(
+          data.test[i].features, [&, output_dim](Prediction p) {
+            if (p.labels.empty() || p.labels[0] >= output_dim)
+              all_valid.store(false);
+            delivered.fetch_add(1);
+          }));
+    }
+  }  // destructor stops + drains
+  EXPECT_EQ(delivered.load(), 20);
+  EXPECT_TRUE(all_valid.load());
+}
+
+TEST(InferenceEngine, StopDrainsAllAdmittedRequests) {
+  const auto data = planted();
+  auto store = std::make_shared<ModelStore>(trained_network(data, 20));
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 2;
+  cfg.max_wait_us = 50'000;
+  InferenceEngine engine(store, cfg);
+  engine.pause();
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto f = engine.submit(data.test[static_cast<std::size_t>(i)].features);
+    ASSERT_TRUE(f.has_value()) << i;
+    futures.push_back(std::move(*f));
+  }
+  engine.stop();  // resumes, closes admission, drains, joins
+  for (auto& f : futures)
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(engine.stats().completed, 6u);
+  EXPECT_FALSE(engine.submit(data.test[0].features).has_value());
+}
+
+TEST(InferenceEngine, HotSwapUnderLoadReturnsOnlyValidResults) {
+  const auto data = planted();
+  auto network = trained_network(data);
+  auto store = std::make_shared<ModelStore>(network);
+  const Index output_dim = network->output_dim();
+  ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 200;
+  cfg.queue_capacity = 1 << 16;
+  InferenceEngine engine(store, cfg);
+
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> ok{0}, bad{0};
+  std::set<std::uint64_t> versions_seen;
+  std::mutex versions_mutex;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t i = static_cast<std::size_t>(c);
+      while (running.load()) {
+        auto f = engine.submit(data.test[i % data.test.size()].features, 3);
+        ++i;
+        if (!f.has_value()) continue;  // backpressure: retry
+        Prediction p = f->get();
+        const bool valid =
+            !p.labels.empty() &&
+            std::all_of(p.labels.begin(), p.labels.end(),
+                        [&](Index l) { return l < output_dim; });
+        (valid ? ok : bad).fetch_add(1);
+        std::lock_guard<std::mutex> lock(versions_mutex);
+        versions_seen.insert(p.snapshot_version);
+      }
+    });
+  }
+  // Publish three fresh snapshots while traffic flows.
+  for (int swap = 0; swap < 3; ++swap) {
+    std::this_thread::sleep_for(50ms);
+    publish_clone(*store, *network, /*rebuild_threads=*/1);
+  }
+  std::this_thread::sleep_for(50ms);
+  running.store(false);
+  for (auto& t : clients) t.join();
+  engine.stop();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_EQ(store->version(), 4u);
+  // Traffic spanned at least one swap boundary.
+  EXPECT_GE(versions_seen.size(), 2u);
+  EXPECT_GE(engine.stats().swaps_observed, 1u);
+}
+
+TEST(InferenceEngine, SwapPreservingWeightsPreservesExactResults) {
+  // A snapshot built from the same weights must serve identical exact
+  // predictions: the engine's results are checkpoint-stable.
+  const auto data = planted();
+  auto network = trained_network(data);
+  auto store = std::make_shared<ModelStore>(network);
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_wait_us = 100;
+  cfg.exact = true;
+  InferenceEngine engine(store, cfg);
+
+  auto before = engine.submit(data.test[0].features, 5);
+  ASSERT_TRUE(before.has_value());
+  const std::vector<Index> labels_before = before->get().labels;
+  publish_clone(*store, *network, 1);
+  auto after = engine.submit(data.test[0].features, 5);
+  ASSERT_TRUE(after.has_value());
+  Prediction p = after->get();
+  EXPECT_EQ(p.labels, labels_before);
+  EXPECT_EQ(p.snapshot_version, 2u);
+}
+
+#ifndef NDEBUG
+TEST(NetworkWriteEpoch, MutatorsBumpAndPredictionsDoNot) {
+  const auto data = planted();
+  Network net(planted_config(data), 1);
+  const std::uint64_t e0 = net.write_epoch();
+  InferenceContext ctx(net.max_sampled_units());
+  net.predict_top1(data.test[0].features, ctx, true);
+  net.predict_topk(data.test[0].features, ctx, 3, true);
+  EXPECT_EQ(net.write_epoch(), e0);  // readers leave the epoch alone
+  EXPECT_EQ(net.writers_active(), 0);
+  net.rebuild_all(nullptr);
+  EXPECT_GT(net.write_epoch(), e0);
+  EXPECT_EQ(net.writers_active(), 0);  // brackets are balanced
+}
+
+TEST(NetworkWriteEpoch, ReadInsideWriteBracketAsserts) {
+  const auto data = planted();
+  Network net(planted_config(data), 1);
+  InferenceContext ctx(net.max_sampled_units());
+  net.begin_write();
+  EXPECT_EQ(net.writers_active(), 1);
+  // SLIDE_ASSERT throws std::logic_error in debug builds.
+  EXPECT_THROW(net.predict_top1(data.test[0].features, ctx, true),
+               std::logic_error);
+  net.end_write();
+  EXPECT_EQ(net.writers_active(), 0);
+  EXPECT_LT(net.predict_top1(data.test[0].features, ctx, true),
+            net.output_dim());
+}
+#endif
+
+}  // namespace
+}  // namespace slide
