@@ -115,6 +115,93 @@ inline void run_dense_convergence(DenseNetwork& network, const Dataset& train,
   }
 }
 
+/// Minimal streaming JSON writer for machine-readable bench artifacts
+/// (BENCH_*.json), so the perf trajectory is trackable across PRs without
+/// scraping stdout tables. Keys/strings must not need escaping.
+class Json {
+ public:
+  Json& begin_object() { return open('{'); }
+  Json& end_object() { return close('}'); }
+  Json& begin_array() { return open('['); }
+  Json& end_array() { return close(']'); }
+  Json& key(const char* name) {
+    comma();
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  Json& number(double v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  Json& number(long long v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Json& string(const char* v) {
+    comma();
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+    return *this;
+  }
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path` (and says so on stdout).
+  void write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("[json] cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[json] wrote %s (%zu bytes)\n", path.c_str(), out_.size());
+  }
+
+ private:
+  Json& open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  Json& close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value right after a key: no comma
+      need_comma_ = true;
+      return;
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+/// Output path for a bench's JSON artifact: $SLIDE_BENCH_JSON_DIR/<name>
+/// (default: current directory).
+inline std::string json_path(const char* name) {
+  const char* dir = std::getenv("SLIDE_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return name;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + name;
+}
+
 inline void print_header(const char* artifact, const char* paper_summary) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", artifact);

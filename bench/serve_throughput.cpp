@@ -90,6 +90,17 @@ int main() {
   const int clients = 4;
 
   // ---- Sweep: workers x micro-batch window -------------------------------
+  // Human-readable table on stdout; machine-readable BENCH_serve.json on
+  // disk so the perf trajectory is tracked across PRs.
+  bench::Json json;
+  json.begin_object();
+  json.key("bench").string("serve_throughput");
+  json.key("scale").string(bench::scale_name(scale));
+  json.key("threads").number(static_cast<long long>(max_threads));
+  json.key("clients").number(static_cast<long long>(clients));
+  json.key("phase_seconds").number(phase_seconds);
+  json.key("sweep").begin_array();
+
   MarkdownTable table({"workers", "max_batch", "max_wait_us", "qps",
                        "mean batch", "p50", "p95", "p99", "retried"});
   const int worker_counts[] = {1, 2, std::max(4, max_threads)};
@@ -106,16 +117,28 @@ int main() {
       const LoadStats load = closed_loop(engine, data.test, clients,
                                          phase_seconds, model->output_dim());
       const ServeStats stats = engine.stats();
+      const double qps =
+          static_cast<double>(load.completed) / load.wall_seconds;
       table.add_row({fmt_int(workers), fmt_int(cfg.max_batch),
-                     fmt_int(wait_us),
-                     fmt(static_cast<double>(load.completed) /
-                             load.wall_seconds,
-                         0),
+                     fmt_int(wait_us), fmt(qps, 0),
                      fmt(stats.mean_batch_size, 2),
                      fmt_latency_us(stats.latency.p50_us),
                      fmt_latency_us(stats.latency.p95_us),
                      fmt_latency_us(stats.latency.p99_us),
                      fmt_int(static_cast<long long>(load.retried))});
+      json.begin_object();
+      json.key("workers").number(static_cast<long long>(workers));
+      json.key("max_batch").number(static_cast<long long>(cfg.max_batch));
+      json.key("max_wait_us").number(static_cast<long long>(wait_us));
+      json.key("qps").number(qps);
+      json.key("mean_batch").number(stats.mean_batch_size);
+      json.key("p50_us").number(stats.latency.p50_us);
+      json.key("p95_us").number(stats.latency.p95_us);
+      json.key("p99_us").number(stats.latency.p99_us);
+      json.key("completed").number(
+          static_cast<long long>(load.completed));
+      json.key("retried").number(static_cast<long long>(load.retried));
+      json.end_object();
       engine.stop();
       if (load.failed != 0) {
         std::printf("FAILED: %llu failed requests in sweep\n",
@@ -124,6 +147,7 @@ int main() {
       }
     }
   }
+  json.end_array();
   table.print(std::cout);
 
   // ---- Hot-swap under sustained load -------------------------------------
@@ -166,6 +190,23 @@ int main() {
               fmt_latency_us(stats.latency.p95_us).c_str(),
               fmt_latency_us(stats.latency.p99_us).c_str());
   engine.stop();
+  json.key("hot_swap").begin_object();
+  json.key("workers").number(static_cast<long long>(cfg.num_workers));
+  json.key("max_batch").number(static_cast<long long>(cfg.max_batch));
+  json.key("max_wait_us").number(static_cast<long long>(cfg.max_wait_us));
+  json.key("qps").number(static_cast<double>(load.completed) /
+                         load.wall_seconds);
+  json.key("mean_batch").number(stats.mean_batch_size);
+  json.key("p50_us").number(stats.latency.p50_us);
+  json.key("p95_us").number(stats.latency.p95_us);
+  json.key("p99_us").number(stats.latency.p99_us);
+  json.key("completed").number(static_cast<long long>(load.completed));
+  json.key("failed").number(static_cast<long long>(load.failed));
+  json.key("swaps_observed").number(
+      static_cast<long long>(stats.swaps_observed));
+  json.end_object();
+  json.end_object();
+  json.write_file(bench::json_path("BENCH_serve.json"));
   if (load.failed != 0) {
     std::printf("FAILED: hot swap dropped %llu requests\n",
                 static_cast<unsigned long long>(load.failed));

@@ -35,11 +35,17 @@ int main(int argc, char** argv) {
   family.kind = HashFamilyKind::kSimhash;
   family.k = 9;
   family.l = 50;
-  NetworkConfig slide_cfg = make_paper_network(data.train.feature_dim(),
-                                               label_dim, family, target);
-  slide_cfg.max_batch_size = 128;
-  slide_cfg.layers[0].table.range_pow = 14;
-  slide_cfg.layers[0].rebuild.initial_period = 50;
+  HashTable::Config slide_table;
+  slide_table.range_pow = 14;
+  RebuildSchedule slide_rebuild;
+  slide_rebuild.initial_period = 50;
+  NetworkConfig slide_cfg = NetworkBuilder(data.train.feature_dim())
+                                .dense(128)
+                                .sampled(label_dim, family, target)
+                                .table(slide_table)
+                                .rebuild_schedule(slide_rebuild)
+                                .max_batch(128)
+                                .to_config();
 
   TrainerConfig tcfg;
   tcfg.batch_size = 128;

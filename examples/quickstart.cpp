@@ -23,20 +23,27 @@ int main() {
   std::printf("%s\n", describe(data.train.stats(), "train").c_str());
   std::printf("%s\n", describe(data.test.stats(), "test").c_str());
 
-  // 2. Network: the paper's benchmark architecture. Simhash with K=6, L=24
-  //    on the output layer; activate ~64 of the 500 classes per sample.
+  // 2. Network: the paper's benchmark architecture, described fluently —
+  //    sparse input -> 32 dense ReLU -> LSH-sampled softmax (Simhash with
+  //    K=6, L=24; activate ~64 of the 500 classes per sample). Swap
+  //    .sampled(...) for .dense(labels, Activation::kSoftmax) to get the
+  //    full dense baseline, or .random_sampled(labels, 64) for the
+  //    sampled-softmax baseline — same Trainer, checkpoints, and serving.
   HashFamilyConfig family;
   family.kind = HashFamilyKind::kSimhash;
   family.k = 6;
   family.l = 24;
-  NetworkConfig net_cfg = make_paper_network(
-      data.train.feature_dim(), data.train.label_dim(), family,
-      /*sampling_target=*/64, /*hidden_units=*/32);
-  net_cfg.max_batch_size = 64;
-  net_cfg.layers[0].table.range_pow = 10;
+  HashTable::Config table;
+  table.range_pow = 10;
 
   const int threads = hardware_threads();
-  Network network(net_cfg, threads);
+  Network network = NetworkBuilder(data.train.feature_dim())
+                        .dense(32)
+                        .sampled(data.train.label_dim(), family,
+                                 /*sampling_target=*/64)
+                        .table(table)
+                        .max_batch(64)
+                        .build(threads);
   std::printf("network: %zu parameters, %d layers, output sampling %.1f%%\n",
               network.num_parameters(), network.num_layers(),
               100.0 * 64 / data.train.label_dim());
@@ -66,10 +73,22 @@ int main() {
                                          {.exact = false});
   std::printf("final P@1: exact %.3f | sampled %.3f\n", exact, sampled);
 
-  InferenceContext ctx(network.max_sampled_units());
+  InferenceContext ctx(network);  // sizes its scratch from the model
   const Sample& probe = data.test[0];
   std::printf("sample 0: true label %u, predicted %u\n", probe.labels[0],
               network.predict_top1(probe.features, ctx, true));
+
+  // Whole batches go through one call — this is the path the serving
+  // engine's micro-batcher uses; pass a pool to fan the batch out.
+  std::vector<SparseVector> queries;
+  for (std::size_t i = 0; i < 16; ++i)
+    queries.push_back(data.test[i].features);
+  BatchOutput batch_out;
+  network.predict_batch(queries, batch_out, &trainer.pool(), /*top_k=*/3,
+                        /*exact=*/true);
+  std::printf("batch of %zu served in one predict_batch call; row 0 top "
+              "label %u\n",
+              batch_out.size(), batch_out.row(0)[0]);
 
   // 5. Serve: snapshot the trained model into a ModelStore and drive a few
   //    requests through the concurrent micro-batching engine. Futures

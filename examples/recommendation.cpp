@@ -28,12 +28,14 @@ int main(int argc, char** argv) {
   family.k = 8;
   family.l = 50;
   family.bin_size = 8;
-  NetworkConfig cfg = make_paper_network(data.train.feature_dim(), label_dim,
-                                         family, target);
-  cfg.max_batch_size = 256;  // paper uses batch 256 for Amazon-670K
-  cfg.layers[0].table.range_pow = 14;
-
-  Network network(cfg, threads);
+  HashTable::Config table;
+  table.range_pow = 14;
+  Network network = NetworkBuilder(data.train.feature_dim())
+                        .dense(128)
+                        .sampled(label_dim, family, target)
+                        .table(table)
+                        .max_batch(256)  // paper uses batch 256 for Amazon
+                        .build(threads);
   TrainerConfig tcfg;
   tcfg.batch_size = 256;
   tcfg.num_threads = threads;
@@ -53,7 +55,7 @@ int main(int argc, char** argv) {
   // both the exact scorer and LSH-sampled inference (the production path —
   // cost scales with the active set, not the catalogue).
   network.rebuild_all(&trainer.pool());
-  InferenceContext ctx(network.max_sampled_units());
+  InferenceContext ctx(network);
   std::printf("\n== top-5 recommendations for 5 query baskets ==\n");
   int overlap_total = 0;
   for (int q = 0; q < 5; ++q) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <limits>
 
 #include "simd/kernels.h"
@@ -10,118 +9,68 @@
 namespace slide {
 
 DenseNetwork::DenseNetwork(const Config& config, int max_threads)
-    : config_(config),
-      embedding_(config.input_dim, config.hidden_units,
-                 config.hidden_init_stddev, config.max_batch_size,
-                 max_threads, config.adam, config.seed),
-      units_(config.output_units),
-      fan_in_(config.hidden_units),
-      weights_(static_cast<std::size_t>(config.output_units) *
-               config.hidden_units),
-      bias_(config.output_units, 0.0f),
-      adam_(config.adam,
-            static_cast<std::size_t>(config.output_units) *
-                    config.hidden_units +
-                config.output_units) {
-  SLIDE_CHECK(units_ > 0, "DenseNetwork: output_units must be positive");
-  Rng rng(config.seed + 1);
-  const float stddev =
-      config.output_init_stddev > 0.0f
-          ? config.output_init_stddev
-          : 2.0f / std::sqrt(static_cast<float>(fan_in_));
-  for (std::size_t i = 0; i < weights_.size(); ++i)
-    weights_.data()[i] = stddev * rng.normal();
-  delta_.resize(static_cast<std::size_t>(config.max_batch_size));
+    : network_(NetworkBuilder(config.input_dim)
+                   .dense(config.hidden_units, Activation::kReLU,
+                          config.hidden_init_stddev)
+                   .dense(config.output_units, Activation::kSoftmax,
+                          config.output_init_stddev)
+                   .max_batch(config.max_batch_size)
+                   .adam(config.adam)
+                   .seed(config.seed)
+                   .build(max_threads)) {
+  // Deterministic across thread counts: the dense output layer touches
+  // every weight on every sample, where HOGWILD's lost updates would no
+  // longer be a negligible fraction — serialize accumulation instead.
+  network_.set_use_locks(true);
+  Rng seeder(config.seed + 0xD5);
+  slot_rngs_.reserve(static_cast<std::size_t>(config.max_batch_size));
+  for (int s = 0; s < config.max_batch_size; ++s)
+    slot_rngs_.push_back(seeder.fork());
+  visited_.reserve(static_cast<std::size_t>(max_threads));
+  for (int t = 0; t < max_threads; ++t)
+    visited_.push_back(std::make_unique<VisitedSet>(
+        std::max<Index>(network_.max_sampled_units(), 1)));
 }
 
 float DenseNetwork::step(const Dataset& data,
                          std::span<const std::size_t> indices, float lr,
                          ThreadPool& pool) {
   SLIDE_CHECK(!indices.empty(), "DenseNetwork::step: empty batch");
-  SLIDE_CHECK(static_cast<int>(indices.size()) <= config_.max_batch_size,
+  SLIDE_CHECK(static_cast<int>(indices.size()) <= network_.max_batch_size(),
               "DenseNetwork::step: batch exceeds max_batch_size");
-  const std::size_t batch = indices.size();
-  const float inv_batch = 1.0f / static_cast<float>(batch);
+  const float inv_batch = 1.0f / static_cast<float>(indices.size());
   std::atomic<float> loss_sum{0.0f};
-
-  // Phase 1 — sample-parallel forward: hidden activations, full logits,
-  // softmax over ALL classes, deltas (p - y)/B stored per slot.
-  pool.parallel_range(batch, [&](std::size_t begin, std::size_t end, int) {
-    float local_loss = 0.0f;
-    for (std::size_t s = begin; s < end; ++s) {
-      const Sample& sample = data[indices[s]];
-      embedding_.forward(static_cast<int>(s), sample.features);
-      const float* h = embedding_.slot(static_cast<int>(s)).act.data();
-      auto& logits = delta_[s];
-      logits.resize(units_);
-      for (Index u = 0; u < units_; ++u)
-        logits[u] = bias_[u] + simd::dot(weight_row_ptr(u), h, fan_in_);
-      simd::softmax_inplace(logits.data(), units_);
-      const float y = sample.labels.empty()
-                          ? 0.0f
-                          : 1.0f / static_cast<float>(sample.labels.size());
-      for (Index label : sample.labels) {
-        local_loss -= y * std::log(std::max(logits[label], 1e-30f));
-      }
-      simd::scale(logits.data(), inv_batch, units_);
-      for (Index label : sample.labels) logits[label] -= y * inv_batch;
-    }
-    float expected = loss_sum.load(std::memory_order_relaxed);
-    while (!loss_sum.compare_exchange_weak(expected, expected + local_loss,
-                                           std::memory_order_relaxed)) {
-    }
-  });
-
-  // Phase 2 — sample-parallel backprop into the hidden layer (must read the
-  // pre-update output weights) and embedding gradient accumulation.
-  pool.parallel_range(batch, [&](std::size_t begin, std::size_t end, int tid) {
-    for (std::size_t s = begin; s < end; ++s) {
-      const Sample& sample = data[indices[s]];
-      float* h_err = embedding_.slot(static_cast<int>(s)).err.data();
-      const auto& deltas = delta_[s];
-      for (Index u = 0; u < units_; ++u) {
-        const float d = deltas[u];
-        if (d != 0.0f) simd::axpy(d, weight_row_ptr(u), h_err, fan_in_);
-      }
-      embedding_.backward(static_cast<int>(s), sample.features, tid);
-    }
-  });
-
-  // Phase 3 — unit-parallel gradient computation + Adam (no write races:
-  // each unit's weight row belongs to exactly one thread).
-  adam_.step_begin();
-  const std::size_t bias_base = static_cast<std::size_t>(units_) * fan_in_;
-  pool.parallel_range(units_, [&](std::size_t begin, std::size_t end, int) {
-    AlignedVector<float> grad(fan_in_);
-    for (std::size_t u = begin; u < end; ++u) {
-      std::fill(grad.begin(), grad.end(), 0.0f);
-      float bias_grad = 0.0f;
-      for (std::size_t s = 0; s < batch; ++s) {
-        const float d = delta_[s][u];
-        if (d == 0.0f) continue;
-        bias_grad += d;
-        simd::axpy(d, embedding_.slot(static_cast<int>(s)).act.data(),
-                   grad.data(), fan_in_);
-      }
-      float* w = weights_.data() + u * fan_in_;
-      adam_.update_span(w, grad.data(), u * fan_in_, fan_in_, lr);
-      adam_.update_at(&bias_[u], bias_grad, bias_base + u, lr);
-    }
-  });
-
-  embedding_.apply_updates(lr, &pool);
+  pool.parallel_range(
+      indices.size(), [&](std::size_t begin, std::size_t end, int tid) {
+        SLIDE_ASSERT(static_cast<std::size_t>(tid) < visited_.size());
+        VisitedSet& visited = *visited_[static_cast<std::size_t>(tid)];
+        float local_loss = 0.0f;
+        for (std::size_t s = begin; s < end; ++s) {
+          local_loss += network_.train_sample(static_cast<int>(s),
+                                              data[indices[s]], inv_batch,
+                                              slot_rngs_[s], visited, tid);
+        }
+        float expected = loss_sum.load(std::memory_order_relaxed);
+        while (!loss_sum.compare_exchange_weak(
+            expected, expected + local_loss, std::memory_order_relaxed)) {
+        }
+      });
+  network_.apply_updates(lr, &pool);
   return loss_sum.load() * inv_batch;
 }
 
 Index DenseNetwork::predict_top1(const SparseVector& x,
                                  std::vector<float>& scratch) const {
-  scratch.resize(fan_in_);
-  embedding_.forward_inference(x, scratch.data());
+  const SampledLayer& output = network_.output_layer();
+  const Index fan_in = output.fan_in();
+  scratch.resize(fan_in);
+  network_.embedding().forward_inference(x, scratch.data());
   Index best = 0;
   float best_score = -std::numeric_limits<float>::infinity();
-  for (Index u = 0; u < units_; ++u) {
+  for (Index u = 0; u < output.units(); ++u) {
     const float score =
-        bias_[u] + simd::dot(weight_row_ptr(u), scratch.data(), fan_in_);
+        output.bias(u) + simd::dot(output.weight_row(u), scratch.data(),
+                                   fan_in);
     if (score > best_score) {
       best_score = score;
       best = u;
@@ -134,12 +83,14 @@ std::vector<Index> DenseNetwork::predict_topk(const SparseVector& x,
                                               std::vector<float>& scratch,
                                               int k) const {
   SLIDE_CHECK(k >= 1, "predict_topk: k must be >= 1");
-  scratch.resize(fan_in_);
-  embedding_.forward_inference(x, scratch.data());
-  std::vector<std::pair<float, Index>> scored(units_);
-  for (Index u = 0; u < units_; ++u) {
-    scored[u] = {bias_[u] + simd::dot(weight_row_ptr(u), scratch.data(),
-                                      fan_in_),
+  const SampledLayer& output = network_.output_layer();
+  const Index fan_in = output.fan_in();
+  scratch.resize(fan_in);
+  network_.embedding().forward_inference(x, scratch.data());
+  std::vector<std::pair<float, Index>> scored(output.units());
+  for (Index u = 0; u < output.units(); ++u) {
+    scored[u] = {output.bias(u) + simd::dot(output.weight_row(u),
+                                            scratch.data(), fan_in),
                  u};
   }
   const std::size_t take =
@@ -155,11 +106,6 @@ std::vector<Index> DenseNetwork::predict_topk(const SparseVector& x,
   out.reserve(take);
   for (std::size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
   return out;
-}
-
-std::size_t DenseNetwork::num_parameters() const noexcept {
-  return embedding_.num_parameters() +
-         static_cast<std::size_t>(units_) * fan_in_ + units_;
 }
 
 }  // namespace slide

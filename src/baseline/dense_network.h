@@ -1,23 +1,32 @@
 // Full-softmax dense baseline — the role the paper's TF-CPU / TF-GPU
-// comparators play (see DESIGN.md §3). Identical architecture (sparse input
-// -> dense hidden -> softmax over ALL classes), identical Adam optimizer,
-// identical initialization; the only difference from SLIDE is that every
-// output neuron computes on every sample, the honest O(B x classes x
-// hidden) cost of dense training.
+// comparators play (see DESIGN.md §3).
 //
-// The implementation is deliberately optimized (AVX2 kernels, batch
-// parallelism restructured to avoid write races: sample-parallel forward,
-// then unit-parallel gradient+Adam) so the SLIDE-vs-dense comparison is not
-// strawmanned.
+// DEPRECATED (kept as a thin alias for one release): since the unified
+// Layer/Network redesign the dense baseline is just a builder stack,
+//
+//   Network net = NetworkBuilder(input_dim)
+//                     .dense(hidden_units)
+//                     .dense(output_units, Activation::kSoftmax)
+//                     .build(max_threads);
+//
+// trained by the ordinary Trainer and served by serve/ like any other
+// model. This wrapper holds exactly that Network and preserves the old
+// step()/predict API so existing callers compile unchanged; new code
+// should use NetworkBuilder directly (network() exposes the inner model
+// for incremental migration). Gradient accumulation runs with per-layer
+// locks instead of HOGWILD so the dense step stays deterministic across
+// thread counts, matching the old phase-structured implementation — the
+// honest-comparison property the baseline exists for.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "core/layer.h"
+#include "core/builder.h"
+#include "core/network.h"
 #include "data/dataset.h"
 #include "optim/adam.h"
-#include "sys/aligned.h"
 #include "sys/thread_pool.h"
 
 namespace slide {
@@ -37,55 +46,53 @@ class DenseNetwork {
 
   DenseNetwork(const Config& config, int max_threads);
 
-  Index input_dim() const noexcept { return config_.input_dim; }
-  Index output_dim() const noexcept { return config_.output_units; }
+  Index input_dim() const noexcept { return network_.input_dim(); }
+  Index output_dim() const noexcept { return network_.output_dim(); }
 
   /// One full-softmax training batch; returns the mean loss.
   float step(const Dataset& data, std::span<const std::size_t> indices,
              float lr, ThreadPool& pool);
 
-  /// Argmax over all output logits.
+  /// Argmax over all output logits. Thread-safe for concurrent callers
+  /// (one scratch vector each) while no step() is running.
   Index predict_top1(const SparseVector& x, std::vector<float>& scratch) const;
 
   /// Top-k labels by logit, descending.
   std::vector<Index> predict_topk(const SparseVector& x,
                                   std::vector<float>& scratch, int k) const;
 
-  std::size_t num_parameters() const noexcept;
+  std::size_t num_parameters() const noexcept {
+    return network_.num_parameters();
+  }
 
-  EmbeddingLayer& embedding() noexcept { return embedding_; }
-  const EmbeddingLayer& embedding() const noexcept { return embedding_; }
+  /// The unified model backing this wrapper — the migration path off the
+  /// deprecated API (train it with Trainer, serve it with serve/).
+  Network& network() noexcept { return network_; }
+  const Network& network() const noexcept { return network_; }
+
+  EmbeddingLayer& embedding() noexcept { return network_.embedding(); }
+  const EmbeddingLayer& embedding() const noexcept {
+    return network_.embedding();
+  }
 
   /// Whole-parameter views of the output layer (serialization).
   std::span<float> output_weights_span() noexcept {
-    return {weights_.data(), weights_.size()};
+    return network_.output_layer().weights_span();
   }
   std::span<const float> output_weights_span() const noexcept {
-    return {weights_.data(), weights_.size()};
+    return network_.output_layer().weights_span();
   }
   std::span<float> output_bias_span() noexcept {
-    return {bias_.data(), bias_.size()};
+    return network_.output_layer().bias_span();
   }
   std::span<const float> output_bias_span() const noexcept {
-    return {bias_.data(), bias_.size()};
+    return network_.output_layer().bias_span();
   }
 
  private:
-  const float* weight_row_ptr(Index u) const noexcept {
-    return weights_.data() + static_cast<std::size_t>(u) * fan_in_;
-  }
-  float* weight_row_ptr(Index u) noexcept {
-    return weights_.data() + static_cast<std::size_t>(u) * fan_in_;
-  }
-
-  Config config_;
-  EmbeddingLayer embedding_;
-  Index units_;
-  Index fan_in_;
-  HugeArray weights_;  // [units x fan_in]
-  AlignedVector<float> bias_;
-  Adam adam_;
-  std::vector<AlignedVector<float>> delta_;  // per slot: logits then deltas
+  Network network_;
+  std::vector<Rng> slot_rngs_;                        // one per batch slot
+  std::vector<std::unique_ptr<VisitedSet>> visited_;  // one per thread
 };
 
 }  // namespace slide

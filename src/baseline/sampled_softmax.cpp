@@ -1,22 +1,16 @@
 #include "baseline/sampled_softmax.h"
 
+#include "core/builder.h"
+
 namespace slide {
 
 NetworkConfig make_sampled_softmax_network(Index input_dim, Index label_dim,
                                            Index num_sampled,
                                            Index hidden_units) {
-  NetworkConfig cfg;
-  cfg.input_dim = input_dim;
-  cfg.hidden_units = hidden_units;
-  LayerSpec output;
-  output.units = label_dim;
-  output.activation = Activation::kSoftmax;
-  output.hashed = false;
-  output.random_sampled = true;
-  output.sampling.target = num_sampled;
-  output.fill_random_to_target = true;
-  cfg.layers.push_back(output);
-  return cfg;
+  return NetworkBuilder(input_dim)
+      .dense(hidden_units)
+      .random_sampled(label_dim, num_sampled)
+      .to_config();
 }
 
 }  // namespace slide

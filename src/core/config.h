@@ -83,6 +83,9 @@ struct TrainerConfig {
 /// Builds the paper's benchmark architecture: input -> 128 ReLU -> softmax
 /// output with LSH tables on the output layer only ("we maintain the hash
 /// tables for the last layer, where we have a computational bottleneck").
+/// Backed by NetworkBuilder (core/builder.h) — equivalent to
+/// NetworkBuilder(input_dim).dense(hidden).sampled(label_dim, family,
+/// sampling_target).to_config(); prefer the builder in new code.
 NetworkConfig make_paper_network(Index input_dim, Index label_dim,
                                  const HashFamilyConfig& family,
                                  Index sampling_target,

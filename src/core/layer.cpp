@@ -16,7 +16,36 @@ void init_normal(float* w, std::size_t n, float stddev, Rng& rng) {
   for (std::size_t i = 0; i < n; ++i) w[i] = stddev * rng.normal();
 }
 
+SampledLayer::Config dense_layer_config(Index units, Index fan_in,
+                                        Activation activation,
+                                        float init_stddev,
+                                        const AdamConfig& adam,
+                                        std::uint64_t seed) {
+  SampledLayer::Config cfg;
+  cfg.units = units;
+  cfg.fan_in = fan_in;
+  cfg.activation = activation;
+  cfg.hashed = false;
+  cfg.random_sampled = false;
+  cfg.init_stddev = init_stddev;
+  cfg.adam = adam;
+  cfg.seed = seed;
+  return cfg;
+}
+
 }  // namespace
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDense:
+      return "dense";
+    case LayerKind::kSampled:
+      return "sampled";
+    case LayerKind::kRandomSampled:
+      return "random_sampled";
+  }
+  return "?";
+}
 
 // ===========================================================================
 // EmbeddingLayer
@@ -573,6 +602,69 @@ double SampledLayer::compute_seconds() const {
 void SampledLayer::reset_phase_timers() {
   for (auto& t : sampling_time_) t.value.store(0.0);
   for (auto& t : compute_time_) t.value.store(0.0);
+}
+
+// ===========================================================================
+// DenseLayer / RandomSampledLayer / make_layer
+// ===========================================================================
+
+DenseLayer::DenseLayer(Index units, Index fan_in, Activation activation,
+                       float init_stddev, const AdamConfig& adam,
+                       std::uint64_t seed, int batch_slots, int max_threads)
+    : SampledLayer(dense_layer_config(units, fan_in, activation, init_stddev,
+                                      adam, seed),
+                   batch_slots, max_threads) {}
+
+RandomSampledLayer::RandomSampledLayer(Index units, Index fan_in,
+                                       Index num_sampled,
+                                       Activation activation,
+                                       float init_stddev,
+                                       const AdamConfig& adam,
+                                       std::uint64_t seed, int batch_slots,
+                                       int max_threads)
+    : SampledLayer(
+          [&] {
+            SampledLayer::Config cfg = dense_layer_config(
+                units, fan_in, activation, init_stddev, adam, seed);
+            cfg.random_sampled = true;
+            cfg.sampling.target = num_sampled;
+            return cfg;
+          }(),
+          batch_slots, max_threads) {
+  SLIDE_CHECK(num_sampled > 0,
+              "RandomSampledLayer: num_sampled must be positive");
+}
+
+std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
+                                  const AdamConfig& adam, std::uint64_t seed,
+                                  int batch_slots, int max_threads) {
+  SLIDE_CHECK(!(spec.hashed && spec.random_sampled),
+              "make_layer: hashed and random_sampled are exclusive");
+  if (spec.hashed) {
+    SampledLayer::Config cfg;
+    cfg.units = spec.units;
+    cfg.fan_in = fan_in;
+    cfg.activation = spec.activation;
+    cfg.hashed = true;
+    cfg.family = spec.family;
+    cfg.table = spec.table;
+    cfg.sampling = spec.sampling;
+    cfg.rebuild = spec.rebuild;
+    cfg.fill_random_to_target = spec.fill_random_to_target;
+    cfg.incremental_rehash = spec.incremental_rehash;
+    cfg.init_stddev = spec.init_stddev;
+    cfg.adam = adam;
+    cfg.seed = seed;
+    return std::make_unique<SampledLayer>(cfg, batch_slots, max_threads);
+  }
+  if (spec.random_sampled) {
+    return std::make_unique<RandomSampledLayer>(
+        spec.units, fan_in, spec.sampling.target, spec.activation,
+        spec.init_stddev, adam, seed, batch_slots, max_threads);
+  }
+  return std::make_unique<DenseLayer>(spec.units, fan_in, spec.activation,
+                                      spec.init_stddev, adam, seed,
+                                      batch_slots, max_threads);
 }
 
 }  // namespace slide

@@ -1,19 +1,29 @@
-// The two layer types of the engine, mirroring paper Figure 2.
+// The layer stack of the engine.
 //
-// EmbeddingLayer — the input-facing hidden layer: sparse input, all units
-// active, weights stored *input-major* ([input_dim x units]) so both the
-// forward pass and the gradient accumulation touch one contiguous
-// units-length row per input nonzero. Its per-batch cost is O(nnz * units),
-// negligible next to the output layer (paper: ">99% of the computations are
-// in the final layer").
+// The paper's core observation is that adaptive sparsity is a *per-layer
+// policy*, not a fixed topology: any layer past the input-facing one can
+// run dense, LSH-sampled, or statically sampled. The stack is therefore
+// polymorphic:
 //
-// SampledLayer — a wide layer with optional LSH tables over its neurons.
-// Weights are *neuron-major* ([units x fan_in]); per input only the sampled
-// active neurons compute, softmax normalizes over actives only, and
-// backpropagation touches active x active weight pairs — the s² cost model
-// of paper §3.1.
+//   Layer (abstract)        — forward/backward/apply_updates/rebuild/
+//                             serialize hooks; what Network, Trainer and
+//                             core/serialize program against.
+//   ├── SampledLayer        — the workhorse: neuron-major weights
+//   │   │                     ([units x fan_in]), per-slot active sets,
+//   │   │                     HOGWILD gradient accumulators, and (when
+//   │   │                     hashed) LSH tables over its neurons — the s²
+//   │   │                     cost model of paper §3.1.
+//   │   ├── DenseLayer      — every unit active on every input (the honest
+//   │   │                     dense baseline and ReLU mid-stack layers).
+//   │   └── RandomSampledLayer — labels + static uniform classes (the
+//   │                         Sampled Softmax baseline of paper §5.1).
+//   EmbeddingLayer          — the input adapter, NOT part of the stack: it
+//                             consumes the SparseVector input with weights
+//                             stored *input-major* ([input_dim x units]) so
+//                             forward and gradient accumulation touch one
+//                             contiguous units-length row per input nonzero.
 //
-// Both layers keep per-batch-slot activation/error arrays (the paper's
+// All layers keep per-batch-slot activation/error arrays (the paper's
 // per-neuron batch arrays, stored struct-of-arrays) so every training
 // instance in a batch runs on its own thread without synchronization, and
 // accumulate gradients HOGWILD-style into shared per-weight accumulators.
@@ -51,6 +61,79 @@ struct ActiveSet {
   std::size_t size() const noexcept {
     return dense() ? dense_width : ids.size();
   }
+};
+
+// ---------------------------------------------------------------------------
+
+/// Concrete type of a stack layer (diagnostics, checkpoint tooling).
+enum class LayerKind { kDense, kSampled, kRandomSampled };
+
+const char* to_string(LayerKind kind);
+
+/// Abstract interface of one stack layer (everything after the input-facing
+/// EmbeddingLayer). Network, Trainer, and core/serialize drive the stack
+/// exclusively through this interface, so dense, LSH-sampled, and
+/// random-sampled layers mix freely at any depth.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // ---- Identity ----
+  virtual LayerKind kind() const noexcept = 0;
+  virtual Index units() const noexcept = 0;
+  virtual Index fan_in() const noexcept = 0;
+  virtual Activation activation() const noexcept = 0;
+
+  // ---- Training hooks ----
+  /// Selects the slot's active set (policy-specific) and computes
+  /// activations from the previous layer's active set. `forced` ids (true
+  /// labels on the output layer) come first in the active set.
+  virtual void forward(int slot, const ActiveSet& prev,
+                       std::span<const Index> forced, Rng& rng,
+                       VisitedSet& visited, int tid) = 0;
+  /// Softmax + cross-entropy deltas over the slot's active neurons.
+  virtual float compute_softmax_ce_deltas(int slot,
+                                          std::span<const Index> labels,
+                                          float inv_batch) = 0;
+  /// Hidden-layer path: err *= ReLU'(act), in place.
+  virtual void compute_relu_deltas(int slot) = 0;
+  /// Propagates err to prev.err and accumulates gradients (HOGWILD).
+  virtual void backward(int slot, ActiveSet& prev, int tid) = 0;
+  /// Applies lazy Adam to touched units. Single caller at a time.
+  virtual void apply_updates(float lr, ThreadPool* pool) = 0;
+
+  // ---- LSH lifecycle (no-ops for layers without tables) ----
+  virtual bool maybe_rebuild(long iteration, ThreadPool* pool) = 0;
+  virtual void rebuild_tables(ThreadPool* pool) = 0;
+
+  // ---- Inference hook ----
+  /// Single-sample inference forward into caller buffers. `exact` scores
+  /// all units regardless of the layer's sampling policy.
+  virtual void forward_inference(std::span<const Index> prev_ids,
+                                 std::span<const float> prev_act, bool exact,
+                                 Rng& rng, VisitedSet& visited,
+                                 std::vector<Index>& ids_out,
+                                 std::vector<float>& act_out) const = 0;
+
+  // ---- Per-slot state ----
+  virtual ActiveSet& slot(int s) = 0;
+  virtual const ActiveSet& slot(int s) const = 0;
+
+  // ---- Serialize hooks (checkpoint format: weights block + bias block) ----
+  virtual std::span<float> weights_span() noexcept = 0;
+  virtual std::span<const float> weights_span() const noexcept = 0;
+  virtual std::span<float> bias_span() noexcept = 0;
+  virtual std::span<const float> bias_span() const noexcept = 0;
+  /// Called after an external writer (checkpoint load) rewrote the spans;
+  /// derived state (hash memos) must be marked stale.
+  virtual void on_weights_loaded() noexcept = 0;
+  virtual std::size_t num_parameters() const noexcept = 0;
+
+  /// Serializes gradient accumulation behind a mutex (HOGWILD ablation).
+  virtual void set_use_locks(bool locks) noexcept = 0;
+
+  /// Average active fraction since the last reset (1.0 for dense layers).
+  virtual double average_active_fraction() const = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -136,7 +219,7 @@ class EmbeddingLayer {
 
 // ---------------------------------------------------------------------------
 
-class SampledLayer {
+class SampledLayer : public Layer {
  public:
   struct Config {
     Index units = 0;
@@ -158,10 +241,17 @@ class SampledLayer {
 
   SampledLayer(const Config& config, int batch_slots, int max_threads);
 
-  Index units() const noexcept { return units_; }
-  Index fan_in() const noexcept { return fan_in_; }
+  LayerKind kind() const noexcept override {
+    if (config_.hashed) return LayerKind::kSampled;
+    return config_.random_sampled ? LayerKind::kRandomSampled
+                                  : LayerKind::kDense;
+  }
+  Index units() const noexcept override { return units_; }
+  Index fan_in() const noexcept override { return fan_in_; }
   bool hashed() const noexcept { return config_.hashed; }
-  Activation activation() const noexcept { return config_.activation; }
+  Activation activation() const noexcept override {
+    return config_.activation;
+  }
   const Config& config() const noexcept { return config_; }
 
   /// Selects the active set for the slot (forced ids first, then LSH
@@ -170,7 +260,7 @@ class SampledLayer {
   /// compute_softmax_ce_deltas / the caller. Zeroes the slot's error buffer.
   /// `tid` indexes the per-thread phase timers.
   void forward(int slot, const ActiveSet& prev, std::span<const Index> forced,
-               Rng& rng, VisitedSet& visited, int tid);
+               Rng& rng, VisitedSet& visited, int tid) override;
 
   /// Single-sample inference forward into caller buffers. When `exact` is
   /// set, scores *all* units (ids_out is filled with 0..units-1).
@@ -178,37 +268,39 @@ class SampledLayer {
                          std::span<const float> prev_act, bool exact,
                          Rng& rng, VisitedSet& visited,
                          std::vector<Index>& ids_out,
-                         std::vector<float>& act_out) const;
+                         std::vector<float>& act_out) const override;
 
   /// Softmax + cross-entropy over the slot's active neurons with the given
   /// true labels (which must be the first entries of the active set, i.e.
   /// the `forced` ids of forward()). Fills err with deltas scaled by
   /// inv_batch; returns the sample loss.
   float compute_softmax_ce_deltas(int slot, std::span<const Index> labels,
-                                  float inv_batch);
+                                  float inv_batch) override;
 
   /// Hidden-layer path: err *= ReLU'(act), in place.
-  void compute_relu_deltas(int slot);
+  void compute_relu_deltas(int slot) override;
 
   /// Propagates err to prev.err and accumulates weight/bias gradients for
   /// the slot's active neurons; marks them touched.
-  void backward(int slot, ActiveSet& prev, int tid);
+  void backward(int slot, ActiveSet& prev, int tid) override;
 
   /// Lazy Adam over touched neurons; keeps the Simhash memo in sync when
   /// incremental rehash is on. Single caller at a time.
-  void apply_updates(float lr, ThreadPool* pool);
+  void apply_updates(float lr, ThreadPool* pool) override;
 
   /// Rebuild policy of paper §4.2: returns true if it rebuilt.
-  bool maybe_rebuild(long iteration, ThreadPool* pool);
-  void rebuild_tables(ThreadPool* pool);
+  bool maybe_rebuild(long iteration, ThreadPool* pool) override;
+  void rebuild_tables(ThreadPool* pool) override;
   long rebuild_count() const noexcept { return rebuild_count_; }
 
-  ActiveSet& slot(int s) { return slots_[static_cast<std::size_t>(s)]; }
-  const ActiveSet& slot(int s) const {
+  ActiveSet& slot(int s) override {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+  const ActiveSet& slot(int s) const override {
     return slots_[static_cast<std::size_t>(s)];
   }
 
-  void set_use_locks(bool locks) noexcept { use_locks_ = locks; }
+  void set_use_locks(bool locks) noexcept override { use_locks_ = locks; }
 
   float* weight_row(Index unit) noexcept {
     return weights_.data() + static_cast<std::size_t>(unit) * fan_in_;
@@ -224,22 +316,25 @@ class SampledLayer {
   float bias_gradient(Index unit) const noexcept { return bias_grad_[unit]; }
 
   /// Whole-parameter views (serialization / checkpointing).
-  std::span<float> weights_span() noexcept {
+  std::span<float> weights_span() noexcept override {
     return {weights_.data(), weights_.size()};
   }
-  std::span<const float> weights_span() const noexcept {
+  std::span<const float> weights_span() const noexcept override {
     return {weights_.data(), weights_.size()};
   }
-  std::span<float> bias_span() noexcept { return {bias_.data(), bias_.size()}; }
-  std::span<const float> bias_span() const noexcept {
+  std::span<float> bias_span() noexcept override {
+    return {bias_.data(), bias_.size()};
+  }
+  std::span<const float> bias_span() const noexcept override {
     return {bias_.data(), bias_.size()};
   }
 
   /// Marks the incremental-rehash memo stale (weights changed externally,
   /// e.g. by a checkpoint load); the next rebuild re-projects from weights.
   void invalidate_memo() noexcept { memo_initialized_ = false; }
+  void on_weights_loaded() noexcept override { invalidate_memo(); }
 
-  std::size_t num_parameters() const noexcept {
+  std::size_t num_parameters() const noexcept override {
     return static_cast<std::size_t>(units_) * fan_in_ + units_;
   }
 
@@ -247,7 +342,7 @@ class SampledLayer {
 
   /// Average active fraction over forwards since the last reset (diagnostic;
   /// the paper reports ~0.5% active neurons in the output layer).
-  double average_active_fraction() const;
+  double average_active_fraction() const override;
   void reset_active_stats();
 
   /// Per-thread time spent in LSH sampling vs activation math since the
@@ -302,5 +397,35 @@ class SampledLayer {
 
   std::uint64_t seed_;
 };
+
+// ---------------------------------------------------------------------------
+
+/// A fully dense stack layer: every unit computes on every input. This is
+/// the honest baseline path (full softmax when it is the output layer) and
+/// the shape of ReLU mid-stack layers in deep configurations.
+class DenseLayer final : public SampledLayer {
+ public:
+  DenseLayer(Index units, Index fan_in, Activation activation,
+             float init_stddev, const AdamConfig& adam, std::uint64_t seed,
+             int batch_slots, int max_threads);
+};
+
+/// Static uniform sampling (the Sampled Softmax baseline of paper §5.1):
+/// actives = forced labels + uniformly random classes up to `num_sampled`.
+/// Unlike the LSH path the choice is input-independent — that is the point
+/// of the paper's Figure 7 comparison.
+class RandomSampledLayer final : public SampledLayer {
+ public:
+  RandomSampledLayer(Index units, Index fan_in, Index num_sampled,
+                     Activation activation, float init_stddev,
+                     const AdamConfig& adam, std::uint64_t seed,
+                     int batch_slots, int max_threads);
+};
+
+/// Builds the concrete Layer for a LayerSpec (DenseLayer, SampledLayer, or
+/// RandomSampledLayer) — the single construction point used by Network.
+std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
+                                  const AdamConfig& adam, std::uint64_t seed,
+                                  int batch_slots, int max_threads);
 
 }  // namespace slide

@@ -4,23 +4,6 @@
 
 namespace slide {
 
-NetworkConfig make_paper_network(Index input_dim, Index label_dim,
-                                 const HashFamilyConfig& family,
-                                 Index sampling_target, Index hidden_units) {
-  NetworkConfig cfg;
-  cfg.input_dim = input_dim;
-  cfg.hidden_units = hidden_units;
-  LayerSpec output;
-  output.units = label_dim;
-  output.activation = Activation::kSoftmax;
-  output.hashed = true;
-  output.family = family;
-  output.sampling.strategy = SamplingStrategy::kVanilla;
-  output.sampling.target = sampling_target;
-  cfg.layers.push_back(output);
-  return cfg;
-}
-
 Network::Network(const NetworkConfig& config, int max_threads)
     : config_(config) {
   SLIDE_CHECK(config_.input_dim > 0, "Network: input_dim must be positive");
@@ -39,23 +22,8 @@ Network::Network(const NetworkConfig& config, int max_threads)
 
   Index fan_in = config_.hidden_units;
   for (const LayerSpec& spec : config_.layers) {
-    SampledLayer::Config lc;
-    lc.units = spec.units;
-    lc.fan_in = fan_in;
-    lc.activation = spec.activation;
-    lc.hashed = spec.hashed;
-    lc.random_sampled = spec.random_sampled;
-    lc.family = spec.family;
-    lc.table = spec.table;
-    lc.sampling = spec.sampling;
-    lc.rebuild = spec.rebuild;
-    lc.fill_random_to_target = spec.fill_random_to_target;
-    lc.incremental_rehash = spec.incremental_rehash;
-    lc.init_stddev = spec.init_stddev;
-    lc.adam = config_.adam;
-    lc.seed = seeder();
-    layers_.push_back(std::make_unique<SampledLayer>(
-        lc, config_.max_batch_size, max_threads));
+    layers_.push_back(make_layer(spec, fan_in, config_.adam, seeder(),
+                                 config_.max_batch_size, max_threads));
     fan_in = spec.units;
   }
 }
@@ -68,11 +36,11 @@ float Network::train_sample(int slot, const Sample& sample, float inv_batch,
   // ---- Forward ----
   embedding_->forward(slot, sample.features);
   const ActiveSet* prev = &embedding_->slot(slot);
-  const int last = num_sampled_layers() - 1;
+  const int last = stack_depth() - 1;
   for (int i = 0; i < last; ++i) {
-    layers_[static_cast<std::size_t>(i)]->forward(slot, *prev, {}, rng,
-                                                  visited, tid);
-    prev = &layers_[static_cast<std::size_t>(i)]->slot(slot);
+    Layer& l = *layers_[static_cast<std::size_t>(i)];
+    l.forward(slot, *prev, {}, rng, visited, tid);
+    prev = &l.slot(slot);
   }
   // Output layer: force the true labels into the active set so the softmax
   // gradient has signal (paper §3.1).
@@ -84,9 +52,9 @@ float Network::train_sample(int slot, const Sample& sample, float inv_batch,
 
   // ---- Backward (active x active only) ----
   for (int i = last; i >= 0; --i) {
-    ActiveSet& below = i == 0
-                           ? embedding_->slot(slot)
-                           : layers_[static_cast<std::size_t>(i - 1)]->slot(slot);
+    ActiveSet& below =
+        i == 0 ? embedding_->slot(slot)
+               : layers_[static_cast<std::size_t>(i - 1)]->slot(slot);
     if (i != last)
       layers_[static_cast<std::size_t>(i)]->compute_relu_deltas(slot);
     layers_[static_cast<std::size_t>(i)]->backward(slot, below, tid);
@@ -111,9 +79,8 @@ void Network::rebuild_all(ThreadPool* pool) {
   for (auto& layer : layers_) layer->rebuild_tables(pool);
 }
 
-std::vector<Index> Network::predict_topk(const SparseVector& x,
-                                         InferenceContext& ctx, int k,
-                                         bool exact) const {
+void Network::predict_topk(const SparseVector& x, InferenceContext& ctx,
+                           int k, bool exact, std::vector<Index>& out) const {
   SLIDE_CHECK(k >= 1, "predict_topk: k must be >= 1");
 #ifndef NDEBUG
   SLIDE_ASSERT(writers_active() == 0);
@@ -135,7 +102,8 @@ std::vector<Index> Network::predict_topk(const SparseVector& x,
     std::swap(prev_ids, next_ids);
     std::swap(prev_act, next_act);
   }
-  std::vector<std::size_t> order(prev_act->size());
+  std::vector<std::size_t>& order = ctx.order;
+  order.resize(prev_act->size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   const std::size_t take =
       std::min<std::size_t>(static_cast<std::size_t>(k), order.size());
@@ -147,7 +115,7 @@ std::vector<Index> Network::predict_topk(const SparseVector& x,
                       return (*prev_act)[a] > (*prev_act)[b] ||
                              ((*prev_act)[a] == (*prev_act)[b] && a < b);
                     });
-  std::vector<Index> out;
+  out.clear();
   out.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     out.push_back(prev_ids->empty() ? static_cast<Index>(order[i])
@@ -156,7 +124,74 @@ std::vector<Index> Network::predict_topk(const SparseVector& x,
   // A moved epoch or live writer means a writer overlapped this read — a
   // data race the thread-safety contract (see network.h) forbids.
   SLIDE_ASSERT(write_epoch() == epoch_at_entry && writers_active() == 0);
+}
+
+std::vector<Index> Network::predict_topk(const SparseVector& x,
+                                         InferenceContext& ctx, int k,
+                                         bool exact) const {
+  std::vector<Index> out;
+  predict_topk(x, ctx, k, exact, out);
   return out;
+}
+
+void Network::predict_batch(std::span<const SparseVector> inputs,
+                            BatchOutput& out, ThreadPool* pool, int top_k,
+                            bool exact) const {
+  out.ptrs_.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) out.ptrs_[i] = &inputs[i];
+  predict_batch(std::span<const SparseVector* const>(out.ptrs_), out, pool,
+                top_k, exact);
+}
+
+void Network::predict_batch(std::span<const SparseVector* const> inputs,
+                            BatchOutput& out, ThreadPool* pool, int top_k,
+                            bool exact) const {
+  SLIDE_CHECK(top_k >= 1, "predict_batch: top_k must be >= 1");
+  const std::size_t n = inputs.size();
+  out.labels_.clear();
+  out.offsets_.assign(1, 0);
+  if (n == 0) return;
+
+  // (Re)build the per-thread contexts on first use or after an
+  // architecture change (the serving engine reuses one BatchOutput across
+  // hot-swapped snapshots).
+  const Index scratch_units = std::max<Index>(max_sampled_units(), 1);
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 && n > 1;
+  const std::size_t contexts_needed =
+      parallel ? static_cast<std::size_t>(pool->num_threads()) : 1;
+  if (out.context_units_ != scratch_units) {
+    out.contexts_.clear();
+    out.context_units_ = scratch_units;
+  }
+  while (out.contexts_.size() < contexts_needed) {
+    out.contexts_.push_back(std::make_unique<InferenceContext>(
+        scratch_units,
+        out.seed_ + 0x9E3779B9ull * (out.contexts_.size() + 1)));
+  }
+  if (out.rows_.size() < n) out.rows_.resize(n);
+
+  auto run = [&](std::size_t begin, std::size_t end, int tid) {
+    InferenceContext& ctx = *out.contexts_[static_cast<std::size_t>(tid)];
+    for (std::size_t i = begin; i < end; ++i)
+      predict_topk(*inputs[i], ctx, top_k, exact, out.rows_[i]);
+  };
+  if (parallel) {
+    pool->parallel_range(n, run);
+  } else {
+    run(0, n, 0);
+  }
+
+  // Pack the per-item rows into the flat result (deterministic order
+  // regardless of which thread served which input).
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += out.rows_[i].size();
+  out.labels_.reserve(total);
+  out.offsets_.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.labels_.insert(out.labels_.end(), out.rows_[i].begin(),
+                       out.rows_[i].end());
+    out.offsets_.push_back(out.labels_.size());
+  }
 }
 
 Index Network::predict_top1(const SparseVector& x, InferenceContext& ctx,

@@ -1,9 +1,13 @@
-// The SLIDE network (paper Figure 2): an input-facing EmbeddingLayer
-// followed by one or more SampledLayers, the last of which is the softmax
-// output layer. Owns all layer state; the Trainer drives batches through
-// the per-slot forward/backward API.
+// The SLIDE network (paper Figure 2, generalized): an input-facing
+// EmbeddingLayer followed by a polymorphic stack of Layers (dense,
+// LSH-sampled, random-sampled — freely mixed at any depth), the last of
+// which is the softmax output layer. Owns all layer state; the Trainer
+// drives batches through the per-slot forward/backward API. Construct
+// networks with core/builder.h (NetworkBuilder) or a hand-built
+// NetworkConfig.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -14,16 +18,68 @@
 
 namespace slide {
 
+class Network;
+
 /// Scratch buffers for single-sample inference; create one per thread.
+/// The Network-taking constructor sizes everything from the model, so
+/// callers need not know max_sampled_units().
 struct InferenceContext {
   explicit InferenceContext(Index max_units, std::uint64_t seed = 1)
-      : visited(max_units), rng(seed) {}
+      : visited(std::max<Index>(max_units, 1)), rng(seed) {}
+  /// Sizes the scratch for `network` (see reset(network) for re-targeting).
+  explicit InferenceContext(const Network& network, std::uint64_t seed = 1);
+
+  /// Clears all scratch vectors (keeps their capacity and the RNG state).
+  void reset();
+  /// Re-targets the context at a (possibly different) architecture.
+  void reset(Index max_units);
+  void reset(const Network& network);
 
   VisitedSet visited;
   Rng rng;
   std::vector<float> dense;
   std::vector<Index> ids_a, ids_b;
   std::vector<float> act_a, act_b;
+  std::vector<std::size_t> order;  // predict_topk ranking scratch
+};
+
+/// Results of Network::predict_batch plus the scratch it reuses across
+/// calls (per-thread InferenceContexts, per-item row buffers). Keep one per
+/// caller — e.g. one per serving worker — and pass it to every call; the
+/// contexts are re-created automatically when the served architecture
+/// changes. Not safe for concurrent use by multiple threads.
+class BatchOutput {
+ public:
+  explicit BatchOutput(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Number of inputs in the last predict_batch call.
+  std::size_t size() const noexcept { return offsets_.size() - 1; }
+  /// Top-k labels for input `i`, descending score (fewer than k if the
+  /// sampled active set was smaller).
+  std::span<const Index> row(std::size_t i) const {
+    SLIDE_ASSERT(i + 1 < offsets_.size());
+    return {labels_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  /// All labels, concatenated row after row.
+  std::span<const Index> labels() const noexcept {
+    return {labels_.data(), labels_.size()};
+  }
+  void clear() {
+    labels_.clear();
+    offsets_.assign(1, 0);
+  }
+
+ private:
+  friend class Network;
+
+  std::vector<Index> labels_;
+  std::vector<std::size_t> offsets_{0};  // size() + 1 entries
+  // Reused scratch (not part of the result).
+  std::vector<std::vector<Index>> rows_;
+  std::vector<const SparseVector*> ptrs_;
+  std::vector<std::unique_ptr<InferenceContext>> contexts_;
+  Index context_units_ = 0;
+  std::uint64_t seed_ = 1;
 };
 
 /// Thread-safety contract
@@ -72,15 +128,34 @@ class Network {
 
   EmbeddingLayer& embedding() noexcept { return *embedding_; }
   const EmbeddingLayer& embedding() const noexcept { return *embedding_; }
-  SampledLayer& layer(int i) noexcept {
+
+  /// Polymorphic stack accessors — the i-th layer after the embedding.
+  Layer& stack(int i) noexcept { return *layers_[static_cast<std::size_t>(i)]; }
+  const Layer& stack(int i) const noexcept {
     return *layers_[static_cast<std::size_t>(i)];
+  }
+  int stack_depth() const noexcept { return static_cast<int>(layers_.size()); }
+
+  /// Concrete accessors, kept for existing callers (instrumentation, tests,
+  /// benches). Every in-tree layer type derives from SampledLayer, so the
+  /// downcast is exact; new Layer implementations outside that hierarchy
+  /// must be reached through stack().
+  SampledLayer& layer(int i) noexcept {
+    SLIDE_ASSERT(dynamic_cast<SampledLayer*>(
+                     layers_[static_cast<std::size_t>(i)].get()) != nullptr);
+    return static_cast<SampledLayer&>(*layers_[static_cast<std::size_t>(i)]);
   }
   const SampledLayer& layer(int i) const noexcept {
-    return *layers_[static_cast<std::size_t>(i)];
+    SLIDE_ASSERT(dynamic_cast<const SampledLayer*>(
+                     layers_[static_cast<std::size_t>(i)].get()) != nullptr);
+    return static_cast<const SampledLayer&>(
+        *layers_[static_cast<std::size_t>(i)]);
   }
-  SampledLayer& output_layer() noexcept { return *layers_.back(); }
+  SampledLayer& output_layer() noexcept {
+    return layer(stack_depth() - 1);
+  }
   const SampledLayer& output_layer() const noexcept {
-    return *layers_.back();
+    return layer(stack_depth() - 1);
   }
   int num_sampled_layers() const noexcept {
     return static_cast<int>(layers_.size());
@@ -112,6 +187,26 @@ class Network {
   /// sampled active set is smaller). Same thread-safety as predict_top1.
   std::vector<Index> predict_topk(const SparseVector& x, InferenceContext& ctx,
                                   int k, bool exact = false) const;
+
+  /// Allocation-free predict_topk: fills `out` from the context's scratch
+  /// (clearing previous contents). The batch path below loops over this.
+  void predict_topk(const SparseVector& x, InferenceContext& ctx, int k,
+                    bool exact, std::vector<Index>& out) const;
+
+  /// Whole-batch inference: top_k labels per input into `out`, parallelized
+  /// over inputs when a pool is given (per-thread contexts live inside
+  /// `out` and are reused across calls). This is the path the serving
+  /// engine's micro-batcher dispatches through. Same thread-safety contract
+  /// as predict_top1: safe for concurrent callers (one BatchOutput each)
+  /// while no writer is active.
+  void predict_batch(std::span<const SparseVector> inputs, BatchOutput& out,
+                     ThreadPool* pool = nullptr, int top_k = 1,
+                     bool exact = false) const;
+  /// Pointer flavor for callers whose inputs are not contiguous (the serve
+  /// engine's request groups).
+  void predict_batch(std::span<const SparseVector* const> inputs,
+                     BatchOutput& out, ThreadPool* pool = nullptr,
+                     int top_k = 1, bool exact = false) const;
 
   /// Serializes gradient accumulation (HOGWILD ablation).
   void set_use_locks(bool locks) noexcept;
@@ -168,9 +263,32 @@ class Network {
  private:
   NetworkConfig config_;
   std::unique_ptr<EmbeddingLayer> embedding_;
-  std::vector<std::unique_ptr<SampledLayer>> layers_;
+  std::vector<std::unique_ptr<Layer>> layers_;
   std::atomic<std::uint64_t> write_epoch_{0};
   std::atomic<int> writers_active_{0};
 };
+
+inline InferenceContext::InferenceContext(const Network& network,
+                                          std::uint64_t seed)
+    : InferenceContext(network.max_sampled_units(), seed) {}
+
+inline void InferenceContext::reset() {
+  dense.clear();
+  ids_a.clear();
+  ids_b.clear();
+  act_a.clear();
+  act_b.clear();
+  order.clear();
+}
+
+inline void InferenceContext::reset(Index max_units) {
+  if (visited.capacity() != std::max<Index>(max_units, 1))
+    visited = VisitedSet(std::max<Index>(max_units, 1));
+  reset();
+}
+
+inline void InferenceContext::reset(const Network& network) {
+  reset(network.max_sampled_units());
+}
 
 }  // namespace slide

@@ -67,11 +67,11 @@ void check_header(std::istream& in, std::uint32_t kind,
 void save_weights(const Network& network, std::ostream& out) {
   const EmbeddingLayer& emb = network.embedding();
   write_header(out, /*kind=*/0, emb.input_dim(), emb.units(),
-               static_cast<std::uint32_t>(network.num_sampled_layers()));
+               static_cast<std::uint32_t>(network.stack_depth()));
   write_floats(out, emb.weights_span());
   write_floats(out, emb.bias_span());
-  for (int i = 0; i < network.num_sampled_layers(); ++i) {
-    const SampledLayer& layer = network.layer(i);
+  for (int i = 0; i < network.stack_depth(); ++i) {
+    const Layer& layer = network.stack(i);
     write_u32(out, layer.units());
     write_u32(out, layer.fan_in());
     write_floats(out, layer.weights_span());
@@ -85,19 +85,36 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
   // concurrent debug readers assert (see network.h thread-safety).
   Network::WriteGuard guard(network);
   EmbeddingLayer& emb = network.embedding();
-  check_header(in, /*kind=*/0, emb.input_dim(), emb.units(),
-               static_cast<std::uint32_t>(network.num_sampled_layers()));
+  SLIDE_CHECK(read_u32(in) == kMagic, "load_weights: not a SLIDE checkpoint");
+  SLIDE_CHECK(read_u32(in) == kVersion,
+              "load_weights: unsupported checkpoint version");
+  // Kind 0 is the unified stack; kind 1 is the pre-unification dense
+  // baseline, whose byte layout matches a one-stack-layer network exactly —
+  // accepted here so old dense checkpoints migrate into the unified stack.
+  const std::uint32_t kind = read_u32(in);
+  SLIDE_CHECK(kind == 0 || kind == 1,
+              "load_weights: checkpoint kind mismatch");
+  SLIDE_CHECK(kind == 0 || network.stack_depth() == 1,
+              "load_weights: legacy dense checkpoint needs a single-layer "
+              "stack");
+  SLIDE_CHECK(read_u32(in) == emb.input_dim(),
+              "load_weights: input_dim mismatch");
+  SLIDE_CHECK(read_u32(in) == emb.units(),
+              "load_weights: hidden width mismatch");
+  SLIDE_CHECK(read_u32(in) ==
+                  static_cast<std::uint32_t>(network.stack_depth()),
+              "load_weights: layer count mismatch");
   read_floats(in, emb.weights_span());
   read_floats(in, emb.bias_span());
-  for (int i = 0; i < network.num_sampled_layers(); ++i) {
-    SampledLayer& layer = network.layer(i);
+  for (int i = 0; i < network.stack_depth(); ++i) {
+    Layer& layer = network.stack(i);
     SLIDE_CHECK(read_u32(in) == layer.units(),
                 "load_weights: layer width mismatch");
     SLIDE_CHECK(read_u32(in) == layer.fan_in(),
                 "load_weights: layer fan-in mismatch");
     read_floats(in, layer.weights_span());
     read_floats(in, layer.bias_span());
-    layer.invalidate_memo();
+    layer.on_weights_loaded();
   }
   // Hash tables are a function of the weights: refresh them.
   network.rebuild_all(pool);

@@ -3,7 +3,12 @@
 // The format stores the architecture signature (dims per layer) followed by
 // raw float32 parameter blocks, so a checkpoint can only be loaded into a
 // network with the same shape — load_weights validates and throws
-// slide::Error on mismatch. Hash tables are NOT serialized: they are a
+// slide::Error on mismatch. One format covers every stack a NetworkBuilder
+// can produce (dense-only, multi-hashed, random-sampled): the writer and
+// loader go through the Layer serialize hooks, so layer policy never
+// changes the byte layout. Legacy dense-baseline checkpoints (kind 1,
+// written by the pre-unification DenseNetwork) load into a single-layer
+// unified stack unchanged. Hash tables are NOT serialized: they are a
 // function of the weights and are rebuilt after loading (load_weights does
 // this automatically).
 #pragma once

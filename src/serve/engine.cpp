@@ -24,6 +24,10 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ModelStore> store,
   worker_state_.resize(static_cast<std::size_t>(config_.num_workers));
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int w = 0; w < config_.num_workers; ++w) {
+    // Distinct per-worker seeds drive the sampled-inference RNGs inside the
+    // worker's BatchOutput contexts.
+    worker_state_[static_cast<std::size_t>(w)].out = BatchOutput(
+        config_.seed + 0x9E37u * static_cast<std::uint64_t>(w + 1));
     workers_.emplace_back([this, w] { worker_main(w); });
   }
 }
@@ -120,36 +124,26 @@ void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
   if (state.snapshot == nullptr || state.snapshot->version != snap->version) {
     if (state.snapshot != nullptr)
       swaps_observed_.fetch_add(1, std::memory_order_relaxed);
-    // Scratch is sized by the snapshot's architecture; rebuild on swap
-    // (cheap next to a swap's checkpoint load + table rebuild).
-    if (state.ctx == nullptr || state.snapshot == nullptr ||
-        state.snapshot->max_units != snap->max_units) {
-      state.ctx = std::make_unique<InferenceContext>(
-          snap->max_units,
-          config_.seed + 0x9E37u * static_cast<std::uint64_t>(worker_id + 1));
-    }
     state.snapshot = snap;
+    // The BatchOutput's context scratch is sized by the snapshot's
+    // architecture; predict_batch rebuilds it automatically when the
+    // max-units signature changes, so nothing to do here.
   }
   // Batch composition is final here; count it before fulfilling any
   // promise so stats() read after a future resolves always sees the batch.
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
   const Network& network = *snap->network;
-  for (ServeRequest& r : batch) {
-    // A failure on one request must not take down the worker (an uncaught
-    // exception in a std::thread is std::terminate — the whole server):
-    // route it into the request's future and keep draining.
+  const std::size_t n = batch.size();
+
+  // A failure on one request must not take down the worker (an uncaught
+  // exception in a std::thread is std::terminate — the whole server):
+  // route it into the request's future and keep draining.
+  auto fulfill = [&](ServeRequest& r, std::span<const Index> labels) {
     try {
-      // Admission validated against the then-current snapshot; a hot-swap
-      // to a narrower model may have happened since, so re-check against
-      // the snapshot actually serving this batch.
-      SLIDE_CHECK(r.features.min_dim() <= snap->input_dim,
-                  "InferenceEngine: feature index out of range for the "
-                  "snapshot serving this request");
       Prediction result;
       result.snapshot_version = snap->version;
-      result.labels =
-          network.predict_topk(r.features, *state.ctx, r.top_k, r.exact);
+      result.labels.assign(labels.begin(), labels.end());
       result.latency_us =
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - r.enqueue_time)
@@ -166,15 +160,67 @@ void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
         r.promise.set_value(std::move(result));
       }
     } catch (...) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      if (!r.callback) {
-        try {
-          r.promise.set_exception(std::current_exception());
-        } catch (const std::future_error&) {
-          // set_value already succeeded: the exception came from the
-          // callback-free tail (nothing left to report) — counted above.
-        }
-      }
+      fail(r, std::current_exception());
+    }
+  };
+
+  // Requests already failed (validation) or served drop out of dispatch.
+  state.served.assign(n, 0);
+
+  // Admission validated against the then-current snapshot; a hot-swap to a
+  // narrower model may have happened since, so re-check against the
+  // snapshot actually serving this batch.
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      SLIDE_CHECK(batch[i].features.min_dim() <= snap->input_dim,
+                  "InferenceEngine: feature index out of range for the "
+                  "snapshot serving this request");
+    } catch (...) {
+      fail(batch[i], std::current_exception());
+      state.served[i] = 1;
+    }
+  }
+
+  // Dispatch the micro-batch whole: group requests that share
+  // (top_k, exact) — those parameters shape the answer — and run each
+  // group through Network::predict_batch in one call.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.served[i]) continue;
+    const int top_k = batch[i].top_k;
+    const bool exact = batch[i].exact;
+    state.group_features.clear();
+    state.group_members.clear();
+    for (std::size_t j = i; j < n; ++j) {
+      if (state.served[j] || batch[j].top_k != top_k ||
+          batch[j].exact != exact)
+        continue;
+      state.group_features.push_back(&batch[j].features);
+      state.group_members.push_back(j);
+      state.served[j] = 1;
+    }
+    try {
+      network.predict_batch(
+          std::span<const SparseVector* const>(state.group_features),
+          state.out, /*pool=*/nullptr, top_k, exact);
+      for (std::size_t g = 0; g < state.group_members.size(); ++g)
+        fulfill(batch[state.group_members[g]], state.out.row(g));
+    } catch (...) {
+      // The whole group failed before any row was produced.
+      for (std::size_t member : state.group_members)
+        fail(batch[member], std::current_exception());
+    }
+  }
+}
+
+void InferenceEngine::fail(ServeRequest& request,
+                           std::exception_ptr error) noexcept {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!request.callback) {
+    try {
+      request.promise.set_exception(std::move(error));
+    } catch (const std::future_error&) {
+      // set_value already succeeded: the exception came from the
+      // callback-free tail (nothing left to report) — counted above.
     }
   }
 }

@@ -22,16 +22,19 @@
 // deadline (latency-bound, batch of 1-2); under heavy load it closes on
 // size (throughput-bound, full batches) — no tuning knob to flip between
 // the two regimes. The whole batch runs against one snapshot reference, so
-// a concurrent hot-swap never mixes models within a batch, and per-worker
-// InferenceContext scratch is reused across batches (resized only when a
-// swap changes the architecture).
+// a concurrent hot-swap never mixes models within a batch. The batch is
+// then dispatched whole through Network::predict_batch (grouped by
+// requested top_k/exact, since those change the shape of the answer), and
+// the per-worker BatchOutput scratch is reused across batches (its
+// contexts are rebuilt only when a swap changes the architecture).
 //
-// Thread-safety contract with the model: predict_topk is safe for any
+// Thread-safety contract with the model: predict_batch is safe for any
 // number of concurrent readers while no writer is active (see
 // core/network.h); snapshots are immutable by construction, so workers
 // need no locks on the model at all.
 #pragma once
 
+#include <exception>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -127,6 +130,8 @@ class InferenceEngine {
 
   void worker_main(int worker_id);
   void serve_batch(std::vector<ServeRequest>& batch, int worker_id);
+  /// Routes an error into the request's future and counts it.
+  void fail(ServeRequest& request, std::exception_ptr error) noexcept;
 
   ServeConfig config_;
   std::shared_ptr<ModelStore> store_;
@@ -136,7 +141,11 @@ class InferenceEngine {
   // Per-worker snapshot + scratch, touched only by that worker's thread.
   struct WorkerState {
     std::shared_ptr<const ModelSnapshot> snapshot;
-    std::unique_ptr<InferenceContext> ctx;
+    BatchOutput out;  // predict_batch result + reused context scratch
+    // Dispatch-group scratch (requests sharing top_k/exact).
+    std::vector<const SparseVector*> group_features;
+    std::vector<std::size_t> group_members;
+    std::vector<char> served;
   };
   std::vector<WorkerState> worker_state_;
 

@@ -9,6 +9,7 @@
 #include "baseline/dense_network.h"    // IWYU pragma: export
 #include "baseline/sampled_softmax.h"  // IWYU pragma: export
 #include "core/activation.h"           // IWYU pragma: export
+#include "core/builder.h"              // IWYU pragma: export
 #include "core/config.h"               // IWYU pragma: export
 #include "core/layer.h"                // IWYU pragma: export
 #include "core/network.h"              // IWYU pragma: export

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/builder.h"
 #include "core/serialize.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
@@ -327,6 +328,111 @@ TEST(InferenceEngine, PausedQueueAccumulatesOneFullBatch) {
   EXPECT_EQ(stats.completed, 8u);
   EXPECT_EQ(stats.batches, 1u);  // one worker, all 8 already queued
   EXPECT_DOUBLE_EQ(stats.mean_batch_size, 8.0);
+}
+
+TEST(InferenceEngine, MixedTopKAndExactWithinOneMicroBatch) {
+  // One micro-batch mixing top_k values and exact/sampled modes: the
+  // engine dispatches whole (top_k, exact) groups through predict_batch,
+  // and every request must still be answered with its own parameters.
+  const auto data = planted();
+  auto network = trained_network(data, 60);
+  auto store = std::make_shared<ModelStore>(network);
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 12;
+  cfg.max_wait_us = 500'000;
+  InferenceEngine engine(store, cfg);
+
+  engine.pause();
+  std::vector<std::future<Prediction>> futures;
+  std::vector<int> ks;
+  for (int i = 0; i < 12; ++i) {
+    const int k = 1 + (i % 3);        // 1, 2, 3, 1, 2, ...
+    const bool exact = (i % 2) == 0;  // alternate exact/sampled
+    auto f = engine.submit(data.test[static_cast<std::size_t>(i)].features,
+                           k, exact);
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+    ks.push_back(k);
+  }
+  engine.resume();
+
+  InferenceContext ctx(*network);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(10s), std::future_status::ready) << i;
+    const Prediction p = futures[i].get();
+    EXPECT_LE(p.labels.size(), static_cast<std::size_t>(ks[i])) << i;
+    if (i % 2 == 0) {
+      // Exact requests are deterministic: must match a direct call.
+      EXPECT_EQ(p.labels, network->predict_topk(data.test[i].features, ctx,
+                                                ks[i], true))
+          << i;
+    } else {
+      for (Index label : p.labels) EXPECT_LT(label, network->output_dim());
+    }
+  }
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.batches, 1u);  // one micro-batch, several dispatch groups
+}
+
+TEST(InferenceEngine, ServesAnyBuilderStackThroughOnePath) {
+  // The unified-API contract: a dense-only baseline and a 3-layer
+  // multi-hashed stack — both straight from NetworkBuilder — serve through
+  // the same engine, which dispatches micro-batches via predict_batch.
+  const auto data = planted();
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 8;
+  HashTable::Config table;
+  table.range_pow = 8;
+
+  auto dense_stack = NetworkBuilder(data.train.feature_dim())
+                         .dense(16)
+                         .dense(data.train.label_dim(), Activation::kSoftmax)
+                         .max_batch(32)
+                         .build_shared(2);
+  auto hashed_stack = NetworkBuilder(data.train.feature_dim())
+                          .dense(16)
+                          .sampled(48, family, 32, Activation::kReLU)
+                          .table(table)
+                          .sampled(data.train.label_dim(), family, 20)
+                          .table(table)
+                          .max_batch(32)
+                          .build_shared(2);
+  for (auto& model :
+       {std::shared_ptr<Network>(dense_stack), hashed_stack}) {
+    TrainerConfig tc;
+    tc.batch_size = 32;
+    tc.num_threads = 2;
+    Trainer trainer(*model, tc);
+    trainer.train(data.train, 10);
+    model->rebuild_all(&trainer.pool());
+    auto store = std::make_shared<ModelStore>(
+        std::shared_ptr<const Network>(model));
+    ServeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.max_batch = 8;
+    cfg.exact = true;
+    InferenceEngine engine(store, cfg);
+    std::vector<std::future<Prediction>> futures;
+    for (std::size_t i = 0; i < 16; ++i) {
+      auto f = engine.submit(data.test[i].features, 3);
+      ASSERT_TRUE(f.has_value());
+      futures.push_back(std::move(*f));
+    }
+    InferenceContext ctx(*model);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const Prediction p = futures[i].get();
+      EXPECT_EQ(p.labels,
+                model->predict_topk(data.test[i].features, ctx, 3, true))
+          << i;
+    }
+    engine.stop();
+    EXPECT_EQ(engine.stats().errors, 0u);
+  }
 }
 
 TEST(InferenceEngine, BackpressureRejectsWhenQueueFull) {
