@@ -117,7 +117,9 @@ inline void run_dense_convergence(DenseNetwork& network, const Dataset& train,
 
 /// Minimal streaming JSON writer for machine-readable bench artifacts
 /// (BENCH_*.json), so the perf trajectory is trackable across PRs without
-/// scraping stdout tables. Keys/strings must not need escaping.
+/// scraping stdout tables. Strings are escaped, and write_file() is atomic
+/// (temp file + rename): the CI regression gate parses these artifacts, and
+/// a bench killed mid-write must not leave a truncated document behind.
 class Json {
  public:
   Json& begin_object() { return open('{'); }
@@ -126,9 +128,8 @@ class Json {
   Json& end_array() { return close(']'); }
   Json& key(const char* name) {
     comma();
-    out_ += '"';
-    out_ += name;
-    out_ += "\":";
+    append_quoted(name);
+    out_ += ':';
     pending_value_ = true;
     return *this;
   }
@@ -146,23 +147,32 @@ class Json {
   }
   Json& string(const char* v) {
     comma();
-    out_ += '"';
-    out_ += v;
-    out_ += '"';
+    append_quoted(v);
     return *this;
   }
   const std::string& str() const { return out_; }
 
-  /// Writes the document to `path` (and says so on stdout).
+  /// Writes the document to `path` atomically (and says so on stdout):
+  /// the bytes land in `path + ".tmp"` first and only a complete, flushed
+  /// file is renamed into place — rename(2) within a directory is atomic,
+  /// so readers see either the old artifact or the new one, never a
+  /// truncated mix.
   void write_file(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-      std::printf("[json] cannot open %s\n", path.c_str());
+      std::printf("[json] cannot open %s\n", tmp.c_str());
       return;
     }
-    std::fwrite(out_.data(), 1, out_.size(), f);
-    std::fputc('\n', f);
+    const std::size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool ok = written == out_.size() && std::fputc('\n', f) != EOF &&
+                    std::fflush(f) == 0;
     std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::printf("[json] failed to write %s\n", path.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
     std::printf("[json] wrote %s (%zu bytes)\n", path.c_str(), out_.size());
   }
 
@@ -186,6 +196,38 @@ class Json {
     }
     if (need_comma_) out_ += ',';
     need_comma_ = true;
+  }
+  void append_quoted(const char* s) {
+    out_ += '"';
+    for (; s != nullptr && *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
   }
   std::string out_;
   bool need_comma_ = false;

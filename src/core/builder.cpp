@@ -1,5 +1,8 @@
 #include "core/builder.h"
 
+#include <string>
+#include <string_view>
+
 namespace slide {
 
 NetworkBuilder::NetworkBuilder(Index input_dim) {
@@ -105,6 +108,11 @@ NetworkBuilder& NetworkBuilder::fill_random_to_target(bool on) {
   return *this;
 }
 
+NetworkBuilder& NetworkBuilder::maintenance(MaintenancePolicy policy) {
+  last_layer("maintenance").maintenance = policy;
+  return *this;
+}
+
 NetworkBuilder& NetworkBuilder::max_batch(int max_batch_size) {
   SLIDE_CHECK(max_batch_size > 0,
               "NetworkBuilder::max_batch: must be positive");
@@ -140,6 +148,29 @@ Network NetworkBuilder::build(int max_threads) const {
 
 std::shared_ptr<Network> NetworkBuilder::build_shared(int max_threads) const {
   return std::make_shared<Network>(to_config(), max_threads);
+}
+
+// ---------------------------------------------------------------------------
+
+const char* to_string(MaintenancePolicy policy) {
+  switch (policy) {
+    case MaintenancePolicy::kSync:
+      return "sync";
+    case MaintenancePolicy::kAsyncFull:
+      return "async_full";
+    case MaintenancePolicy::kAsyncDelta:
+      return "async_delta";
+  }
+  return "?";
+}
+
+MaintenancePolicy parse_maintenance_policy(const char* name) {
+  const std::string_view s(name == nullptr ? "" : name);
+  if (s == "sync") return MaintenancePolicy::kSync;
+  if (s == "async_full") return MaintenancePolicy::kAsyncFull;
+  if (s == "async_delta") return MaintenancePolicy::kAsyncDelta;
+  throw Error("unknown maintenance policy: " + std::string(s) +
+              " (expected sync | async_full | async_delta)");
 }
 
 // ---------------------------------------------------------------------------

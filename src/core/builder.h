@@ -65,6 +65,11 @@ class NetworkBuilder {
   NetworkBuilder& sampling_config(const SamplingConfig& sampling);
   NetworkBuilder& incremental_rehash(bool on = true);
   NetworkBuilder& fill_random_to_target(bool on);
+  /// How the layer executes the maintenance events its rebuild schedule
+  /// fires: sync (stall-the-trainers full rebuild), async_full (background
+  /// shadow rebuild + atomic publish), or async_delta (background re-insert
+  /// of dirty neurons between full rebuilds). See MaintenancePolicy.
+  NetworkBuilder& maintenance(MaintenancePolicy policy);
 
   // ---- Network-wide knobs ----
 

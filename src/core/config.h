@@ -23,6 +23,27 @@ struct RebuildSchedule {
   double decay = 0.05;
 };
 
+/// How a hashed layer executes the maintenance events its RebuildSchedule
+/// fires (the schedule decides *when*, the policy decides *what and where*):
+///
+///   kSync       — full rebuild on the trainer thread; every HOGWILD batch
+///                 thread stalls for its duration (the paper's baseline).
+///   kAsyncFull  — full rebuild on the layer's background maintenance
+///                 thread into the shadow table group, published with an
+///                 atomic swap; trainer threads keep sampling from the
+///                 active group throughout.
+///   kAsyncDelta — between full rebuilds only neurons whose weights were
+///                 updated since the last event (the dirty-neuron delta
+///                 queue) are re-inserted, on the background thread, into
+///                 the live tables (reservoir policy preserved). Escalates
+///                 to an async full rebuild when the dirty set covers most
+///                 of the layer, and periodically for table hygiene.
+enum class MaintenancePolicy { kSync, kAsyncFull, kAsyncDelta };
+
+const char* to_string(MaintenancePolicy policy);
+/// Parses "sync" | "async_full" | "async_delta" (slide::Error otherwise).
+MaintenancePolicy parse_maintenance_policy(const char* name);
+
 /// One layer after the first hidden layer (see EmbeddingLayer for the
 /// input-facing layer). When `hashed` is set, the layer maintains LSH tables
 /// over its neurons and activates only a sampled subset per input.
@@ -39,6 +60,9 @@ struct LayerSpec {
   HashTable::Config table;
   SamplingConfig sampling;
   RebuildSchedule rebuild;
+  /// Where maintenance events run (background thread vs trainer stall) and
+  /// whether they re-hash everything or only dirty neurons.
+  MaintenancePolicy maintenance = MaintenancePolicy::kSync;
 
   /// When LSH retrieval (plus forced labels) yields fewer than
   /// sampling.target ids, top up with uniformly random neurons (the

@@ -16,6 +16,11 @@ void init_normal(float* w, std::size_t n, float stddev, Rng& rng) {
   for (std::size_t i = 0; i < n; ++i) w[i] = stddev * rng.normal();
 }
 
+/// Under async_delta, every k-th maintenance event runs a full rebuild
+/// instead of a delta pass, flushing the stale bucket entries delta passes
+/// leave behind (see SampledLayer::run_delta_reinsert).
+constexpr long kDeltaHygienePeriod = 10;
+
 SampledLayer::Config dense_layer_config(Index units, Index fan_in,
                                         Activation activation,
                                         float init_stddev,
@@ -210,8 +215,9 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
       SLIDE_CHECK(family.kind == HashFamilyKind::kSimhash,
                   "incremental_rehash requires the Simhash family");
     }
-    tables_ = std::make_unique<LshTableGroup>(make_hash_family(family),
-                                              config_.table, config.seed + 1);
+    tables_ = std::make_unique<MaintainedTables>(make_hash_family(family),
+                                                 config_.table,
+                                                 config.seed + 1);
     simhash_ = dynamic_cast<const Simhash*>(&tables_->family());
     if (config_.incremental_rehash) {
       SLIDE_ASSERT(simhash_ != nullptr);
@@ -219,8 +225,14 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
           static_cast<std::size_t>(units_) *
           static_cast<std::size_t>(simhash_->num_projections()));
     }
+    // The worker object is free until its first task spawns the thread, so
+    // async layers can construct it eagerly (no lazy-init race to manage).
+    if (config_.maintenance != MaintenancePolicy::kSync)
+      worker_ = std::make_unique<BackgroundWorker>();
+    if (config_.maintenance == MaintenancePolicy::kAsyncDelta)
+      dirty_flag_ = std::make_unique<std::atomic<std::uint8_t>[]>(units_);
     next_rebuild_ = config_.rebuild.initial_period;
-    rebuild_tables(nullptr);  // initial one-time build (paper §3.1)
+    build_group(tables_->active_group(), nullptr);  // initial build (§3.1)
   }
 }
 
@@ -266,13 +278,17 @@ void SampledLayer::select_active(int slot, const ActiveSet& prev,
                                prev.ids.size(), keys);
   }
   thread_local std::vector<std::span<const Index>> buckets;
-  tables_->buckets(keys, buckets);
-
   thread_local std::vector<Index> sampled;
-  SamplingConfig sampling = config_.sampling;
-  sampling.target = target;
-  sample_neurons(sampling, buckets, visited, rng, sampled,
-                 /*fresh_epoch=*/false);
+  {
+    // Pin the active group: bucket spans stay valid against a concurrent
+    // async publish for the duration of the sampling pass.
+    const MaintainedTables::Pin pin = tables_->pin();
+    pin->buckets(keys, buckets);
+    SamplingConfig sampling = config_.sampling;
+    sampling.target = target;
+    sample_neurons(sampling, buckets, visited, rng, sampled,
+                   /*fresh_epoch=*/false);
+  }
   s.ids.insert(s.ids.end(), sampled.begin(), sampled.end());
 
   if (config_.fill_random_to_target && s.ids.size() < target) {
@@ -479,16 +495,62 @@ void SampledLayer::apply_updates(float lr, ThreadPool* pool) {
   } else {
     for (std::size_t k = 0; k < units.size(); ++k) apply_unit(k, 0);
   }
+
+  // Feed the delta maintenance queue: these units' weight rows (and memo
+  // projections) just moved, so their table entries are stale until the
+  // next maintenance event re-inserts them (async_delta only). The flag
+  // keeps each unit queued once across batches.
+  if (config_.hashed &&
+      config_.maintenance == MaintenancePolicy::kAsyncDelta &&
+      config_.rebuild.enabled && !units.empty()) {
+    std::lock_guard lock(dirty_mutex_);
+    for (Index u : units) {
+      if (dirty_flag_[u].exchange(1, std::memory_order_relaxed) == 0)
+        dirty_.push_back(u);
+    }
+  }
 }
 
 bool SampledLayer::maybe_rebuild(long iteration, ThreadPool* pool) {
   if (!config_.hashed || !config_.rebuild.enabled) return false;
   if (iteration < next_rebuild_) return false;
-  rebuild_tables(pool);
-  ++rebuild_count_;
+
+  ++schedule_events_;
+  switch (config_.maintenance) {
+    case MaintenancePolicy::kSync:
+      // In-place rebuild on the calling thread: the trainer's contract says
+      // no table reader is active between batches.
+      build_group(tables_->active_group(), pool);
+      rebuild_count_.fetch_add(1, std::memory_order_acq_rel);
+      break;
+    case MaintenancePolicy::kAsyncFull:
+      schedule_full_rebuild();
+      break;
+    case MaintenancePolicy::kAsyncDelta: {
+      std::size_t dirty_size;
+      {
+        std::lock_guard lock(dirty_mutex_);
+        dirty_size = dirty_.size();
+      }
+      // Delta passes leave the moved neurons' stale bucket entries behind;
+      // escalate to a full rebuild when the dirty set covers most of the
+      // layer (a delta would cost nearly as much anyway) and periodically
+      // for hygiene, so staleness cannot accumulate without bound.
+      const bool hygiene = schedule_events_ % kDeltaHygienePeriod == 0;
+      if (hygiene || 2 * dirty_size >= static_cast<std::size_t>(units_)) {
+        schedule_full_rebuild();
+      } else {
+        schedule_delta_reinsert();
+      }
+      break;
+    }
+  }
+  // Exponential back-off between maintenance events (paper §4.2 heuristic
+  // 1), counted in events fired — identical to the pre-async schedule for
+  // the sync policy.
   const double gap = static_cast<double>(config_.rebuild.initial_period) *
                      std::exp(config_.rebuild.decay *
-                              static_cast<double>(rebuild_count_));
+                              static_cast<double>(schedule_events_));
   next_rebuild_ =
       iteration + std::max<long>(1, static_cast<long>(std::llround(gap)));
   return true;
@@ -496,9 +558,16 @@ bool SampledLayer::maybe_rebuild(long iteration, ThreadPool* pool) {
 
 void SampledLayer::rebuild_tables(ThreadPool* pool) {
   if (!config_.hashed) return;
+  // Serialize against the background worker: the maintenance side of
+  // MaintainedTables allows exactly one caller at a time.
+  quiesce_maintenance();
+  build_group(tables_->active_group(), pool);
+}
+
+void SampledLayer::build_group(LshTableGroup& group, ThreadPool* pool) {
   const bool memo = config_.incremental_rehash && simhash_ != nullptr;
   if (!memo) {
-    tables_->build_from_rows(weights_.data(), fan_in_, units_, pool);
+    group.build_from_rows(weights_.data(), fan_in_, units_, pool);
     return;
   }
 
@@ -506,17 +575,18 @@ void SampledLayer::rebuild_tables(ThreadPool* pool) {
   // build; afterwards the memo is kept in sync by apply_updates, so keys
   // come straight from the memoized projections — O(K*L) per neuron instead
   // of O(K*L*d/3).
-  tables_->clear();
+  group.clear();
   const int num_proj = simhash_->num_projections();
+  const bool have_memo = memo_initialized_.load(std::memory_order_acquire);
   auto build_unit = [&](std::size_t begin, std::size_t end, Rng& rng) {
-    std::vector<std::uint32_t> keys(static_cast<std::size_t>(tables_->l()));
+    std::vector<std::uint32_t> keys(static_cast<std::size_t>(group.l()));
     for (std::size_t u = begin; u < end; ++u) {
       float* memo_row = projection_memo_.data() +
                         u * static_cast<std::size_t>(num_proj);
-      if (!memo_initialized_)
+      if (!have_memo)
         simhash_->project_dense(weight_row(static_cast<Index>(u)), memo_row);
       simhash_->keys_from_projections(memo_row, keys);
-      tables_->insert(static_cast<Index>(u), keys, rng);
+      group.insert(static_cast<Index>(u), keys, rng);
     }
   };
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -532,7 +602,107 @@ void SampledLayer::rebuild_tables(ThreadPool* pool) {
     Rng rng(seed_ + 77);
     build_unit(0, units_, rng);
   }
-  memo_initialized_ = true;
+  memo_initialized_.store(true, std::memory_order_release);
+}
+
+void SampledLayer::schedule_full_rebuild() {
+  // At most one queued full rebuild: if the worker is still on the
+  // previous one, this event's request coalesces into it rather than
+  // stacking up. Under a cadence faster than a rebuild takes, the layer
+  // therefore degrades table freshness instead of growing a backlog —
+  // the same graceful staleness the paper's decay schedule trades on (the
+  // completed-rebuild count is visible via rebuild_count()).
+  if (full_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  worker_->submit([this] {
+    // Units queued so far are covered by this build (it hashes current
+    // weights); drop them so the next delta pass is not redundant. Units
+    // dirtied after this point re-queue via their re-armed flags.
+    thread_local std::vector<Index> discarded;
+    drain_dirty(discarded);
+    build_group(tables_->shadow_group(), nullptr);
+    tables_->publish_shadow();
+    rebuild_count_.fetch_add(1, std::memory_order_acq_rel);
+    full_pending_.store(false, std::memory_order_release);
+  });
+}
+
+void SampledLayer::schedule_delta_reinsert() {
+  if (delta_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  worker_->submit([this] {
+    run_delta_reinsert();
+    delta_pending_.store(false, std::memory_order_release);
+  });
+}
+
+void SampledLayer::drain_dirty(std::vector<Index>& ids) {
+  ids.clear();
+  {
+    std::lock_guard lock(dirty_mutex_);
+    ids.swap(dirty_);
+  }
+  // Re-arm immediately, before the caller hashes: an update landing after
+  // this point re-queues the unit, so the window where a moved row could
+  // go un-requeued is only the hash-read itself (healed by the next touch
+  // or hygiene rebuild). dirty_flag_ exists iff the policy is async_delta;
+  // under async_full the queue is always empty and the loop never runs.
+  for (Index u : ids) dirty_flag_[u].store(0, std::memory_order_relaxed);
+}
+
+void SampledLayer::run_delta_reinsert() {
+  std::vector<Index> ids;
+  drain_dirty(ids);
+  if (ids.empty()) return;
+  // Distinct by construction (the dirty flag); sorted for a deterministic
+  // insertion order.
+  std::sort(ids.begin(), ids.end());
+
+  // Inserts target the LIVE active group: readers sample from it
+  // concurrently (see lsh/hash_table.h for why that is sound). The moved
+  // neurons' old bucket entries stay behind as stale-but-valid samples
+  // until the next full rebuild — the same staleness the paper's
+  // between-rebuild windows already accept.
+  LshTableGroup& group = tables_->active_group();
+  Rng rng(seed_ + 0x5EEDull +
+          static_cast<std::uint64_t>(
+              delta_reinserted_.load(std::memory_order_relaxed)));
+  const bool memo = config_.incremental_rehash && simhash_ != nullptr &&
+                    memo_initialized_.load(std::memory_order_acquire);
+  const int num_proj = memo ? simhash_->num_projections() : 0;
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(tables_->l()));
+  for (Index u : ids) {
+    if (memo) {
+      const float* memo_row =
+          projection_memo_.data() +
+          static_cast<std::size_t>(u) * static_cast<std::size_t>(num_proj);
+      simhash_->keys_from_projections(memo_row, keys);
+      group.insert(u, keys, rng);
+    } else {
+      group.insert_dense(u, weight_row(u), rng);
+    }
+  }
+  delta_reinserted_.fetch_add(static_cast<long>(ids.size()),
+                              std::memory_order_acq_rel);
+}
+
+void SampledLayer::quiesce_maintenance() const {
+  if (worker_ != nullptr) worker_->wait_idle();
+}
+
+void SampledLayer::flush_maintenance() {
+  if (worker_ == nullptr) return;
+  if (config_.maintenance == MaintenancePolicy::kAsyncDelta &&
+      dirty_pending() > 0) {
+    // Unconditional submit (no delta_pending_ gate): a pending task may
+    // already have swapped the queue out, and FIFO ordering guarantees
+    // this drain runs after it — picking up everything left behind.
+    worker_->submit([this] { run_delta_reinsert(); });
+  }
+  worker_->wait_idle();
+}
+
+std::size_t SampledLayer::dirty_pending() const {
+  std::lock_guard lock(dirty_mutex_);
+  return dirty_.size();
 }
 
 void SampledLayer::forward_inference(std::span<const Index> prev_ids,
@@ -556,10 +726,13 @@ void SampledLayer::forward_inference(std::span<const Index> prev_ids,
                                  prev_ids.size(), keys);
     }
     thread_local std::vector<std::span<const Index>> buckets;
-    tables_->buckets(keys, buckets);
-    SamplingConfig sampling = config_.sampling;
-    sampling.target = target;
-    sample_neurons(sampling, buckets, visited, rng, ids_out);
+    {
+      const MaintainedTables::Pin pin = tables_->pin();
+      pin->buckets(keys, buckets);
+      SamplingConfig sampling = config_.sampling;
+      sampling.target = target;
+      sample_neurons(sampling, buckets, visited, rng, ids_out);
+    }
     if (config_.fill_random_to_target && ids_out.size() < target) {
       long attempts = 20L * static_cast<long>(target);
       while (ids_out.size() < target && attempts-- > 0) {
@@ -650,6 +823,7 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
     cfg.table = spec.table;
     cfg.sampling = spec.sampling;
     cfg.rebuild = spec.rebuild;
+    cfg.maintenance = spec.maintenance;
     cfg.fill_random_to_target = spec.fill_random_to_target;
     cfg.incremental_rehash = spec.incremental_rehash;
     cfg.init_stddev = spec.init_stddev;

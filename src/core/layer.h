@@ -105,6 +105,15 @@ class Layer {
   // ---- LSH lifecycle (no-ops for layers without tables) ----
   virtual bool maybe_rebuild(long iteration, ThreadPool* pool) = 0;
   virtual void rebuild_tables(ThreadPool* pool) = 0;
+  /// Blocks until the layer's background maintenance (async table rebuilds,
+  /// delta re-inserts) is idle. No-op for layers without async maintenance.
+  /// Logically const: waiting mutates nothing the caller can observe.
+  virtual void quiesce_maintenance() const {}
+  /// Drains outstanding maintenance debt and waits for it: any queued
+  /// dirty neurons are re-inserted even if no schedule event is due. Call
+  /// after training before relying on table freshness (evaluation,
+  /// serialization of a "settled" model). No-op without async maintenance.
+  virtual void flush_maintenance() {}
 
   // ---- Inference hook ----
   /// Single-sample inference forward into caller buffers. `exact` scores
@@ -232,6 +241,7 @@ class SampledLayer : public Layer {
     HashTable::Config table;
     SamplingConfig sampling;
     RebuildSchedule rebuild;
+    MaintenancePolicy maintenance = MaintenancePolicy::kSync;
     bool fill_random_to_target = true;
     bool incremental_rehash = false;
     float init_stddev = 0.0f;  // 0 -> 2/sqrt(fan_in)
@@ -288,10 +298,39 @@ class SampledLayer : public Layer {
   /// incremental rehash is on. Single caller at a time.
   void apply_updates(float lr, ThreadPool* pool) override;
 
-  /// Rebuild policy of paper §4.2: returns true if it rebuilt.
+  /// Fires a maintenance event when the schedule (paper §4.2) is due;
+  /// returns true if one fired. What the event does depends on
+  /// config().maintenance: kSync rebuilds in place on the calling thread
+  /// (the caller guarantees no concurrent table readers); the async
+  /// policies schedule the work on the layer's background maintenance
+  /// thread and return immediately — trainer threads keep sampling from
+  /// the active table group throughout (see lsh/table_group.h).
   bool maybe_rebuild(long iteration, ThreadPool* pool) override;
+  /// Synchronous full rebuild of the active group. Quiesces background
+  /// maintenance first, so it is safe on any policy (checkpoint loads,
+  /// rebuild_all). Caller guarantees no concurrent table readers.
   void rebuild_tables(ThreadPool* pool) override;
-  long rebuild_count() const noexcept { return rebuild_count_; }
+  /// Completed full rebuilds (sync + async; excludes the initial build).
+  long rebuild_count() const noexcept {
+    return rebuild_count_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until no background maintenance task is queued or running
+  /// (rethrows the first task error, which should never happen).
+  void quiesce_maintenance() const override;
+  /// Schedules a final delta drain for any queued dirty neurons (bypassing
+  /// the rebuild schedule) and waits for the worker to go idle.
+  void flush_maintenance() override;
+
+  MaintenancePolicy maintenance_policy() const noexcept {
+    return config_.maintenance;
+  }
+  /// Neurons re-inserted by delta maintenance so far (diagnostics).
+  long delta_reinserted() const noexcept {
+    return delta_reinserted_.load(std::memory_order_acquire);
+  }
+  /// Dirty neurons currently queued for the next delta re-insert.
+  std::size_t dirty_pending() const;
 
   ActiveSet& slot(int s) override {
     return slots_[static_cast<std::size_t>(s)];
@@ -338,7 +377,10 @@ class SampledLayer : public Layer {
     return static_cast<std::size_t>(units_) * fan_in_ + units_;
   }
 
-  const LshTableGroup* tables() const noexcept { return tables_.get(); }
+  /// The layer's (double-buffered) tables; null for unhashed layers. Query
+  /// helpers and diagnostics delegate to the active group — see
+  /// MaintainedTables for what is safe under concurrent maintenance.
+  const MaintainedTables* tables() const noexcept { return tables_.get(); }
 
   /// Average active fraction over forwards since the last reset (diagnostic;
   /// the paper reports ~0.5% active neurons in the output layer).
@@ -359,6 +401,22 @@ class SampledLayer : public Layer {
   float activation_of(Index unit, std::span<const Index> prev_ids,
                       std::span<const float> prev_act) const;
 
+  /// Clears `group` and re-hashes every neuron into it (memoized Simhash
+  /// projections when incremental rehash is on). Shared by the sync
+  /// in-place path and the async shadow-build path.
+  void build_group(LshTableGroup& group, ThreadPool* pool);
+  /// Enqueues an async full rebuild (shadow build + publish) unless one is
+  /// already pending.
+  void schedule_full_rebuild();
+  /// Enqueues an async delta re-insert unless one is already pending.
+  void schedule_delta_reinsert();
+  /// Atomically takes the queued dirty units into `ids` and re-arms their
+  /// flags so later updates re-queue them.
+  void drain_dirty(std::vector<Index>& ids);
+  /// Worker-thread body: drains the dirty queue and re-inserts those
+  /// neurons into the live active group under their current keys.
+  void run_delta_reinsert();
+
   Config config_;
   Index units_;
   Index fan_in_;
@@ -371,7 +429,7 @@ class SampledLayer : public Layer {
 
   std::vector<ActiveSet> slots_;
 
-  std::unique_ptr<LshTableGroup> tables_;
+  std::unique_ptr<MaintainedTables> tables_;
   const Simhash* simhash_ = nullptr;  // set when family is Simhash
   HugeArray projection_memo_;         // [units x K*L] when incremental
 
@@ -381,10 +439,24 @@ class SampledLayer : public Layer {
   bool use_locks_ = false;
   std::mutex accum_mutex_;
 
-  // Rebuild schedule state.
+  // Rebuild schedule state (single maintenance-driving thread: the
+  // trainer's maybe_rebuild caller).
   long next_rebuild_ = 0;
-  long rebuild_count_ = 0;
-  bool memo_initialized_ = false;
+  long schedule_events_ = 0;  // maintenance events fired (drives the decay)
+  std::atomic<long> rebuild_count_{0};
+  std::atomic<bool> memo_initialized_{false};
+
+  // Async maintenance state. The dirty queue collects the DISTINCT units
+  // touched by apply_updates since the last drain (async_delta only): the
+  // per-unit flag keeps a unit queued at most once, so the escalation
+  // check in maybe_rebuild compares true dirty coverage, not a
+  // duplicate-inflated count.
+  mutable std::mutex dirty_mutex_;
+  std::vector<Index> dirty_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_flag_;
+  std::atomic<long> delta_reinserted_{0};
+  std::atomic<bool> full_pending_{false};
+  std::atomic<bool> delta_pending_{false};
 
   // Diagnostics.
   std::atomic<std::uint64_t> active_sum_{0};
@@ -396,6 +468,10 @@ class SampledLayer : public Layer {
   std::vector<PaddedDouble> compute_time_;
 
   std::uint64_t seed_;
+
+  // Declared last: its destructor joins the maintenance thread before any
+  // state that thread touches (weights, tables, memo) is torn down.
+  std::unique_ptr<BackgroundWorker> worker_;
 };
 
 // ---------------------------------------------------------------------------

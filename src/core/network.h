@@ -96,6 +96,14 @@ class BatchOutput {
 /// readers, or (b) RCU-style snapshots (serve/snapshot.h) where writers
 /// build a fresh network off to the side and swap it in whole.
 ///
+/// Background LSH maintenance is the one sanctioned exception: a layer
+/// with an async MaintenancePolicy republishes its hash tables from a
+/// background thread while readers keep sampling — reader safety comes
+/// from the pinned double-buffer in lsh/table_group.h, not from this
+/// contract, and the write-epoch detector deliberately ignores it. Table
+/// swaps never touch weights, so predictions stay valid throughout; call
+/// quiesce_maintenance() when a fully quiescent network is required.
+///
 /// Debug builds enforce the contract with a write-epoch counter plus an
 /// active-writer count: every mutating entry point bumps the epoch and
 /// holds the writer count for its duration, and predict_* asserts that no
@@ -170,10 +178,24 @@ class Network {
   /// Applies lazy Adam on every layer (parallelized over touched units).
   void apply_updates(float lr, ThreadPool* pool);
 
-  /// Triggers the per-layer rebuild schedules (paper §4.2).
+  /// Triggers the per-layer rebuild schedules (paper §4.2). Layers with an
+  /// async MaintenancePolicy schedule the work on their background
+  /// maintenance thread and return immediately.
   void maybe_rebuild(long iteration, ThreadPool* pool);
-  /// Forces a rebuild of every hashed layer.
+  /// Forces a synchronous rebuild of every hashed layer (quiescing any
+  /// background maintenance first).
   void rebuild_all(ThreadPool* pool);
+
+  /// Blocks until every layer's background LSH maintenance is idle. Call
+  /// before handing the network to a context that expects fully immutable
+  /// state (e.g. publishing it as a serving snapshot). Logically const.
+  void quiesce_maintenance() const;
+
+  /// Drains outstanding maintenance debt (queued dirty neurons) and waits:
+  /// after this, every hashed layer's tables reflect the current weights of
+  /// all updated neurons. Call at the end of training before evaluating
+  /// through the sampled path (rebuild_all is the heavier alternative).
+  void flush_maintenance();
 
   /// Top-1 prediction. `exact` scores every output neuron (dense forward);
   /// otherwise the output layer is sampled through the hash tables exactly

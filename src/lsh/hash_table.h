@@ -13,6 +13,15 @@
 // over neurons). The bucket counters are atomic; slot writes are
 // intentionally unsynchronized in the HOGWILD spirit — a lost update
 // replaces one sampled id with another equally-valid one.
+//
+// Delta maintenance (core/layer.h, MaintenancePolicy::kAsyncDelta) extends
+// the same argument to insert-while-read: the background maintenance
+// thread re-inserts dirty neurons into a table that trainer threads are
+// concurrently sampling from. A reader racing a slot write observes either
+// the old or the new id — both valid, naturally-aligned 4-byte neuron ids —
+// and bucket() clamps the atomic counter, so no reader ever indexes past
+// initialized slots. These races are intentional and suppressed under
+// ThreadSanitizer (.tsan-suppressions).
 #pragma once
 
 #include <atomic>
