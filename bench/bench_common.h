@@ -252,10 +252,10 @@ inline void print_header(const char* artifact, const char* paper_summary) {
 }
 
 inline void print_env(Scale scale, int threads) {
-  std::printf("[env] scale=%s threads=%d avx2=%s thp=%s\n",
+  std::printf("[env] scale=%s threads=%d simd=%s (detected %s) thp=%s\n",
               scale_name(scale), threads,
-              simd::compiled_with_avx2() ? "yes" : "no",
-              thp_mode().c_str());
+              simd::to_string(simd::active_level()),
+              simd::to_string(simd::detected_level()), thp_mode().c_str());
 }
 
 }  // namespace slide::bench

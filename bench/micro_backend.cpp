@@ -1,0 +1,147 @@
+// Micro-benchmarks for the runtime-dispatched compute backend: the hot
+// kernels (dot / axpy / adam_step) and their bf16 mixed-precision variants
+// at EVERY dispatch level this host supports, at the fan-in sizes the
+// engine actually uses (128 = hidden width; 4096 = wide strips).
+//
+// Unlike bench/micro_kernels (which A/Bs the deprecated on/off shim for
+// Figure-10 continuity), this bench pins an explicit SimdLevel per
+// registration, so the emitted BENCH_backend.json carries one entry per
+// (kernel, size, level) — the artifact the CI regression gate diffs
+// against bench/baselines/BENCH_backend.json. Levels the runner does not
+// support simply produce no entries; bench_compare treats the missing
+// metrics as non-fatal.
+//
+//   ./build/bench/micro_backend --benchmark_out=BENCH_backend.json \
+//       --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "simd/backend.h"
+#include "simd/kernels.h"
+#include "sys/rng.h"
+
+namespace slide {
+namespace {
+
+using simd::Bf16;
+using simd::SimdLevel;
+
+std::vector<float> vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+std::vector<Bf16> bf16_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bf16> v(n);
+  for (auto& x : v) x = simd::float_to_bf16(rng.normal());
+  return v;
+}
+
+void bm_dot(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto a = vec(n, 1), b = vec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.dot(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2 * sizeof(float));
+}
+
+void bm_axpy(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto x = vec(n, 3);
+  auto y = vec(n, 4);
+  for (auto _ : state) {
+    be.axpy(0.37f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bm_adam(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  auto w = vec(n, 8), m = vec(n, 9), v = vec(n, 10);
+  for (auto& x : v) x = x * x;  // second moment must be non-negative
+  const auto g = vec(n, 11);
+  for (auto _ : state) {
+    be.adam_step(w.data(), m.data(), v.data(), g.data(), n, 1e-3f, 0.9f,
+                 0.999f, 1e-8f, 0.1f, 0.001f);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+
+void bm_dot_bf16(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto w = bf16_vec(n, 5);
+  const auto x = vec(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.dot_bf16(w.data(), x.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (sizeof(Bf16) + sizeof(float)));
+}
+
+void bm_axpy_bf16(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto x = bf16_vec(n, 7);
+  auto y = vec(n, 12);
+  for (auto _ : state) {
+    be.axpy_bf16(0.37f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bm_quantize(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto src = vec(n, 13);
+  std::vector<Bf16> dst(n);
+  for (auto _ : state) {
+    be.quantize_bf16(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+
+void register_all() {
+  using Fn = void (*)(benchmark::State&, SimdLevel, std::size_t);
+  struct Kernel {
+    const char* name;
+    Fn fn;
+  };
+  const Kernel kernels[] = {
+      {"dot", bm_dot},           {"axpy", bm_axpy},
+      {"adam_step", bm_adam},    {"dot_bf16", bm_dot_bf16},
+      {"axpy_bf16", bm_axpy_bf16}, {"quantize_bf16", bm_quantize},
+  };
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAVX2, SimdLevel::kAVX512}) {
+    if (!simd::level_supported(level)) continue;
+    for (const Kernel& kernel : kernels) {
+      for (std::size_t n : {std::size_t{128}, std::size_t{4096}}) {
+        const std::string name = std::string("BM_backend/") + kernel.name +
+                                 "/" + std::to_string(n) + "/" +
+                                 simd::to_string(level);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [fn = kernel.fn, level, n](benchmark::State& state) {
+              fn(state, level, n);
+            });
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slide
+
+int main(int argc, char** argv) {
+  slide::register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

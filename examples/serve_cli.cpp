@@ -10,6 +10,11 @@
 //     --seconds S     seconds of load per phase        (default 3)
 //     --iters N       pre-serve training iterations    (default 300)
 //     --exact         exact (all-class) scoring instead of LSH sampling
+//     --precision P   serving precision: fp32 | bf16   (default fp32)
+//                     bf16 boots the snapshot with bfloat16 weight mirrors:
+//                     the scoring path reads half the weight bytes (the
+//                     footprint report below shows the exact numbers)
+//                     while training/checkpoints stay fp32
 //
 // The driver trains a SLIDE model on a synthetic Delicious-like XC
 // dataset (SLIDE_BENCH_SCALE widens it), checkpoints it, boots a
@@ -42,6 +47,7 @@ struct Options {
   double seconds = 3.0;
   long iters = 300;
   bool exact = false;
+  Precision precision = Precision::kFP32;
 };
 
 Options parse(int argc, char** argv) {
@@ -61,6 +67,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--seconds") opt.seconds = std::stod(next());
     else if (arg == "--iters") opt.iters = std::stol(next());
     else if (arg == "--exact") opt.exact = true;
+    else if (arg == "--precision") opt.precision = parse_precision(next().c_str());
     else throw Error("unknown option: " + arg);
   }
   SLIDE_CHECK(opt.workers > 0, "--workers must be positive");
@@ -159,9 +166,36 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "serve_cli_model.slide")
           .string();
   save_weights_file(network, checkpoint);
-  auto store = ModelStore::from_checkpoint_file(net_cfg, checkpoint);
-  std::printf("[store] loaded %s (version %llu)\n", checkpoint.c_str(),
-              static_cast<unsigned long long>(store->version()));
+  // The serve-side precision knob: the same fp32 checkpoint boots either
+  // an fp32 snapshot or a bf16-quantized one (half the scored weight
+  // bytes); the trainer's network is untouched either way.
+  NetworkConfig serve_net_cfg = net_cfg;
+  serve_net_cfg.precision = opt.precision;
+  auto store = ModelStore::from_checkpoint_file(serve_net_cfg, checkpoint);
+  std::printf("[store] loaded %s (version %llu, precision %s, simd %s)\n",
+              checkpoint.c_str(),
+              static_cast<unsigned long long>(store->version()),
+              to_string(opt.precision),
+              simd::to_string(simd::active_level()));
+  {
+    const MemoryFootprint f =
+        store->current()->network->memory_footprint();
+    const double mb = 1.0 / (1 << 20);
+    std::printf(
+        "[store] snapshot footprint: scoring path reads %.2f MB of weights "
+        "(fp32 masters %.2f MB, bf16 mirrors %.2f MB, optimizer state "
+        "%.2f MB)\n",
+        static_cast<double>(f.inference_weight_bytes) * mb,
+        static_cast<double>(f.master_weight_bytes) * mb,
+        static_cast<double>(f.mirror_bytes) * mb,
+        static_cast<double>(f.optimizer_bytes) * mb);
+    if (opt.precision == Precision::kBF16) {
+      std::printf(
+          "[store] bf16 serving reads %.0f%% of the fp32 scoring bytes\n",
+          100.0 * static_cast<double>(f.inference_weight_bytes) /
+              static_cast<double>(f.master_weight_bytes));
+    }
+  }
 
   ServeConfig serve_cfg;
   serve_cfg.num_workers = opt.workers;
@@ -190,7 +224,7 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds(static_cast<long>(opt.seconds * 300)));
     trainer.train(data.train, std::max(50L, opt.iters / 4));
     network.rebuild_all(&trainer.pool());
-    const std::uint64_t v = publish_clone(*store, network);
+    const std::uint64_t v = publish_clone(*store, network, opt.precision);
     std::printf("  [swap] published snapshot version %llu mid-traffic\n",
                 static_cast<unsigned long long>(v));
   });

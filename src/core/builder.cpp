@@ -130,6 +130,11 @@ NetworkBuilder& NetworkBuilder::seed(std::uint64_t seed) {
   return *this;
 }
 
+NetworkBuilder& NetworkBuilder::precision(Precision precision) {
+  config_.precision = precision;
+  return *this;
+}
+
 NetworkConfig NetworkBuilder::to_config() const {
   SLIDE_CHECK(have_embedding_,
               "NetworkBuilder: missing the input-facing dense layer");
@@ -171,6 +176,24 @@ MaintenancePolicy parse_maintenance_policy(const char* name) {
   if (s == "async_delta") return MaintenancePolicy::kAsyncDelta;
   throw Error("unknown maintenance policy: " + std::string(s) +
               " (expected sync | async_full | async_delta)");
+}
+
+const char* to_string(Precision precision) {
+  switch (precision) {
+    case Precision::kFP32:
+      return "fp32";
+    case Precision::kBF16:
+      return "bf16";
+  }
+  return "?";
+}
+
+Precision parse_precision(const char* name) {
+  const std::string_view s(name == nullptr ? "" : name);
+  if (s == "fp32") return Precision::kFP32;
+  if (s == "bf16") return Precision::kBF16;
+  throw Error("unknown precision: " + std::string(s) +
+              " (expected fp32 | bf16)");
 }
 
 // ---------------------------------------------------------------------------

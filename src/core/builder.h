@@ -77,6 +77,11 @@ class NetworkBuilder {
   NetworkBuilder& max_batch(int max_batch_size);
   NetworkBuilder& adam(const AdamConfig& adam);
   NetworkBuilder& seed(std::uint64_t seed);
+  /// Inference-scoring precision: Precision::kBF16 gives every layer a
+  /// bfloat16 weight mirror (half the serving weight bytes) scored through
+  /// the dispatch's mixed-precision kernels; training stays fp32. See
+  /// core/config.h for the quantize-on-publish contract.
+  NetworkBuilder& precision(Precision precision);
 
   // ---- Terminal calls ----
 

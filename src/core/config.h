@@ -44,6 +44,24 @@ const char* to_string(MaintenancePolicy policy);
 /// Parses "sync" | "async_full" | "async_delta" (slide::Error otherwise).
 MaintenancePolicy parse_maintenance_policy(const char* name);
 
+/// Inference-scoring precision of a network ("Accelerating SLIDE on Modern
+/// CPUs", Daghaghi et al.):
+///
+///   kFP32 — weights are read as stored; no mirror, no extra memory.
+///   kBF16 — every layer keeps a bfloat16 mirror of its weight matrix
+///           (half the bytes; biases stay fp32) and the inference path
+///           scores through the backend's mixed bf16xfp32 kernels.
+///           Training is untouched: forward/backward/Adam run on the fp32
+///           master weights (HOGWILD updates never touch the mirror), and
+///           the mirror is re-quantized at the publish points — network
+///           construction, checkpoint load, and an explicit
+///           Network::refresh_inference_mirrors().
+enum class Precision { kFP32, kBF16 };
+
+const char* to_string(Precision precision);
+/// Parses "fp32" | "bf16" (slide::Error otherwise).
+Precision parse_precision(const char* name);
+
 /// One layer after the first hidden layer (see EmbeddingLayer for the
 /// input-facing layer). When `hashed` is set, the layer maintains LSH tables
 /// over its neurons and activates only a sampled subset per input.
@@ -88,6 +106,11 @@ struct NetworkConfig {
 
   /// Batch slots to preallocate (max batch size the network can train on).
   int max_batch_size = 256;
+
+  /// Inference-scoring precision (see Precision). bf16 halves the weight
+  /// bytes the serving path reads; fp32 master weights remain authoritative
+  /// for training and checkpoints.
+  Precision precision = Precision::kFP32;
 
   AdamConfig adam;
   std::uint64_t seed = 123;

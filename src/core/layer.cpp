@@ -21,11 +21,72 @@ void init_normal(float* w, std::size_t n, float stddev, Rng& rng) {
 /// leave behind (see SampledLayer::run_delta_reinsert).
 constexpr long kDeltaHygienePeriod = 10;
 
+// Weight-element-generic kernel selectors: the fp32 master path and the
+// bf16 mirror path share one loop body below, differing only in the weight
+// pointer type these resolve on.
+inline void axpy_any(float alpha, const float* x, float* y,
+                     std::size_t n) noexcept {
+  simd::axpy(alpha, x, y, n);
+}
+inline void axpy_any(float alpha, const simd::Bf16* x, float* y,
+                     std::size_t n) noexcept {
+  simd::axpy_bf16(alpha, x, y, n);
+}
+inline float dot_any(const float* w, const float* x, std::size_t n) noexcept {
+  return simd::dot(w, x, n);
+}
+inline float dot_any(const simd::Bf16* w, const float* x,
+                     std::size_t n) noexcept {
+  return simd::dot_bf16(w, x, n);
+}
+inline float sparse_dot_any(const Index* idx, const float* val,
+                            std::size_t nnz, const float* w) noexcept {
+  return simd::sparse_dot(idx, val, nnz, w);
+}
+inline float sparse_dot_any(const Index* idx, const float* val,
+                            std::size_t nnz, const simd::Bf16* w) noexcept {
+  return simd::sparse_dot_bf16(idx, val, nnz, w);
+}
+
+/// The embedding forward body shared by the fp32 master path and the bf16
+/// mirror path: out = ReLU(W^T x + b) with W input-major [input_dim x
+/// units].
+template <typename W>
+void embedding_forward(const AlignedVector<float>& bias, const W* weights,
+                       Index units, const SparseVector& x, float* out,
+                       [[maybe_unused]] Index input_dim) {
+  std::copy(bias.begin(), bias.end(), out);
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    SLIDE_ASSERT(idx[i] < input_dim);
+    if (i + kPrefetchDistance < idx.size()) {
+      prefetch_read(weights + static_cast<std::size_t>(
+                                  idx[i + kPrefetchDistance]) *
+                                  units);
+    }
+    axpy_any(val[i], weights + static_cast<std::size_t>(idx[i]) * units, out,
+             units);
+  }
+  simd::relu(out, units);
+}
+
+/// One unit's pre-activation against the previous layer's active set,
+/// generic over the weight element type (fp32 masters / bf16 mirror).
+template <typename W>
+float score_unit(float bias, const W* w, std::span<const Index> prev_ids,
+                 std::span<const float> prev_act) noexcept {
+  if (prev_ids.empty()) return bias + dot_any(w, prev_act.data(), prev_act.size());
+  return bias + sparse_dot_any(prev_ids.data(), prev_act.data(),
+                               prev_ids.size(), w);
+}
+
 SampledLayer::Config dense_layer_config(Index units, Index fan_in,
                                         Activation activation,
                                         float init_stddev,
                                         const AdamConfig& adam,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        Precision precision) {
   SampledLayer::Config cfg;
   cfg.units = units;
   cfg.fan_in = fan_in;
@@ -34,6 +95,7 @@ SampledLayer::Config dense_layer_config(Index units, Index fan_in,
   cfg.random_sampled = false;
   cfg.init_stddev = init_stddev;
   cfg.adam = adam;
+  cfg.precision = precision;
   cfg.seed = seed;
   return cfg;
 }
@@ -59,9 +121,10 @@ const char* to_string(LayerKind kind) {
 EmbeddingLayer::EmbeddingLayer(Index input_dim, Index units,
                                float init_stddev, int batch_slots,
                                int max_threads, const AdamConfig& adam,
-                               std::uint64_t seed)
+                               std::uint64_t seed, Precision precision)
     : input_dim_(input_dim),
       units_(units),
+      precision_(precision),
       weights_(static_cast<std::size_t>(input_dim) * units),
       grads_(static_cast<std::size_t>(input_dim) * units),
       bias_(units, 0.0f),
@@ -85,26 +148,55 @@ EmbeddingLayer::EmbeddingLayer(Index input_dim, Index units,
   column_touched_ =
       std::make_unique<std::atomic<std::uint8_t>[]>(input_dim_);
   touched_lists_.resize(static_cast<std::size_t>(max_threads));
+
+  // Allocate the quantized mirror up front so later refreshes are noexcept
+  // (re-quantize in place, no reallocation).
+  if (precision_ == Precision::kBF16) {
+    weights_bf16_.resize(weights_.size());
+    refresh_inference_mirror();
+  }
+}
+
+void EmbeddingLayer::refresh_inference_mirror() noexcept {
+  if (precision_ != Precision::kBF16) return;
+  simd::quantize_bf16(weights_.data(), weights_bf16_.data(), weights_.size());
+}
+
+std::size_t EmbeddingLayer::inference_weight_bytes() const noexcept {
+  const std::size_t bias_bytes = bias_.size() * sizeof(float);
+  if (bf16_inference())
+    return weights_bf16_.size() * sizeof(simd::Bf16) + bias_bytes;
+  return weights_.size() * sizeof(float) + bias_bytes;
+}
+
+LayerMemory EmbeddingLayer::memory() const noexcept {
+  LayerMemory m;
+  m.master_bytes = (weights_.size() + bias_.size()) * sizeof(float);
+  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16);
+  m.optimizer_bytes = (grads_.size() + bias_grad_.size()) * sizeof(float) +
+                      2 * adam_.num_params() * sizeof(float);
+  return m;
 }
 
 void EmbeddingLayer::forward(int slot, const SparseVector& x) {
   ActiveSet& s = slots_[static_cast<std::size_t>(slot)];
-  forward_inference(x, s.act.data());
+  forward_master(x, s.act.data());  // training always reads fp32 masters
   std::fill(s.err.begin(), s.err.end(), 0.0f);
+}
+
+void EmbeddingLayer::forward_master(const SparseVector& x,
+                                    float* out) const {
+  embedding_forward(bias_, weights_.data(), units_, x, out, input_dim_);
 }
 
 void EmbeddingLayer::forward_inference(const SparseVector& x,
                                        float* out) const {
-  std::copy(bias_.begin(), bias_.end(), out);
-  const auto idx = x.indices();
-  const auto val = x.values();
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    SLIDE_ASSERT(idx[i] < input_dim_);
-    if (i + kPrefetchDistance < idx.size())
-      prefetch_read(weight_column(idx[i + kPrefetchDistance]));
-    simd::axpy(val[i], weight_column(idx[i]), out, units_);
+  if (bf16_inference()) {
+    embedding_forward(bias_, weights_bf16_.data(), units_, x, out,
+                      input_dim_);
+  } else {
+    forward_master(x, out);
   }
-  simd::relu(out, units_);
 }
 
 void EmbeddingLayer::backward(int slot, const SparseVector& x, int tid) {
@@ -234,17 +326,48 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
     next_rebuild_ = config_.rebuild.initial_period;
     build_group(tables_->active_group(), nullptr);  // initial build (§3.1)
   }
+
+  // Allocate the quantized mirror up front so later refreshes are noexcept
+  // (re-quantize in place, no reallocation).
+  if (config_.precision == Precision::kBF16) {
+    weights_bf16_.resize(weights_.size());
+    refresh_inference_mirror();
+  }
+}
+
+void SampledLayer::refresh_inference_mirror() noexcept {
+  if (config_.precision != Precision::kBF16) return;
+  simd::quantize_bf16(weights_.data(), weights_bf16_.data(), weights_.size());
+}
+
+std::size_t SampledLayer::inference_weight_bytes() const noexcept {
+  const std::size_t bias_bytes = bias_.size() * sizeof(float);
+  if (bf16_inference())
+    return weights_bf16_.size() * sizeof(simd::Bf16) + bias_bytes;
+  return weights_.size() * sizeof(float) + bias_bytes;
+}
+
+LayerMemory SampledLayer::memory() const noexcept {
+  LayerMemory m;
+  m.master_bytes = (weights_.size() + bias_.size()) * sizeof(float);
+  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16);
+  m.optimizer_bytes = (grads_.size() + bias_grad_.size()) * sizeof(float) +
+                      2 * adam_.num_params() * sizeof(float);
+  return m;
+}
+
+float SampledLayer::activation_of_bf16(
+    Index unit, std::span<const Index> prev_ids,
+    std::span<const float> prev_act) const {
+  const simd::Bf16* w =
+      weights_bf16_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  return score_unit(bias_[unit], w, prev_ids, prev_act);
 }
 
 float SampledLayer::activation_of(Index unit,
                                   std::span<const Index> prev_ids,
                                   std::span<const float> prev_act) const {
-  const float* w = weight_row(unit);
-  if (prev_ids.empty()) {
-    return bias_[unit] + simd::dot(w, prev_act.data(), prev_act.size());
-  }
-  return bias_[unit] + simd::sparse_dot(prev_ids.data(), prev_act.data(),
-                                        prev_ids.size(), w);
+  return score_unit(bias_[unit], weight_row(unit), prev_ids, prev_act);
 }
 
 void SampledLayer::select_active(int slot, const ActiveSet& prev,
@@ -742,8 +865,13 @@ void SampledLayer::forward_inference(std::span<const Index> prev_ids,
     }
   }
   act_out.resize(ids_out.size());
-  for (std::size_t i = 0; i < ids_out.size(); ++i)
-    act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
+  if (bf16_inference()) {
+    for (std::size_t i = 0; i < ids_out.size(); ++i)
+      act_out[i] = activation_of_bf16(ids_out[i], prev_ids, prev_act);
+  } else {
+    for (std::size_t i = 0; i < ids_out.size(); ++i)
+      act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
+  }
   if (config_.activation == Activation::kReLU)
     simd::relu(act_out.data(), act_out.size());
 }
@@ -783,9 +911,10 @@ void SampledLayer::reset_phase_timers() {
 
 DenseLayer::DenseLayer(Index units, Index fan_in, Activation activation,
                        float init_stddev, const AdamConfig& adam,
-                       std::uint64_t seed, int batch_slots, int max_threads)
+                       std::uint64_t seed, int batch_slots, int max_threads,
+                       Precision precision)
     : SampledLayer(dense_layer_config(units, fan_in, activation, init_stddev,
-                                      adam, seed),
+                                      adam, seed, precision),
                    batch_slots, max_threads) {}
 
 RandomSampledLayer::RandomSampledLayer(Index units, Index fan_in,
@@ -794,11 +923,12 @@ RandomSampledLayer::RandomSampledLayer(Index units, Index fan_in,
                                        float init_stddev,
                                        const AdamConfig& adam,
                                        std::uint64_t seed, int batch_slots,
-                                       int max_threads)
+                                       int max_threads, Precision precision)
     : SampledLayer(
           [&] {
             SampledLayer::Config cfg = dense_layer_config(
-                units, fan_in, activation, init_stddev, adam, seed);
+                units, fan_in, activation, init_stddev, adam, seed,
+                precision);
             cfg.random_sampled = true;
             cfg.sampling.target = num_sampled;
             return cfg;
@@ -810,7 +940,8 @@ RandomSampledLayer::RandomSampledLayer(Index units, Index fan_in,
 
 std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
                                   const AdamConfig& adam, std::uint64_t seed,
-                                  int batch_slots, int max_threads) {
+                                  int batch_slots, int max_threads,
+                                  Precision precision) {
   SLIDE_CHECK(!(spec.hashed && spec.random_sampled),
               "make_layer: hashed and random_sampled are exclusive");
   if (spec.hashed) {
@@ -828,17 +959,18 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
     cfg.incremental_rehash = spec.incremental_rehash;
     cfg.init_stddev = spec.init_stddev;
     cfg.adam = adam;
+    cfg.precision = precision;
     cfg.seed = seed;
     return std::make_unique<SampledLayer>(cfg, batch_slots, max_threads);
   }
   if (spec.random_sampled) {
     return std::make_unique<RandomSampledLayer>(
         spec.units, fan_in, spec.sampling.target, spec.activation,
-        spec.init_stddev, adam, seed, batch_slots, max_threads);
+        spec.init_stddev, adam, seed, batch_slots, max_threads, precision);
   }
   return std::make_unique<DenseLayer>(spec.units, fan_in, spec.activation,
                                       spec.init_stddev, adam, seed,
-                                      batch_slots, max_threads);
+                                      batch_slots, max_threads, precision);
 }
 
 }  // namespace slide

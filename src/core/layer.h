@@ -40,6 +40,7 @@
 #include "data/sparse_vector.h"
 #include "lsh/table_group.h"
 #include "optim/adam.h"
+#include "simd/bf16.h"
 #include "sys/aligned.h"
 #include "sys/hugepages.h"
 #include "sys/rng.h"
@@ -69,6 +70,14 @@ struct ActiveSet {
 enum class LayerKind { kDense, kSampled, kRandomSampled };
 
 const char* to_string(LayerKind kind);
+
+/// Per-layer memory accounting (drives Network::memory_footprint and the
+/// serve-side footprint report).
+struct LayerMemory {
+  std::size_t master_bytes = 0;     ///< fp32 weights + biases
+  std::size_t mirror_bytes = 0;     ///< bf16 inference mirror (0 at fp32)
+  std::size_t optimizer_bytes = 0;  ///< gradient accumulators + Adam moments
+};
 
 /// Abstract interface of one stack layer (everything after the input-facing
 /// EmbeddingLayer). Network, Trainer, and core/serialize drive the stack
@@ -134,9 +143,27 @@ class Layer {
   virtual std::span<float> bias_span() noexcept = 0;
   virtual std::span<const float> bias_span() const noexcept = 0;
   /// Called after an external writer (checkpoint load) rewrote the spans;
-  /// derived state (hash memos) must be marked stale.
+  /// derived state (hash memos, quantized mirrors) must be refreshed.
   virtual void on_weights_loaded() noexcept = 0;
   virtual std::size_t num_parameters() const noexcept = 0;
+
+  // ---- Quantized inference (bf16 weight mirrors) ----
+  /// The precision the layer's *inference* scoring path reads weights at.
+  /// Training always runs on the fp32 masters regardless.
+  virtual Precision inference_precision() const noexcept {
+    return Precision::kFP32;
+  }
+  /// Re-quantizes the inference mirror from the current master weights.
+  /// No-op for fp32 layers. Mutates only the mirror — callers must hold
+  /// the writer role (no concurrent readers), like any weight mutation.
+  virtual void refresh_inference_mirror() noexcept {}
+  /// Bytes of weight + bias data the inference scoring path reads (the
+  /// mirror at bf16, the masters at fp32).
+  virtual std::size_t inference_weight_bytes() const noexcept {
+    return num_parameters() * sizeof(float);
+  }
+  /// Memory accounting for this layer (masters, mirror, optimizer state).
+  virtual LayerMemory memory() const noexcept = 0;
 
   /// Serializes gradient accumulation behind a mutex (HOGWILD ablation).
   virtual void set_use_locks(bool locks) noexcept = 0;
@@ -151,15 +178,19 @@ class EmbeddingLayer {
  public:
   EmbeddingLayer(Index input_dim, Index units, float init_stddev,
                  int batch_slots, int max_threads, const AdamConfig& adam,
-                 std::uint64_t seed);
+                 std::uint64_t seed,
+                 Precision precision = Precision::kFP32);
 
   Index input_dim() const noexcept { return input_dim_; }
   Index units() const noexcept { return units_; }
+  Precision inference_precision() const noexcept { return precision_; }
 
   /// Computes ReLU(W^T x + b) for the slot; zeroes the slot's error buffer.
+  /// Always reads the fp32 master weights (training path).
   void forward(int slot, const SparseVector& x);
 
   /// Dense single-sample forward into a caller buffer (inference path).
+  /// Scores through the bf16 mirror when the layer is quantized.
   void forward_inference(const SparseVector& x, float* out) const;
 
   /// Consumes the error accumulated in the slot by upper layers: applies
@@ -207,14 +238,30 @@ class EmbeddingLayer {
     return static_cast<std::size_t>(input_dim_) * units_ + units_;
   }
 
+  /// Re-quantizes the bf16 mirror from the masters (no-op at fp32); see
+  /// Layer::refresh_inference_mirror for the writer-role contract.
+  void refresh_inference_mirror() noexcept;
+  std::size_t inference_weight_bytes() const noexcept;
+  LayerMemory memory() const noexcept;
+
  private:
+  /// fp32 forward through the master weights (shared by training and the
+  /// unquantized inference path).
+  void forward_master(const SparseVector& x, float* out) const;
+
+  bool bf16_inference() const noexcept {
+    return precision_ == Precision::kBF16 && !weights_bf16_.empty();
+  }
+
   Index input_dim_;
   Index units_;
+  Precision precision_;
 
   HugeArray weights_;  // [input_dim x units], input-major
   HugeArray grads_;
   AlignedVector<float> bias_;
   AlignedVector<float> bias_grad_;
+  AlignedVector<simd::Bf16> weights_bf16_;  // mirror, same layout; bf16 only
   Adam adam_;  // layout: weights then bias
 
   std::vector<ActiveSet> slots_;
@@ -246,6 +293,8 @@ class SampledLayer : public Layer {
     bool incremental_rehash = false;
     float init_stddev = 0.0f;  // 0 -> 2/sqrt(fan_in)
     AdamConfig adam;
+    /// Inference-scoring precision (network-wide knob; see config.h).
+    Precision precision = Precision::kFP32;
     std::uint64_t seed = 31;
   };
 
@@ -371,11 +420,21 @@ class SampledLayer : public Layer {
   /// Marks the incremental-rehash memo stale (weights changed externally,
   /// e.g. by a checkpoint load); the next rebuild re-projects from weights.
   void invalidate_memo() noexcept { memo_initialized_ = false; }
-  void on_weights_loaded() noexcept override { invalidate_memo(); }
+  void on_weights_loaded() noexcept override {
+    invalidate_memo();
+    refresh_inference_mirror();
+  }
 
   std::size_t num_parameters() const noexcept override {
     return static_cast<std::size_t>(units_) * fan_in_ + units_;
   }
+
+  Precision inference_precision() const noexcept override {
+    return config_.precision;
+  }
+  void refresh_inference_mirror() noexcept override;
+  std::size_t inference_weight_bytes() const noexcept override;
+  LayerMemory memory() const noexcept override;
 
   /// The layer's (double-buffered) tables; null for unhashed layers. Query
   /// helpers and diagnostics delegate to the active group — see
@@ -400,6 +459,12 @@ class SampledLayer : public Layer {
   void compute_activations(ActiveSet& set, const ActiveSet& prev) const;
   float activation_of(Index unit, std::span<const Index> prev_ids,
                       std::span<const float> prev_act) const;
+  /// Mirror-reading twin of activation_of (bf16 inference scoring).
+  float activation_of_bf16(Index unit, std::span<const Index> prev_ids,
+                           std::span<const float> prev_act) const;
+  bool bf16_inference() const noexcept {
+    return config_.precision == Precision::kBF16 && !weights_bf16_.empty();
+  }
 
   /// Clears `group` and re-hashes every neuron into it (memoized Simhash
   /// projections when incremental rehash is on). Shared by the sync
@@ -425,6 +490,7 @@ class SampledLayer : public Layer {
   HugeArray grads_;
   AlignedVector<float> bias_;
   AlignedVector<float> bias_grad_;
+  AlignedVector<simd::Bf16> weights_bf16_;  // mirror, same layout; bf16 only
   Adam adam_;  // layout: weights then bias
 
   std::vector<ActiveSet> slots_;
@@ -483,7 +549,8 @@ class DenseLayer final : public SampledLayer {
  public:
   DenseLayer(Index units, Index fan_in, Activation activation,
              float init_stddev, const AdamConfig& adam, std::uint64_t seed,
-             int batch_slots, int max_threads);
+             int batch_slots, int max_threads,
+             Precision precision = Precision::kFP32);
 };
 
 /// Static uniform sampling (the Sampled Softmax baseline of paper §5.1):
@@ -495,13 +562,16 @@ class RandomSampledLayer final : public SampledLayer {
   RandomSampledLayer(Index units, Index fan_in, Index num_sampled,
                      Activation activation, float init_stddev,
                      const AdamConfig& adam, std::uint64_t seed,
-                     int batch_slots, int max_threads);
+                     int batch_slots, int max_threads,
+                     Precision precision = Precision::kFP32);
 };
 
 /// Builds the concrete Layer for a LayerSpec (DenseLayer, SampledLayer, or
 /// RandomSampledLayer) — the single construction point used by Network.
+/// `precision` is the network-wide inference precision (config.h).
 std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
                                   const AdamConfig& adam, std::uint64_t seed,
-                                  int batch_slots, int max_threads);
+                                  int batch_slots, int max_threads,
+                                  Precision precision = Precision::kFP32);
 
 }  // namespace slide

@@ -18,14 +18,36 @@ Network::Network(const NetworkConfig& config, int max_threads)
   Rng seeder(config_.seed);
   embedding_ = std::make_unique<EmbeddingLayer>(
       config_.input_dim, config_.hidden_units, config_.hidden_init_stddev,
-      config_.max_batch_size, max_threads, config_.adam, seeder());
+      config_.max_batch_size, max_threads, config_.adam, seeder(),
+      config_.precision);
 
   Index fan_in = config_.hidden_units;
   for (const LayerSpec& spec : config_.layers) {
     layers_.push_back(make_layer(spec, fan_in, config_.adam, seeder(),
-                                 config_.max_batch_size, max_threads));
+                                 config_.max_batch_size, max_threads,
+                                 config_.precision));
     fan_in = spec.units;
   }
+}
+
+void Network::refresh_inference_mirrors() {
+  WriteGuard guard(*this);
+  embedding_->refresh_inference_mirror();
+  for (auto& layer : layers_) layer->refresh_inference_mirror();
+}
+
+MemoryFootprint Network::memory_footprint() const noexcept {
+  MemoryFootprint f;
+  auto add = [&f](const LayerMemory& m, std::size_t inference_bytes) {
+    f.master_weight_bytes += m.master_bytes;
+    f.mirror_bytes += m.mirror_bytes;
+    f.optimizer_bytes += m.optimizer_bytes;
+    f.inference_weight_bytes += inference_bytes;
+  };
+  add(embedding_->memory(), embedding_->inference_weight_bytes());
+  for (const auto& layer : layers_)
+    add(layer->memory(), layer->inference_weight_bytes());
+  return f;
 }
 
 float Network::train_sample(int slot, const Sample& sample, float inv_batch,

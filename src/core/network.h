@@ -20,6 +20,18 @@ namespace slide {
 
 class Network;
 
+/// Whole-network memory accounting (sums the per-layer LayerMemory plus the
+/// embedding). `inference_weight_bytes` is what the serving scoring path
+/// actually reads — the bf16 mirrors when quantized, the fp32 masters
+/// otherwise — and is the number the "bf16 halves serving weight memory"
+/// contract is asserted on.
+struct MemoryFootprint {
+  std::size_t master_weight_bytes = 0;  ///< fp32 weights + biases
+  std::size_t mirror_bytes = 0;         ///< bf16 inference mirrors
+  std::size_t optimizer_bytes = 0;      ///< grad accumulators + Adam moments
+  std::size_t inference_weight_bytes = 0;
+};
+
 /// Scratch buffers for single-sample inference; create one per thread.
 /// The Network-taking constructor sizes everything from the model, so
 /// callers need not know max_sampled_units().
@@ -129,6 +141,8 @@ class Network {
   const NetworkConfig& config() const noexcept { return config_; }
   Index input_dim() const noexcept { return config_.input_dim; }
   Index output_dim() const noexcept { return layers_.back()->units(); }
+  /// Inference-scoring precision (config.precision; see core/config.h).
+  Precision precision() const noexcept { return config_.precision; }
   int max_batch_size() const noexcept { return config_.max_batch_size; }
   int num_layers() const noexcept {
     return 1 + static_cast<int>(layers_.size());
@@ -232,6 +246,15 @@ class Network {
 
   /// Serializes gradient accumulation (HOGWILD ablation).
   void set_use_locks(bool locks) noexcept;
+
+  /// Re-quantizes every layer's bf16 inference mirror from the current fp32
+  /// master weights (no-op at fp32 precision). Writer-role call: run it at
+  /// the quantize-on-publish points — after training, before handing the
+  /// network to readers. Checkpoint loads do it automatically.
+  void refresh_inference_mirrors();
+
+  /// Memory accounting across all layers (see MemoryFootprint).
+  MemoryFootprint memory_footprint() const noexcept;
 
   std::size_t num_parameters() const noexcept;
 

@@ -8,7 +8,10 @@ namespace slide {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x534C4944;  // "SLID"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 = version 1 + a precision tag word after the header; loaders
+// accept both (see serialize.h's version history).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -39,35 +42,75 @@ void read_floats(std::istream& in, std::span<float> data) {
 
 void write_header(std::ostream& out, std::uint32_t kind,
                   std::uint32_t input_dim, std::uint32_t hidden,
-                  std::uint32_t num_layers) {
+                  std::uint32_t num_layers, Precision precision) {
   write_u32(out, kMagic);
   write_u32(out, kVersion);
   write_u32(out, kind);
   write_u32(out, input_dim);
   write_u32(out, hidden);
   write_u32(out, num_layers);
+  write_u32(out, static_cast<std::uint32_t>(precision));  // v2 tag
+}
+
+std::uint32_t read_version(std::istream& in) {
+  SLIDE_CHECK(read_u32(in) == kMagic, "load_weights: not a SLIDE checkpoint");
+  const std::uint32_t version = read_u32(in);
+  SLIDE_CHECK(version >= kMinVersion && version <= kVersion,
+              "load_weights: unsupported checkpoint version");
+  return version;
+}
+
+/// Reads the optional v2 precision tag (fp32 for v1 files).
+Precision read_precision_tag(std::istream& in, std::uint32_t version) {
+  if (version < 2) return Precision::kFP32;
+  const std::uint32_t tag = read_u32(in);
+  SLIDE_CHECK(tag <= static_cast<std::uint32_t>(Precision::kBF16),
+              "load_weights: unknown precision tag");
+  return static_cast<Precision>(tag);
 }
 
 void check_header(std::istream& in, std::uint32_t kind,
                   std::uint32_t input_dim, std::uint32_t hidden,
                   std::uint32_t num_layers) {
-  SLIDE_CHECK(read_u32(in) == kMagic, "load_weights: not a SLIDE checkpoint");
-  SLIDE_CHECK(read_u32(in) == kVersion,
-              "load_weights: unsupported checkpoint version");
+  const std::uint32_t version = read_version(in);
   SLIDE_CHECK(read_u32(in) == kind, "load_weights: checkpoint kind mismatch");
   SLIDE_CHECK(read_u32(in) == input_dim,
               "load_weights: input_dim mismatch");
   SLIDE_CHECK(read_u32(in) == hidden, "load_weights: hidden width mismatch");
   SLIDE_CHECK(read_u32(in) == num_layers,
               "load_weights: layer count mismatch");
+  read_precision_tag(in, version);
 }
 
 }  // namespace
 
+CheckpointInfo peek_checkpoint_info(std::istream& in) {
+  const std::istream::pos_type start = in.tellg();
+  CheckpointInfo info;
+  info.version = read_version(in);
+  info.kind = read_u32(in);
+  SLIDE_CHECK(info.kind == 0 || info.kind == 1,
+              "peek_checkpoint_info: unknown checkpoint kind");
+  read_u32(in);  // input_dim
+  read_u32(in);  // hidden
+  read_u32(in);  // num_layers
+  info.precision = read_precision_tag(in, info.version);
+  in.seekg(start);
+  SLIDE_CHECK(in.good(), "peek_checkpoint_info: stream not seekable");
+  return info;
+}
+
+CheckpointInfo peek_checkpoint_info_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SLIDE_CHECK(in.good(), "peek_checkpoint_info_file: cannot open " + path);
+  return peek_checkpoint_info(in);
+}
+
 void save_weights(const Network& network, std::ostream& out) {
   const EmbeddingLayer& emb = network.embedding();
   write_header(out, /*kind=*/0, emb.input_dim(), emb.units(),
-               static_cast<std::uint32_t>(network.stack_depth()));
+               static_cast<std::uint32_t>(network.stack_depth()),
+               network.precision());
   write_floats(out, emb.weights_span());
   write_floats(out, emb.bias_span());
   for (int i = 0; i < network.stack_depth(); ++i) {
@@ -85,9 +128,7 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
   // concurrent debug readers assert (see network.h thread-safety).
   Network::WriteGuard guard(network);
   EmbeddingLayer& emb = network.embedding();
-  SLIDE_CHECK(read_u32(in) == kMagic, "load_weights: not a SLIDE checkpoint");
-  SLIDE_CHECK(read_u32(in) == kVersion,
-              "load_weights: unsupported checkpoint version");
+  const std::uint32_t version = read_version(in);
   // Kind 0 is the unified stack; kind 1 is the pre-unification dense
   // baseline, whose byte layout matches a one-stack-layer network exactly —
   // accepted here so old dense checkpoints migrate into the unified stack.
@@ -104,8 +145,12 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
   SLIDE_CHECK(read_u32(in) ==
                   static_cast<std::uint32_t>(network.stack_depth()),
               "load_weights: layer count mismatch");
+  // The tag is provenance only: parameter blocks are fp32 masters either
+  // way, and the network below re-derives its own mirrors per its config.
+  read_precision_tag(in, version);
   read_floats(in, emb.weights_span());
   read_floats(in, emb.bias_span());
+  emb.refresh_inference_mirror();
   for (int i = 0; i < network.stack_depth(); ++i) {
     Layer& layer = network.stack(i);
     SLIDE_CHECK(read_u32(in) == layer.units(),
@@ -135,7 +180,8 @@ void load_weights_file(Network& network, const std::string& path,
 
 void save_weights(const DenseNetwork& network, std::ostream& out) {
   const EmbeddingLayer& emb = network.embedding();
-  write_header(out, /*kind=*/1, emb.input_dim(), emb.units(), 1);
+  write_header(out, /*kind=*/1, emb.input_dim(), emb.units(), 1,
+               Precision::kFP32);
   write_floats(out, emb.weights_span());
   write_floats(out, emb.bias_span());
   write_u32(out, network.output_dim());
@@ -156,6 +202,11 @@ void load_weights(DenseNetwork& network, std::istream& in) {
               "load_weights: output fan-in mismatch");
   read_floats(in, network.output_weights_span());
   read_floats(in, network.output_bias_span());
+  // Same post-rewrite contract as the unified loader: derived state
+  // (mirrors, memos) must track the new spans. A no-op today — the dense
+  // baseline is fp32 and unhashed — but load paths must not depend on that.
+  emb.refresh_inference_mirror();
+  network.network().stack(0).on_weights_loaded();
 }
 
 }  // namespace slide

@@ -11,6 +11,15 @@
 // unified stack unchanged. Hash tables are NOT serialized: they are a
 // function of the weights and are rebuilt after loading (load_weights does
 // this automatically).
+//
+// Version history:
+//   1 — header {magic, version, kind, input_dim, hidden, num_layers}.
+//   2 — adds a precision tag word after the header: the Precision the
+//       saving network scored inference at (provenance for serving boots;
+//       see peek_checkpoint_info). Parameter blocks are ALWAYS the fp32
+//       master weights regardless of the tag — bf16 mirrors are derived
+//       state and are re-quantized by the loading network when its own
+//       config asks for bf16. Version-1 files load unchanged (tag fp32).
 #pragma once
 
 #include <iosfwd>
@@ -20,6 +29,19 @@
 #include "core/network.h"
 
 namespace slide {
+
+/// Header fields of a checkpoint stream (see the version history above).
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  std::uint32_t kind = 0;  ///< 0 = unified stack, 1 = legacy dense baseline
+  Precision precision = Precision::kFP32;  ///< tag; fp32 for version-1 files
+};
+
+/// Reads the checkpoint header without consuming the stream (the stream is
+/// rewound to where it was). Lets a serving boot decide its precision from
+/// the tag before constructing the network.
+CheckpointInfo peek_checkpoint_info(std::istream& in);
+CheckpointInfo peek_checkpoint_info_file(const std::string& path);
 
 /// Serializes all weights and biases of the network.
 void save_weights(const Network& network, std::ostream& out);

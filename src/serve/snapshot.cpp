@@ -123,11 +123,21 @@ std::uint64_t ModelStore::publish_count() const {
 
 std::uint64_t publish_clone(ModelStore& store, const Network& trained,
                             int rebuild_threads, const std::string& source) {
+  return publish_clone(store, trained, trained.precision(), rebuild_threads,
+                       source);
+}
+
+std::uint64_t publish_clone(ModelStore& store, const Network& trained,
+                            Precision precision, int rebuild_threads,
+                            const std::string& source) {
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
   save_weights(trained, buffer);
   buffer.seekg(0);
-  return store.load_checkpoint(trained.config(), buffer, source,
-                               rebuild_threads);
+  // The fresh network re-derives its bf16 mirrors from the fp32 parameter
+  // blocks during the load, so the override needs nothing but the config.
+  NetworkConfig config = trained.config();
+  config.precision = precision;
+  return store.load_checkpoint(config, buffer, source, rebuild_threads);
 }
 
 }  // namespace slide

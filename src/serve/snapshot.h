@@ -113,4 +113,15 @@ std::uint64_t publish_clone(ModelStore& store, const Network& trained,
                             int rebuild_threads = 0,
                             const std::string& source = "clone");
 
+/// publish_clone with a serving-precision override: the published snapshot
+/// scores inference at `precision` regardless of how the trainer's network
+/// is configured. Precision::kBF16 emits a quantized snapshot whose
+/// scoring path reads half the weight bytes (Network::memory_footprint);
+/// the trainer keeps its fp32 masters untouched. The checkpoint-loading
+/// boot paths (from_checkpoint_file / load_checkpoint*) get the same knob
+/// through NetworkConfig::precision.
+std::uint64_t publish_clone(ModelStore& store, const Network& trained,
+                            Precision precision, int rebuild_threads = 0,
+                            const std::string& source = "clone");
+
 }  // namespace slide

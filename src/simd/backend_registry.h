@@ -1,0 +1,16 @@
+// Internal: the per-ISA translation units export their tables through
+// these constants. A table pointer is null when the compiler lacked the
+// ISA flags (the TU then compiles to a stub). Constant-initialized, so no
+// code from an unsupported ISA's TU ever executes — dereferencing happens
+// only after cpuid approves the level.
+#pragma once
+
+#include "simd/backend.h"
+
+namespace slide::simd::detail {
+
+extern const Backend kScalarBackend;        // kernels_scalar.cpp, always
+extern const Backend* const kAvx2Backend;   // kernels_avx2.cpp or null
+extern const Backend* const kAvx512Backend; // kernels_avx512.cpp or null
+
+}  // namespace slide::simd::detail

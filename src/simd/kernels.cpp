@@ -1,304 +1,77 @@
+// Public kernel entry points: thin trampolines into the bound dispatch
+// table (simd/backend.h). Each call is one acquire atomic pointer load
+// plus an indirect call — the per-ISA implementations live in
+// kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp.
 #include "simd/kernels.h"
-
-#include <atomic>
-#include <cmath>
-#include <limits>
-
-#if defined(__AVX2__) && defined(__FMA__)
-#include <immintrin.h>
-#define SLIDE_AVX2 1
-#else
-#define SLIDE_AVX2 0
-#endif
 
 namespace slide::simd {
 
-namespace {
-std::atomic<bool> g_simd_enabled{true};
+// ---- deprecated compile-time-era shims ------------------------------------
 
-bool use_simd() noexcept {
-  return SLIDE_AVX2 && g_simd_enabled.load(std::memory_order_relaxed);
+bool compiled_with_avx2() noexcept {
+  return level_compiled(SimdLevel::kAVX2);
 }
-}  // namespace
 
-bool compiled_with_avx2() noexcept { return SLIDE_AVX2 != 0; }
-void set_simd_enabled(bool enabled) noexcept { g_simd_enabled.store(enabled); }
-bool simd_enabled() noexcept { return use_simd(); }
+void set_simd_enabled(bool enabled) noexcept {
+  // detected_level() and kScalar are supported by construction, so the
+  // underlying set_simd_level cannot throw here.
+  set_simd_level(enabled ? detected_level() : SimdLevel::kScalar);
+}
 
-// ---------------------------------------------------------------------------
-// Scalar reference implementations.
-// ---------------------------------------------------------------------------
-namespace scalar {
+bool simd_enabled() noexcept {
+  return active_level() != SimdLevel::kScalar;
+}
+
+// ---- dispatchers ----------------------------------------------------------
 
 float dot(const float* a, const float* b, std::size_t n) noexcept {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-}
-
-void scale(float* x, float alpha, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
-}
-
-float sum(const float* x, std::size_t n) noexcept {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) acc += x[i];
-  return acc;
-}
-
-float max(const float* x, std::size_t n) noexcept {
-  float m = -std::numeric_limits<float>::infinity();
-  for (std::size_t i = 0; i < n; ++i) m = x[i] > m ? x[i] : m;
-  return m;
-}
-
-void relu(float* x, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
-}
-
-float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
-                 const float* dense) noexcept {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < nnz; ++i) acc += val[i] * dense[idx[i]];
-  return acc;
-}
-
-void sparse_axpy(float alpha, const Index* idx, const float* val,
-                 std::size_t nnz, float* dense) noexcept {
-  for (std::size_t i = 0; i < nnz; ++i) dense[idx[i]] += alpha * val[i];
-}
-
-void softmax_inplace(float* x, std::size_t n) noexcept {
-  if (n == 0) return;
-  const float m = scalar::max(x, n);
-  float z = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - m);
-    z += x[i];
-  }
-  const float inv = 1.0f / z;
-  for (std::size_t i = 0; i < n; ++i) x[i] *= inv;
-}
-
-void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
-               float lr, float beta1, float beta2, float eps, float bias1,
-               float bias2) noexcept {
-  const float inv_b1 = 1.0f / bias1;
-  const float inv_b2 = 1.0f / bias2;
-  for (std::size_t i = 0; i < n; ++i) {
-    m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
-    v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
-    const float mhat = m[i] * inv_b1;
-    const float vhat = v[i] * inv_b2;
-    w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
-  }
-}
-
-}  // namespace scalar
-
-// ---------------------------------------------------------------------------
-// AVX2 + FMA implementations.
-// ---------------------------------------------------------------------------
-#if SLIDE_AVX2
-namespace avx2 {
-
-inline float hsum256(__m256 v) noexcept {
-  __m128 lo = _mm256_castps256_ps128(v);
-  __m128 hi = _mm256_extractf128_ps(v, 1);
-  lo = _mm_add_ps(lo, hi);
-  lo = _mm_hadd_ps(lo, lo);
-  lo = _mm_hadd_ps(lo, lo);
-  return _mm_cvtss_f32(lo);
-}
-
-float dot(const float* a, const float* b, std::size_t n) noexcept {
-  __m256 acc0 = _mm256_setzero_ps();
-  __m256 acc1 = _mm256_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
-                           acc0);
-    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
-                           _mm256_loadu_ps(b + i + 8), acc1);
-  }
-  for (; i + 8 <= n; i += 8) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
-                           acc0);
-  }
-  float acc = hsum256(_mm256_add_ps(acc0, acc1));
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
-  const __m256 va = _mm256_set1_ps(alpha);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    __m256 vy = _mm256_loadu_ps(y + i);
-    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
-    _mm256_storeu_ps(y + i, vy);
-  }
-  for (; i < n; ++i) y[i] += alpha * x[i];
-}
-
-void scale(float* x, float alpha, std::size_t n) noexcept {
-  const __m256 va = _mm256_set1_ps(alpha);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
-  }
-  for (; i < n; ++i) x[i] *= alpha;
-}
-
-float sum(const float* x, std::size_t n) noexcept {
-  __m256 acc = _mm256_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
-  float s = hsum256(acc);
-  for (; i < n; ++i) s += x[i];
-  return s;
-}
-
-float max(const float* x, std::size_t n) noexcept {
-  if (n < 8) return scalar::max(x, n);
-  __m256 vm = _mm256_loadu_ps(x);
-  std::size_t i = 8;
-  for (; i + 8 <= n; i += 8) vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + i));
-  alignas(32) float lanes[8];
-  _mm256_store_ps(lanes, vm);
-  float m = lanes[0];
-  for (int k = 1; k < 8; ++k) m = lanes[k] > m ? lanes[k] : m;
-  for (; i < n; ++i) m = x[i] > m ? x[i] : m;
-  return m;
-}
-
-void relu(float* x, std::size_t n) noexcept {
-  const __m256 zero = _mm256_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
-  }
-  for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
-}
-
-float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
-                 const float* dense) noexcept {
-  // Gather-based: profitable on sparse inputs with tens of nonzeros.
-  __m256 acc = _mm256_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 8 <= nnz; i += 8) {
-    const __m256i vi = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(idx + i));
-    const __m256 vd = _mm256_i32gather_ps(dense, vi, 4);
-    acc = _mm256_fmadd_ps(_mm256_loadu_ps(val + i), vd, acc);
-  }
-  float s = hsum256(acc);
-  for (; i < nnz; ++i) s += val[i] * dense[idx[i]];
-  return s;
-}
-
-void sparse_axpy(float alpha, const Index* idx, const float* val,
-                 std::size_t nnz, float* dense) noexcept {
-  // Scatter has no AVX2 instruction; the scalar loop with unrolling is the
-  // fast path here.
-  scalar::sparse_axpy(alpha, idx, val, nnz, dense);
-}
-
-void softmax_inplace(float* x, std::size_t n) noexcept {
-  // exp() dominates; vectorizing max + normalization still helps.
-  if (n == 0) return;
-  const float m = avx2::max(x, n);
-  float z = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - m);
-    z += x[i];
-  }
-  avx2::scale(x, 1.0f / z, n);
-}
-
-void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
-               float lr, float beta1, float beta2, float eps, float bias1,
-               float bias2) noexcept {
-  const __m256 vb1 = _mm256_set1_ps(beta1);
-  const __m256 vb2 = _mm256_set1_ps(beta2);
-  const __m256 vib1 = _mm256_set1_ps(1.0f - beta1);
-  const __m256 vib2 = _mm256_set1_ps(1.0f - beta2);
-  const __m256 vinvc1 = _mm256_set1_ps(1.0f / bias1);
-  const __m256 vinvc2 = _mm256_set1_ps(1.0f / bias2);
-  const __m256 veps = _mm256_set1_ps(eps);
-  const __m256 vlr = _mm256_set1_ps(lr);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 vg = _mm256_loadu_ps(g + i);
-    __m256 vm = _mm256_loadu_ps(m + i);
-    __m256 vv = _mm256_loadu_ps(v + i);
-    vm = _mm256_fmadd_ps(vb1, vm, _mm256_mul_ps(vib1, vg));
-    vv = _mm256_fmadd_ps(vb2, vv, _mm256_mul_ps(vib2, _mm256_mul_ps(vg, vg)));
-    _mm256_storeu_ps(m + i, vm);
-    _mm256_storeu_ps(v + i, vv);
-    const __m256 mhat = _mm256_mul_ps(vm, vinvc1);
-    const __m256 vhat = _mm256_mul_ps(vv, vinvc2);
-    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
-    const __m256 step = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
-    _mm256_storeu_ps(w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), step));
-  }
-  if (i < n) {
-    scalar::adam_step(w + i, m + i, v + i, g + i, n - i, lr, beta1, beta2,
-                      eps, bias1, bias2);
-  }
-}
-
-}  // namespace avx2
-#endif  // SLIDE_AVX2
-
-// ---------------------------------------------------------------------------
-// Public dispatchers.
-// ---------------------------------------------------------------------------
-#if SLIDE_AVX2
-#define SLIDE_DISPATCH(fn, ...) \
-  return use_simd() ? avx2::fn(__VA_ARGS__) : scalar::fn(__VA_ARGS__)
-#else
-#define SLIDE_DISPATCH(fn, ...) return scalar::fn(__VA_ARGS__)
-#endif
-
-float dot(const float* a, const float* b, std::size_t n) noexcept {
-  SLIDE_DISPATCH(dot, a, b, n);
+  return backend().dot(a, b, n);
 }
 void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
-  SLIDE_DISPATCH(axpy, alpha, x, y, n);
+  backend().axpy(alpha, x, y, n);
 }
 void scale(float* x, float alpha, std::size_t n) noexcept {
-  SLIDE_DISPATCH(scale, x, alpha, n);
+  backend().scale(x, alpha, n);
 }
 float sum(const float* x, std::size_t n) noexcept {
-  SLIDE_DISPATCH(sum, x, n);
+  return backend().sum(x, n);
 }
 float max(const float* x, std::size_t n) noexcept {
-  SLIDE_DISPATCH(max, x, n);
+  return backend().max(x, n);
 }
-void relu(float* x, std::size_t n) noexcept { SLIDE_DISPATCH(relu, x, n); }
+void relu(float* x, std::size_t n) noexcept { backend().relu(x, n); }
 float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
                  const float* dense) noexcept {
-  SLIDE_DISPATCH(sparse_dot, idx, val, nnz, dense);
+  return backend().sparse_dot(idx, val, nnz, dense);
 }
 void sparse_axpy(float alpha, const Index* idx, const float* val,
                  std::size_t nnz, float* dense) noexcept {
-  SLIDE_DISPATCH(sparse_axpy, alpha, idx, val, nnz, dense);
+  backend().sparse_axpy(alpha, idx, val, nnz, dense);
 }
 void softmax_inplace(float* x, std::size_t n) noexcept {
-  SLIDE_DISPATCH(softmax_inplace, x, n);
+  backend().softmax_inplace(x, n);
 }
 void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
                float lr, float beta1, float beta2, float eps, float bias1,
                float bias2) noexcept {
-  SLIDE_DISPATCH(adam_step, w, m, v, g, n, lr, beta1, beta2, eps, bias1,
-                 bias2);
+  backend().adam_step(w, m, v, g, n, lr, beta1, beta2, eps, bias1, bias2);
 }
 
-#undef SLIDE_DISPATCH
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept {
+  return backend().dot_bf16(w, x, n);
+}
+float sparse_dot_bf16(const Index* idx, const float* val, std::size_t nnz,
+                      const Bf16* dense) noexcept {
+  return backend().sparse_dot_bf16(idx, val, nnz, dense);
+}
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept {
+  backend().axpy_bf16(alpha, x, y, n);
+}
+void quantize_bf16(const float* src, Bf16* dst, std::size_t n) noexcept {
+  backend().quantize_bf16(src, dst, n);
+}
+void dequantize_bf16(const Bf16* src, float* dst, std::size_t n) noexcept {
+  backend().dequantize_bf16(src, dst, n);
+}
 
 }  // namespace slide::simd

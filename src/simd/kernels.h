@@ -1,27 +1,35 @@
-// Vectorized math kernels with scalar reference implementations.
+// Vectorized math kernels behind the runtime dispatch (simd/backend.h).
 //
 // The paper's appendix D attributes ~1.3x of SLIDE's final speedup to
 // platform micro-optimization: AVX SIMD for the dense inner loops
-// (activation dot products, weight updates) plus software prefetching.
-// This module provides those kernels behind a process-wide toggle so the
-// Figure-10 bench can A/B "plain SLIDE" (scalar) against "optimized SLIDE"
-// (AVX2/FMA). Every vector kernel has a scalar twin in simd::scalar used
-// both as the fallback and as the oracle in the test suite.
+// (activation dot products, weight updates) plus software prefetching, and
+// the follow-up "Accelerating SLIDE on Modern CPUs" adds AVX-512 and BF16
+// on the same loops. Every call below lands in the kernel table the
+// dispatch bound at startup (scalar / AVX2+FMA / AVX-512F+BW), so one
+// binary runs at full width on every machine; see backend.h for level
+// selection and overrides. Every vector kernel has a scalar twin in
+// simd::scalar used both as the dispatch fallback and as the oracle in the
+// test suite.
 //
-// All pointers may be unaligned; kernels handle the tail scalar-wise.
+// All pointers may be unaligned; kernels handle the tail per-element (or
+// with masked loads on AVX-512).
 #pragma once
 
 #include <cstddef>
 
+#include "simd/backend.h"
+#include "simd/bf16.h"
 #include "sys/common.h"
 
 namespace slide::simd {
 
-/// True when the AVX2+FMA paths were compiled in (requires -march with AVX2).
+/// DEPRECATED compile-time-era toggles, kept as shims over the dispatch:
+///   compiled_with_avx2()   -> level_compiled(SimdLevel::kAVX2)
+///   set_simd_enabled(b)    -> set_simd_level(b ? detected_level() : scalar)
+///   simd_enabled()         -> active_level() != scalar
+/// Prefer backend.h's set_simd_level / active_level in new code: they are
+/// explicit about *which* vector level runs, not just "on/off".
 bool compiled_with_avx2() noexcept;
-
-/// Process-wide dispatch switch. When false, all kernels use the scalar
-/// path. Defaults to true. Used by bench/fig10_optimizations.
 void set_simd_enabled(bool enabled) noexcept;
 bool simd_enabled() noexcept;
 
@@ -63,8 +71,30 @@ void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
                float lr, float beta1, float beta2, float eps, float bias1,
                float bias2) noexcept;
 
-/// Scalar reference implementations (always available; used as the oracle in
-/// tests and as the dispatch target when SIMD is disabled).
+// ---- BF16 mixed-precision kernels (quantized inference path) -------------
+// Weights are stored bf16 (see simd/bf16.h); activations and accumulation
+// stay fp32, so error is bounded by the weight rounding alone (~2^-8
+// relative per weight).
+
+/// <bf16 w, fp32 x> over n entries, fp32 accumulation.
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept;
+
+/// Sparse fp32 vector (idx/val) against a dense bf16 vector.
+float sparse_dot_bf16(const Index* idx, const float* val, std::size_t nnz,
+                      const Bf16* dense) noexcept;
+
+/// y[i] += alpha * widen(x[i]) — bf16 source, fp32 destination.
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept;
+
+/// dst[i] = bf16(src[i]), round-to-nearest-even (the quantize-on-publish
+/// step building a layer's weight mirror).
+void quantize_bf16(const float* src, Bf16* dst, std::size_t n) noexcept;
+
+/// dst[i] = widen(src[i]) — exact (bf16 is a float subset).
+void dequantize_bf16(const Bf16* src, float* dst, std::size_t n) noexcept;
+
+/// Scalar reference implementations (always available; used as the oracle
+/// in tests and as the table entries of the scalar dispatch level).
 namespace scalar {
 float dot(const float* a, const float* b, std::size_t n) noexcept;
 void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept;
@@ -80,6 +110,12 @@ void softmax_inplace(float* x, std::size_t n) noexcept;
 void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
                float lr, float beta1, float beta2, float eps, float bias1,
                float bias2) noexcept;
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept;
+float sparse_dot_bf16(const Index* idx, const float* val, std::size_t nnz,
+                      const Bf16* dense) noexcept;
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept;
+void quantize_bf16(const float* src, Bf16* dst, std::size_t n) noexcept;
+void dequantize_bf16(const Bf16* src, float* dst, std::size_t n) noexcept;
 }  // namespace scalar
 
 }  // namespace slide::simd

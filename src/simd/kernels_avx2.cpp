@@ -1,0 +1,233 @@
+// AVX2+FMA kernel table.
+//
+// This translation unit is compiled with its own ISA flags (-mavx2 -mfma,
+// see the simd section of CMakeLists.txt) regardless of the project-wide
+// -march, and is entered only after cpuid confirms the CPU has AVX2+FMA —
+// the table pointer below is constant-initialized, so no AVX2 instruction
+// runs on a machine that lacks them. When the compiler cannot build AVX2
+// at all, the TU degrades to a null table and the dispatch skips the level.
+#include "simd/backend_registry.h"
+#include "simd/kernels.h"
+
+#if defined(SLIDE_COMPILE_AVX2) || (defined(__AVX2__) && defined(__FMA__))
+#define SLIDE_HAVE_AVX2_TU 1
+#include <immintrin.h>
+
+#include <cmath>
+#else
+#define SLIDE_HAVE_AVX2_TU 0
+#endif
+
+namespace slide::simd {
+
+#if SLIDE_HAVE_AVX2_TU
+namespace avx2 {
+
+inline float hsum256(__m256 v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float acc = hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+float sum(const float* x, std::size_t n) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+  float s = hsum256(acc);
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+float max(const float* x, std::size_t n) noexcept {
+  if (n < 8) return scalar::max(x, n);
+  __m256 vm = _mm256_loadu_ps(x);
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vm);
+  float m = lanes[0];
+  for (int k = 1; k < 8; ++k) m = lanes[k] > m ? lanes[k] : m;
+  for (; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+void relu(float* x, std::size_t n) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
+                 const float* dense) noexcept {
+  // Gather-based: profitable on sparse inputs with tens of nonzeros.
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i vi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + i));
+    const __m256 vd = _mm256_i32gather_ps(dense, vi, 4);
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(val + i), vd, acc);
+  }
+  float s = hsum256(acc);
+  for (; i < nnz; ++i) s += val[i] * dense[idx[i]];
+  return s;
+}
+
+void softmax_inplace(float* x, std::size_t n) noexcept {
+  // exp() dominates; vectorizing max + normalization still helps.
+  if (n == 0) return;
+  const float m = avx2::max(x, n);
+  float z = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    z += x[i];
+  }
+  avx2::scale(x, 1.0f / z, n);
+}
+
+void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
+               float lr, float beta1, float beta2, float eps, float bias1,
+               float bias2) noexcept {
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vib1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vib2 = _mm256_set1_ps(1.0f - beta2);
+  const __m256 vinvc1 = _mm256_set1_ps(1.0f / bias1);
+  const __m256 vinvc2 = _mm256_set1_ps(1.0f / bias2);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vg = _mm256_loadu_ps(g + i);
+    __m256 vm = _mm256_loadu_ps(m + i);
+    __m256 vv = _mm256_loadu_ps(v + i);
+    vm = _mm256_fmadd_ps(vb1, vm, _mm256_mul_ps(vib1, vg));
+    vv = _mm256_fmadd_ps(vb2, vv, _mm256_mul_ps(vib2, _mm256_mul_ps(vg, vg)));
+    _mm256_storeu_ps(m + i, vm);
+    _mm256_storeu_ps(v + i, vv);
+    const __m256 mhat = _mm256_mul_ps(vm, vinvc1);
+    const __m256 vhat = _mm256_mul_ps(vv, vinvc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    const __m256 step = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), step));
+  }
+  if (i < n) {
+    scalar::adam_step(w + i, m + i, v + i, g + i, n - i, lr, beta1, beta2,
+                      eps, bias1, bias2);
+  }
+}
+
+/// Widens 8 bf16 values (128-bit lane) to 8 fp32 lanes: zero-extend each
+/// 16-bit value into the high half of a 32-bit lane.
+inline __m256 load_bf16x8(const Bf16* p) noexcept {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m256i wide = _mm256_cvtepu16_epi32(raw);
+  return _mm256_castsi256_ps(_mm256_slli_epi32(wide, 16));
+}
+
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(load_bf16x8(w + i), _mm256_loadu_ps(x + i), acc);
+  }
+  float s = hsum256(acc);
+  for (; i < n; ++i) s += bf16_to_float(w[i]) * x[i];
+  return s;
+}
+
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, load_bf16x8(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * bf16_to_float(x[i]);
+}
+
+}  // namespace avx2
+
+namespace {
+// sparse_axpy stays scalar (no AVX2 scatter instruction exists), and the
+// quantize/dequantize pair runs only on the cold publish path.
+constexpr Backend kAvx2Table = {
+    .level = SimdLevel::kAVX2,
+    .name = "avx2",
+    .dot = avx2::dot,
+    .axpy = avx2::axpy,
+    .scale = avx2::scale,
+    .sum = avx2::sum,
+    .max = avx2::max,
+    .relu = avx2::relu,
+    .sparse_dot = avx2::sparse_dot,
+    .sparse_axpy = scalar::sparse_axpy,
+    .softmax_inplace = avx2::softmax_inplace,
+    .adam_step = avx2::adam_step,
+    .dot_bf16 = avx2::dot_bf16,
+    .sparse_dot_bf16 = scalar::sparse_dot_bf16,
+    .axpy_bf16 = avx2::axpy_bf16,
+    .quantize_bf16 = scalar::quantize_bf16,
+    .dequantize_bf16 = scalar::dequantize_bf16,
+};
+}  // namespace
+
+namespace detail {
+const Backend* const kAvx2Backend = &kAvx2Table;
+}  // namespace detail
+
+#else  // !SLIDE_HAVE_AVX2_TU
+
+namespace detail {
+const Backend* const kAvx2Backend = nullptr;
+}  // namespace detail
+
+#endif  // SLIDE_HAVE_AVX2_TU
+
+}  // namespace slide::simd

@@ -1,0 +1,252 @@
+// AVX-512F+BW kernel table.
+//
+// Compiled with -mavx512f -mavx512bw -mfma (its own flags, independent of
+// the project-wide -march; see CMakeLists.txt) and bound by the dispatch
+// only after cpuid confirms both features. 16-lane fp32 arithmetic with
+// fully masked tails — no scalar remainder loops on the dense kernels —
+// plus the bf16 widening loads the quantized inference path uses. The
+// table pointer is constant-initialized, so nothing here executes on a
+// host without AVX-512.
+#include "simd/backend_registry.h"
+#include "simd/kernels.h"
+
+#if defined(SLIDE_COMPILE_AVX512) || \
+    (defined(__AVX512F__) && defined(__AVX512BW__))
+#define SLIDE_HAVE_AVX512_TU 1
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+#else
+#define SLIDE_HAVE_AVX512_TU 0
+#endif
+
+namespace slide::simd {
+
+#if SLIDE_HAVE_AVX512_TU
+namespace avx512 {
+
+inline __mmask16 tail_mask(std::size_t rem) noexcept {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  if (i < n) {
+    const __mmask16 k = tail_mask(n - i);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, a + i),
+                           _mm512_maskz_loadu_ps(k, b + i), acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 vy = _mm512_loadu_ps(y + i);
+    vy = _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), vy);
+    _mm512_storeu_ps(y + i, vy);
+  }
+  if (i < n) {
+    const __mmask16 k = tail_mask(n - i);
+    __m512 vy = _mm512_maskz_loadu_ps(k, y + i);
+    vy = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(k, x + i), vy);
+    _mm512_mask_storeu_ps(y + i, k, vy);
+  }
+}
+
+void scale(float* x, float alpha, std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(_mm512_loadu_ps(x + i), va));
+  }
+  if (i < n) {
+    const __mmask16 k = tail_mask(n - i);
+    _mm512_mask_storeu_ps(
+        x + i, k, _mm512_mul_ps(_mm512_maskz_loadu_ps(k, x + i), va));
+  }
+}
+
+float sum(const float* x, std::size_t n) noexcept {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_add_ps(acc, _mm512_loadu_ps(x + i));
+  }
+  if (i < n) {
+    acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(tail_mask(n - i), x + i));
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+float max(const float* x, std::size_t n) noexcept {
+  const __m512 vminf = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
+  __m512 vm = vminf;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vm = _mm512_max_ps(vm, _mm512_loadu_ps(x + i));
+  }
+  if (i < n) {
+    // Masked-out lanes keep -inf so they never win the reduction.
+    vm = _mm512_max_ps(vm,
+                       _mm512_mask_loadu_ps(vminf, tail_mask(n - i), x + i));
+  }
+  return _mm512_reduce_max_ps(vm);
+}
+
+void relu(float* x, std::size_t n) noexcept {
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_max_ps(_mm512_loadu_ps(x + i), zero));
+  }
+  if (i < n) {
+    const __mmask16 k = tail_mask(n - i);
+    _mm512_mask_storeu_ps(
+        x + i, k, _mm512_max_ps(_mm512_maskz_loadu_ps(k, x + i), zero));
+  }
+}
+
+float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
+                 const float* dense) noexcept {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= nnz; i += 16) {
+    const __m512i vi = _mm512_loadu_si512(idx + i);
+    const __m512 vd = _mm512_i32gather_ps(vi, dense, 4);
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(val + i), vd, acc);
+  }
+  float s = _mm512_reduce_add_ps(acc);
+  for (; i < nnz; ++i) s += val[i] * dense[idx[i]];
+  return s;
+}
+
+void softmax_inplace(float* x, std::size_t n) noexcept {
+  // exp() dominates; vectorizing max + normalization still helps.
+  if (n == 0) return;
+  const float m = avx512::max(x, n);
+  float z = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    z += x[i];
+  }
+  avx512::scale(x, 1.0f / z, n);
+}
+
+void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
+               float lr, float beta1, float beta2, float eps, float bias1,
+               float bias2) noexcept {
+  const __m512 vb1 = _mm512_set1_ps(beta1);
+  const __m512 vb2 = _mm512_set1_ps(beta2);
+  const __m512 vib1 = _mm512_set1_ps(1.0f - beta1);
+  const __m512 vib2 = _mm512_set1_ps(1.0f - beta2);
+  const __m512 vinvc1 = _mm512_set1_ps(1.0f / bias1);
+  const __m512 vinvc2 = _mm512_set1_ps(1.0f / bias2);
+  const __m512 veps = _mm512_set1_ps(eps);
+  const __m512 vlr = _mm512_set1_ps(lr);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vg = _mm512_loadu_ps(g + i);
+    __m512 vm = _mm512_loadu_ps(m + i);
+    __m512 vv = _mm512_loadu_ps(v + i);
+    vm = _mm512_fmadd_ps(vb1, vm, _mm512_mul_ps(vib1, vg));
+    vv = _mm512_fmadd_ps(vb2, vv, _mm512_mul_ps(vib2, _mm512_mul_ps(vg, vg)));
+    _mm512_storeu_ps(m + i, vm);
+    _mm512_storeu_ps(v + i, vv);
+    const __m512 mhat = _mm512_mul_ps(vm, vinvc1);
+    const __m512 vhat = _mm512_mul_ps(vv, vinvc2);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(vhat), veps);
+    const __m512 step = _mm512_div_ps(_mm512_mul_ps(vlr, mhat), denom);
+    _mm512_storeu_ps(w + i, _mm512_sub_ps(_mm512_loadu_ps(w + i), step));
+  }
+  if (i < n) {
+    scalar::adam_step(w + i, m + i, v + i, g + i, n - i, lr, beta1, beta2,
+                      eps, bias1, bias2);
+  }
+}
+
+/// Widens 16 bf16 values (256-bit load) to 16 fp32 lanes.
+inline __m512 load_bf16x16(const Bf16* p) noexcept {
+  const __m256i raw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m512i wide = _mm512_cvtepu16_epi32(raw);
+  return _mm512_castsi512_ps(_mm512_slli_epi32(wide, 16));
+}
+
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_fmadd_ps(load_bf16x16(w + i), _mm512_loadu_ps(x + i), acc);
+  }
+  float s = _mm512_reduce_add_ps(acc);
+  // Masked 256-bit bf16 loads need AVX512VL, which this TU deliberately
+  // does not require — the tail stays scalar.
+  for (; i < n; ++i) s += bf16_to_float(w[i]) * x[i];
+  return s;
+}
+
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 vy = _mm512_loadu_ps(y + i);
+    vy = _mm512_fmadd_ps(va, load_bf16x16(x + i), vy);
+    _mm512_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * bf16_to_float(x[i]);
+}
+
+}  // namespace avx512
+
+namespace {
+constexpr Backend kAvx512Table = {
+    .level = SimdLevel::kAVX512,
+    .name = "avx512",
+    .dot = avx512::dot,
+    .axpy = avx512::axpy,
+    .scale = avx512::scale,
+    .sum = avx512::sum,
+    .max = avx512::max,
+    .relu = avx512::relu,
+    .sparse_dot = avx512::sparse_dot,
+    // Scatter exists in AVX-512 but is unsafe for repeated indices
+    // (read-modify-write batches would drop duplicate accumulations), and
+    // the kernel contract allows them — the scalar loop stays.
+    .sparse_axpy = scalar::sparse_axpy,
+    .softmax_inplace = avx512::softmax_inplace,
+    .adam_step = avx512::adam_step,
+    .dot_bf16 = avx512::dot_bf16,
+    .sparse_dot_bf16 = scalar::sparse_dot_bf16,
+    .axpy_bf16 = avx512::axpy_bf16,
+    .quantize_bf16 = scalar::quantize_bf16,
+    .dequantize_bf16 = scalar::dequantize_bf16,
+};
+}  // namespace
+
+namespace detail {
+const Backend* const kAvx512Backend = &kAvx512Table;
+}  // namespace detail
+
+#else  // !SLIDE_HAVE_AVX512_TU
+
+namespace detail {
+const Backend* const kAvx512Backend = nullptr;
+}  // namespace detail
+
+#endif  // SLIDE_HAVE_AVX512_TU
+
+}  // namespace slide::simd

@@ -1,0 +1,137 @@
+// Scalar reference kernels + the scalar dispatch table.
+//
+// Compiled with the project's base flags (no per-ISA -m options), these are
+// the semantics every vector table is tested against, and the fallback the
+// dispatch binds on machines without AVX2. Keep them boring: the parity
+// suite treats this file as ground truth.
+#include <cmath>
+#include <limits>
+
+#include "simd/backend_registry.h"
+#include "simd/kernels.h"
+
+namespace slide::simd {
+
+namespace scalar {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float sum(const float* x, std::size_t n) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+float max(const float* x, std::size_t n) noexcept {
+  float m = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < n; ++i) m = x[i] > m ? x[i] : m;
+  return m;
+}
+
+void relu(float* x, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+float sparse_dot(const Index* idx, const float* val, std::size_t nnz,
+                 const float* dense) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < nnz; ++i) acc += val[i] * dense[idx[i]];
+  return acc;
+}
+
+void sparse_axpy(float alpha, const Index* idx, const float* val,
+                 std::size_t nnz, float* dense) noexcept {
+  for (std::size_t i = 0; i < nnz; ++i) dense[idx[i]] += alpha * val[i];
+}
+
+void softmax_inplace(float* x, std::size_t n) noexcept {
+  if (n == 0) return;
+  const float m = scalar::max(x, n);
+  float z = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    z += x[i];
+  }
+  const float inv = 1.0f / z;
+  for (std::size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+void adam_step(float* w, float* m, float* v, const float* g, std::size_t n,
+               float lr, float beta1, float beta2, float eps, float bias1,
+               float bias2) noexcept {
+  const float inv_b1 = 1.0f / bias1;
+  const float inv_b2 = 1.0f / bias2;
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+    const float mhat = m[i] * inv_b1;
+    const float vhat = v[i] * inv_b2;
+    w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+float dot_bf16(const Bf16* w, const float* x, std::size_t n) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += bf16_to_float(w[i]) * x[i];
+  return acc;
+}
+
+float sparse_dot_bf16(const Index* idx, const float* val, std::size_t nnz,
+                      const Bf16* dense) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < nnz; ++i)
+    acc += val[i] * bf16_to_float(dense[idx[i]]);
+  return acc;
+}
+
+void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * bf16_to_float(x[i]);
+}
+
+void quantize_bf16(const float* src, Bf16* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_bf16(src[i]);
+}
+
+void dequantize_bf16(const Bf16* src, float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bf16_to_float(src[i]);
+}
+
+}  // namespace scalar
+
+namespace detail {
+
+const Backend kScalarBackend = {
+    .level = SimdLevel::kScalar,
+    .name = "scalar",
+    .dot = scalar::dot,
+    .axpy = scalar::axpy,
+    .scale = scalar::scale,
+    .sum = scalar::sum,
+    .max = scalar::max,
+    .relu = scalar::relu,
+    .sparse_dot = scalar::sparse_dot,
+    .sparse_axpy = scalar::sparse_axpy,
+    .softmax_inplace = scalar::softmax_inplace,
+    .adam_step = scalar::adam_step,
+    .dot_bf16 = scalar::dot_bf16,
+    .sparse_dot_bf16 = scalar::sparse_dot_bf16,
+    .axpy_bf16 = scalar::axpy_bf16,
+    .quantize_bf16 = scalar::quantize_bf16,
+    .dequantize_bf16 = scalar::dequantize_bf16,
+};
+
+}  // namespace detail
+
+}  // namespace slide::simd

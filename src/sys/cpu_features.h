@@ -1,0 +1,23 @@
+// Runtime CPU feature detection for the SIMD kernel dispatch.
+//
+// The compute backend (simd/backend.h) binds the widest kernel table the
+// *running* machine supports, so one binary serves a heterogeneous fleet.
+// This header answers the only question that decision needs: which vector
+// ISA extensions does this CPU have? Detection runs once (first call) and
+// is free afterwards.
+#pragma once
+
+namespace slide {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+};
+
+/// Features of the CPU this process is running on. Non-x86 builds report
+/// everything false (the dispatch then stays on the scalar table).
+const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace slide

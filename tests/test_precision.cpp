@@ -1,0 +1,236 @@
+// BF16 quantized-inference contract: builder knob, weight mirrors, memory
+// accounting, fp32-vs-bf16 prediction agreement, checkpoint precision tags
+// (v2) and legacy v1 compatibility.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "core/builder.h"
+#include "core/serialize.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "simd/bf16.h"
+
+namespace slide {
+namespace {
+
+SyntheticDataset tiny_data() {
+  SyntheticConfig cfg;
+  cfg.feature_dim = 300;
+  cfg.label_dim = 60;
+  cfg.num_train = 400;
+  cfg.num_test = 120;
+  cfg.features_per_label = 10;
+  cfg.active_per_label = 6;
+  cfg.seed = 91;
+  return make_synthetic_xc(cfg);
+}
+
+NetworkConfig net_config(const SyntheticDataset& data,
+                         Precision precision = Precision::kFP32,
+                         std::uint64_t seed = 123) {
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 10;
+  NetworkConfig cfg =
+      NetworkBuilder(data.train.feature_dim())
+          .dense(8)
+          .sampled(data.train.label_dim(), family, 16)
+          .max_batch(16)
+          .precision(precision)
+          .seed(seed)
+          .to_config();
+  cfg.layers[0].table.range_pow = 8;
+  return cfg;
+}
+
+void train_a_bit(Network& net, const Dataset& train, int iters = 80) {
+  TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.num_threads = 2;
+  tc.learning_rate = 5e-3f;
+  Trainer trainer(net, tc);
+  trainer.train(train, iters);
+}
+
+TEST(Precision, BuilderAndParseRoundTrip) {
+  const auto data = tiny_data();
+  EXPECT_EQ(net_config(data).precision, Precision::kFP32);
+  EXPECT_EQ(net_config(data, Precision::kBF16).precision, Precision::kBF16);
+  EXPECT_EQ(parse_precision("fp32"), Precision::kFP32);
+  EXPECT_EQ(parse_precision("bf16"), Precision::kBF16);
+  EXPECT_STREQ(to_string(Precision::kBF16), "bf16");
+  EXPECT_THROW(parse_precision("fp16"), Error);
+}
+
+TEST(Precision, Bf16NetworkHalvesInferenceWeightBytes) {
+  const auto data = tiny_data();
+  Network fp32(net_config(data), 2);
+  Network bf16(net_config(data, Precision::kBF16), 2);
+
+  const MemoryFootprint f32 = fp32.memory_footprint();
+  const MemoryFootprint f16 = bf16.memory_footprint();
+  EXPECT_EQ(f32.mirror_bytes, 0u);
+  EXPECT_GT(f16.mirror_bytes, 0u);
+  EXPECT_EQ(f32.master_weight_bytes, f16.master_weight_bytes);
+  // The scoring path reads bf16 mirrors + fp32 biases: strictly more than
+  // half only by the (tiny) bias term.
+  EXPECT_LT(f16.inference_weight_bytes,
+            f32.inference_weight_bytes / 2 + f32.inference_weight_bytes / 20);
+  EXPECT_GE(f16.inference_weight_bytes, f32.inference_weight_bytes / 2);
+  EXPECT_EQ(bf16.precision(), Precision::kBF16);
+}
+
+TEST(Precision, Bf16PredictionsAgreeWithFp32) {
+  const auto data = tiny_data();
+  Network trained(net_config(data), 2);
+  train_a_bit(trained, data.train);
+  std::stringstream buffer;
+  save_weights(trained, buffer);
+
+  Network fp32(net_config(data, Precision::kFP32, 999), 2);
+  buffer.seekg(0);
+  load_weights(fp32, buffer);
+  Network bf16(net_config(data, Precision::kBF16, 555), 2);
+  buffer.seekg(0);
+  load_weights(bf16, buffer);
+
+  InferenceContext ctx_a(fp32), ctx_b(bf16);
+  int agree = 0, total = 0;
+  for (const Sample& s : data.test.samples()) {
+    const Index a = fp32.predict_top1(s.features, ctx_a, /*exact=*/true);
+    const Index b = bf16.predict_top1(s.features, ctx_b, /*exact=*/true);
+    agree += a == b;
+    ++total;
+  }
+  // Acceptance bar: >= 99% top-1 agreement on the fixture net.
+  EXPECT_GE(agree, (total * 99) / 100) << agree << "/" << total;
+}
+
+TEST(Precision, RefreshMirrorsTracksTrainedWeights) {
+  const auto data = tiny_data();
+  Network net(net_config(data, Precision::kBF16), 2);
+  InferenceContext ctx(net);
+  // Mutate the masters (training); the mirror is stale until refreshed.
+  train_a_bit(net, data.train, 40);
+  net.refresh_inference_mirrors();
+  // After the refresh, predictions through the bf16 path must agree with an
+  // fp32 clone of the same (trained) weights — i.e. the mirror reflects the
+  // post-training masters, not the initialization.
+  std::stringstream buffer;
+  save_weights(net, buffer);
+  Network fp32(net_config(data, Precision::kFP32, 7), 2);
+  buffer.seekg(0);
+  load_weights(fp32, buffer);
+  InferenceContext ctx2(fp32);
+  int agree = 0, total = 0;
+  for (const Sample& s : data.test.samples()) {
+    agree += net.predict_top1(s.features, ctx, true) ==
+             fp32.predict_top1(s.features, ctx2, true);
+    ++total;
+  }
+  EXPECT_GE(agree, (total * 99) / 100) << agree << "/" << total;
+}
+
+TEST(Precision, CheckpointCarriesPrecisionTag) {
+  const auto data = tiny_data();
+  Network bf16(net_config(data, Precision::kBF16), 2);
+  std::stringstream buffer;
+  save_weights(bf16, buffer);
+  buffer.seekg(0);
+  const CheckpointInfo info = peek_checkpoint_info(buffer);
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.kind, 0u);
+  EXPECT_EQ(info.precision, Precision::kBF16);
+  // peek must not consume: a full load still works afterwards.
+  Network restored(net_config(data, Precision::kFP32, 31), 2);
+  load_weights(restored, buffer);
+
+  Network fp32(net_config(data), 2);
+  std::stringstream buffer2;
+  save_weights(fp32, buffer2);
+  buffer2.seekg(0);
+  EXPECT_EQ(peek_checkpoint_info(buffer2).precision, Precision::kFP32);
+}
+
+// Byte-level writer for the pre-tag (version 1) format, replicating the
+// old save_weights layout exactly.
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_block(std::ostream& out, std::span<const float> data) {
+  write_u32(out, static_cast<std::uint32_t>(data.size()));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+TEST(Precision, LegacyVersion1CheckpointLoadsUnchanged) {
+  const auto data = tiny_data();
+  Network trained(net_config(data), 2);
+  train_a_bit(trained, data.train, 30);
+
+  std::stringstream v1;
+  write_u32(v1, 0x534C4944u);  // magic
+  write_u32(v1, 1u);           // version 1: no precision tag
+  write_u32(v1, 0u);           // kind 0 (unified stack)
+  write_u32(v1, trained.embedding().input_dim());
+  write_u32(v1, trained.embedding().units());
+  write_u32(v1, static_cast<std::uint32_t>(trained.stack_depth()));
+  write_block(v1, trained.embedding().weights_span());
+  write_block(v1, trained.embedding().bias_span());
+  for (int i = 0; i < trained.stack_depth(); ++i) {
+    const Layer& layer = trained.stack(i);
+    write_u32(v1, layer.units());
+    write_u32(v1, layer.fan_in());
+    write_block(v1, layer.weights_span());
+    write_block(v1, layer.bias_span());
+  }
+
+  v1.seekg(0);
+  EXPECT_EQ(peek_checkpoint_info(v1).version, 1u);
+  EXPECT_EQ(peek_checkpoint_info(v1).precision, Precision::kFP32);
+
+  // Loads into an fp32 network bit-identically...
+  Network restored(net_config(data, Precision::kFP32, 999), 2);
+  load_weights(restored, v1);
+  const auto tw = trained.output_layer().weights_span();
+  const auto rw = restored.output_layer().weights_span();
+  ASSERT_EQ(tw.size(), rw.size());
+  for (std::size_t i = 0; i < tw.size(); ++i) ASSERT_EQ(tw[i], rw[i]);
+
+  // ...and into a bf16 network, which derives its mirror on load.
+  Network quantized(net_config(data, Precision::kBF16, 1000), 2);
+  v1.clear();
+  v1.seekg(0);
+  load_weights(quantized, v1);
+  EXPECT_GT(quantized.memory_footprint().mirror_bytes, 0u);
+}
+
+TEST(Precision, TrainingStaysOnFp32Masters) {
+  // A bf16 network and an fp32 network with identical seeds must train to
+  // bit-identical master weights: the mirror never feeds back into
+  // training math.
+  const auto data = tiny_data();
+  Network a(net_config(data, Precision::kFP32), 2);
+  Network b(net_config(data, Precision::kBF16), 2);
+  TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.num_threads = 1;  // deterministic accumulation order
+  tc.learning_rate = 5e-3f;
+  tc.shuffle = false;
+  Trainer ta(a, tc), tb(b, tc);
+  ta.train(data.train, 25);
+  tb.train(data.train, 25);
+  const auto wa = a.output_layer().weights_span();
+  const auto wb = b.output_layer().weights_span();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) ASSERT_EQ(wa[i], wb[i]) << i;
+  const auto ea = a.embedding().weights_span();
+  const auto eb = b.embedding().weights_span();
+  for (std::size_t i = 0; i < ea.size(); ++i) ASSERT_EQ(ea[i], eb[i]) << i;
+}
+
+}  // namespace
+}  // namespace slide

@@ -3,6 +3,7 @@
 // load.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "core/serialize.h"
@@ -136,6 +137,27 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
     std::stringstream half(bytes);
     EXPECT_THROW(load_weights(net, half), Error);
   }
+}
+
+TEST(Serialize, WritesVersion2WithPrecisionTagAndRejectsFutureVersions) {
+  const auto data = tiny_data();
+  Network net(net_config(data), 2);
+  std::stringstream buffer;
+  save_weights(net, buffer);
+  std::string bytes = buffer.str();
+
+  // Header words: magic, version, kind, input_dim, hidden, num_layers, tag.
+  std::uint32_t version = 0, tag = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  std::memcpy(&tag, bytes.data() + 24, 4);
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(tag, static_cast<std::uint32_t>(Precision::kFP32));
+
+  // A version from the future must be rejected, not misparsed.
+  const std::uint32_t future = 99;
+  std::memcpy(bytes.data() + 4, &future, 4);
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_weights(net, tampered), Error);
 }
 
 TEST(Serialize, DenseNetworkRoundTrip) {

@@ -233,6 +233,65 @@ TEST(ModelStore, AsyncLoadSurvivesCallerDroppingTheStore) {
   std::remove(path.c_str());
 }
 
+TEST(ModelStore, Bf16PublishHalvesWeightMemoryAndKeepsTop1Agreement) {
+  const auto data = planted();
+  auto trained = trained_network(data, 150);
+  const std::string path =
+      testing::TempDir() + "slide_test_serve_bf16_checkpoint.bin";
+  save_weights_file(*trained, path);
+
+  // Same checkpoint booted at both precisions — the serve-side knob is
+  // NetworkConfig::precision.
+  auto fp32_store =
+      ModelStore::from_checkpoint_file(planted_config(data), path, 1);
+  NetworkConfig bf16_cfg = planted_config(data);
+  bf16_cfg.precision = Precision::kBF16;
+  auto bf16_store = ModelStore::from_checkpoint_file(bf16_cfg, path, 1);
+
+  const auto fp32_snap = fp32_store->current();
+  const auto bf16_snap = bf16_store->current();
+  const MemoryFootprint f32 = fp32_snap->network->memory_footprint();
+  const MemoryFootprint f16 = bf16_snap->network->memory_footprint();
+  // The quantized snapshot's scoring path reads half the weight bytes
+  // (plus the tiny fp32 bias term).
+  EXPECT_GE(f16.inference_weight_bytes, f32.inference_weight_bytes / 2);
+  EXPECT_LT(f16.inference_weight_bytes,
+            f32.inference_weight_bytes / 2 + f32.inference_weight_bytes / 20);
+  EXPECT_GT(f16.mirror_bytes, 0u);
+
+  // Acceptance bar: >= 99% top-1 agreement with the fp32 snapshot.
+  InferenceContext ctx_a(fp32_snap->max_units), ctx_b(bf16_snap->max_units);
+  int agree = 0, total = 0;
+  for (const Sample& s : data.test.samples()) {
+    agree += fp32_snap->network->predict_top1(s.features, ctx_a, true) ==
+             bf16_snap->network->predict_top1(s.features, ctx_b, true);
+    ++total;
+  }
+  EXPECT_GE(agree, (total * 99) / 100) << agree << "/" << total;
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, PublishClonePrecisionOverrideQuantizesTheSnapshot) {
+  const auto data = planted();
+  auto trained = trained_network(data, 60);
+  auto store = std::make_shared<ModelStore>(trained_network(data, 5));
+  // The trainer's network stays fp32; the published clone serves bf16.
+  publish_clone(*store, *trained, Precision::kBF16, 1, "bf16-clone");
+  const auto snap = store->current();
+  EXPECT_EQ(snap->network->precision(), Precision::kBF16);
+  EXPECT_GT(snap->network->memory_footprint().mirror_bytes, 0u);
+  EXPECT_EQ(trained->precision(), Precision::kFP32);
+  // Serving through the engine works on the quantized snapshot.
+  ServeConfig cfg;
+  cfg.num_workers = 1;
+  InferenceEngine engine(store, cfg);
+  auto f = engine.submit(data.test[0].features, 3);
+  ASSERT_TRUE(f.has_value());
+  const Prediction p = f->get();
+  EXPECT_FALSE(p.labels.empty());
+  engine.stop();
+}
+
 TEST(ModelStore, LoadCheckpointRejectsArchitectureMismatch) {
   const auto data = planted();
   auto store = std::make_shared<ModelStore>(trained_network(data, 5));

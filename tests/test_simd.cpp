@@ -1,15 +1,43 @@
-// SIMD kernels vs the scalar reference oracle, across a sweep of sizes
-// (including non-multiple-of-8 tails) and both dispatch modes.
+// Kernel dispatch + parity suite.
+//
+// Every vector kernel is checked against the scalar reference oracle at
+// EVERY dispatch level this host supports (scalar / AVX2 / AVX-512),
+// exhaustively across lengths 0..64 — covering every tail/mask shape of
+// the 8- and 16-lane loops — plus larger sizes and unaligned base
+// pointers. The bf16 kernels get the same treatment plus round-trip
+// error-bound and rounding-semantics tests. Dispatch-level selection, the
+// deprecated set_simd_enabled shim, and env parsing are covered at the
+// end.
+//
+// The suite restores the entry dispatch level after every test, so it
+// composes with the CI matrix that runs it under SLIDE_SIMD_LEVEL=scalar
+// and =avx2.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
+#include "simd/backend.h"
+#include "simd/bf16.h"
 #include "simd/kernels.h"
 #include "sys/rng.h"
 
 namespace slide {
 namespace {
+
+using simd::Bf16;
+using simd::SimdLevel;
+
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAVX2, SimdLevel::kAVX512}) {
+    if (simd::level_supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
 
 std::vector<float> random_vec(std::size_t n, Rng& rng, float scale = 1.0f) {
   std::vector<float> v(n);
@@ -17,164 +45,406 @@ std::vector<float> random_vec(std::size_t n, Rng& rng, float scale = 1.0f) {
   return v;
 }
 
-class KernelSizes : public ::testing::TestWithParam<std::size_t> {
+std::vector<Bf16> random_bf16(std::size_t n, Rng& rng, float scale = 1.0f) {
+  std::vector<Bf16> v(n);
+  for (auto& x : v)
+    x = simd::float_to_bf16(scale * (rng.uniform_float() * 2.0f - 1.0f));
+  return v;
+}
+
+/// The tail/mask shapes under test: every length 0..64 (every remainder of
+/// the 8- and 16-lane loops, including multiple full iterations), plus a
+/// few larger sizes for the unrolled main loops.
+std::vector<std::size_t> parity_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 0; n <= 64; ++n) sizes.push_back(n);
+  for (std::size_t n : {65, 100, 127, 128, 129, 1000}) sizes.push_back(n);
+  return sizes;
+}
+
+/// Base-pointer misalignments (in floats) exercised on every size. 0 is
+/// the aligned case; the others guarantee the kernels never assume 32/64-
+/// byte alignment.
+constexpr std::size_t kOffsets[] = {0, 1, 3};
+constexpr std::size_t kMaxOffset = 3;
+
+class KernelParity : public ::testing::TestWithParam<SimdLevel> {
  protected:
-  void SetUp() override { simd::set_simd_enabled(true); }
-  void TearDown() override { simd::set_simd_enabled(true); }
+  void SetUp() override {
+    entry_level_ = simd::active_level();
+    simd::set_simd_level(GetParam());
+  }
+  void TearDown() override { simd::set_simd_level(entry_level_); }
+
+ private:
+  SimdLevel entry_level_;
 };
 
-TEST_P(KernelSizes, DotMatchesScalar) {
-  Rng rng(GetParam() + 1);
-  const auto a = random_vec(GetParam(), rng);
-  const auto b = random_vec(GetParam(), rng);
-  const float ref = simd::scalar::dot(a.data(), b.data(), a.size());
-  const float got = simd::dot(a.data(), b.data(), a.size());
-  EXPECT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)));
-}
-
-TEST_P(KernelSizes, AxpyMatchesScalar) {
-  Rng rng(GetParam() + 2);
-  const auto x = random_vec(GetParam(), rng);
-  auto y1 = random_vec(GetParam(), rng);
-  auto y2 = y1;
-  simd::scalar::axpy(0.37f, x.data(), y1.data(), x.size());
-  simd::axpy(0.37f, x.data(), y2.data(), x.size());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    ASSERT_NEAR(y1[i], y2[i], 1e-5f) << i;
-}
-
-TEST_P(KernelSizes, ScaleMatchesScalar) {
-  Rng rng(GetParam() + 3);
-  auto x1 = random_vec(GetParam(), rng);
-  auto x2 = x1;
-  simd::scalar::scale(x1.data(), -1.83f, x1.size());
-  simd::scale(x2.data(), -1.83f, x2.size());
-  for (std::size_t i = 0; i < x1.size(); ++i) ASSERT_EQ(x1[i], x2[i]);
-}
-
-TEST_P(KernelSizes, SumMatchesScalar) {
-  Rng rng(GetParam() + 4);
-  const auto x = random_vec(GetParam(), rng);
-  EXPECT_NEAR(simd::sum(x.data(), x.size()),
-              simd::scalar::sum(x.data(), x.size()),
-              1e-4f * (1.0f + x.size() * 0.01f));
-}
-
-TEST_P(KernelSizes, MaxMatchesScalar) {
-  Rng rng(GetParam() + 5);
-  const auto x = random_vec(GetParam(), rng);
-  if (x.empty()) return;
-  EXPECT_EQ(simd::max(x.data(), x.size()),
-            simd::scalar::max(x.data(), x.size()));
-}
-
-TEST_P(KernelSizes, ReluClampsNegatives) {
-  Rng rng(GetParam() + 6);
-  auto x1 = random_vec(GetParam(), rng);
-  auto x2 = x1;
-  simd::scalar::relu(x1.data(), x1.size());
-  simd::relu(x2.data(), x2.size());
-  for (std::size_t i = 0; i < x1.size(); ++i) {
-    ASSERT_EQ(x1[i], x2[i]);
-    ASSERT_GE(x2[i], 0.0f);
+TEST_P(KernelParity, Dot) {
+  Rng rng(11);
+  for (std::size_t n : parity_sizes()) {
+    const auto a = random_vec(n + kMaxOffset, rng);
+    const auto b = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      const float ref = simd::scalar::dot(a.data() + off, b.data() + off, n);
+      const float got = simd::dot(a.data() + off, b.data() + off, n);
+      ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)))
+          << "n=" << n << " off=" << off;
+    }
   }
 }
 
-TEST_P(KernelSizes, SoftmaxSumsToOneAndMatchesScalar) {
-  if (GetParam() == 0) return;
-  Rng rng(GetParam() + 7);
-  auto x1 = random_vec(GetParam(), rng, 5.0f);
-  auto x2 = x1;
-  simd::scalar::softmax_inplace(x1.data(), x1.size());
-  simd::softmax_inplace(x2.data(), x2.size());
-  float total = 0.0f;
-  for (std::size_t i = 0; i < x1.size(); ++i) {
-    ASSERT_NEAR(x1[i], x2[i], 1e-5f);
-    total += x2[i];
-  }
-  EXPECT_NEAR(total, 1.0f, 1e-4f);
-}
-
-TEST_P(KernelSizes, AdamStepMatchesScalar) {
-  Rng rng(GetParam() + 8);
-  const std::size_t n = GetParam();
-  auto w1 = random_vec(n, rng);
-  auto w2 = w1;
-  auto m1 = random_vec(n, rng, 0.1f);
-  auto m2 = m1;
-  std::vector<float> v1(n), v2(n);
-  for (auto& v : v1) v = rng.uniform_float() * 0.01f;
-  v2 = v1;
-  const auto g = random_vec(n, rng);
-  simd::scalar::adam_step(w1.data(), m1.data(), v1.data(), g.data(), n,
-                          1e-3f, 0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
-  simd::adam_step(w2.data(), m2.data(), v2.data(), g.data(), n, 1e-3f, 0.9f,
-                  0.999f, 1e-8f, 0.1f, 0.001f);
-  for (std::size_t i = 0; i < n; ++i) {
-    ASSERT_NEAR(w1[i], w2[i], 2e-5f) << i;
-    ASSERT_NEAR(m1[i], m2[i], 1e-6f) << i;
-    ASSERT_NEAR(v1[i], v2[i], 1e-6f) << i;
+TEST_P(KernelParity, Axpy) {
+  Rng rng(12);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      auto y1 = random_vec(n + kMaxOffset, rng);
+      auto y2 = y1;
+      simd::scalar::axpy(0.37f, x.data() + off, y1.data() + off, n);
+      simd::axpy(0.37f, x.data() + off, y2.data() + off, n);
+      for (std::size_t i = 0; i < y1.size(); ++i)
+        ASSERT_NEAR(y1[i], y2[i], 1e-5f) << "n=" << n << " off=" << off;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizes,
-                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 31,
-                                           64, 100, 128, 1000));
+TEST_P(KernelParity, Scale) {
+  Rng rng(13);
+  for (std::size_t n : parity_sizes()) {
+    for (std::size_t off : kOffsets) {
+      auto x1 = random_vec(n + kMaxOffset, rng);
+      auto x2 = x1;
+      simd::scalar::scale(x1.data() + off, -1.83f, n);
+      simd::scale(x2.data() + off, -1.83f, n);
+      for (std::size_t i = 0; i < x1.size(); ++i)
+        ASSERT_EQ(x1[i], x2[i]) << "n=" << n << " off=" << off;
+    }
+  }
+}
 
-TEST(SparseKernels, SparseDotMatchesDenseExpansion) {
-  Rng rng(77);
+TEST_P(KernelParity, Sum) {
+  Rng rng(14);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      ASSERT_NEAR(simd::sum(x.data() + off, n),
+                  simd::scalar::sum(x.data() + off, n),
+                  1e-4f * (1.0f + static_cast<float>(n) * 0.01f))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, Max) {
+  Rng rng(15);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      // Exact: max never rounds. n == 0 must yield -inf on every level.
+      ASSERT_EQ(simd::max(x.data() + off, n),
+                simd::scalar::max(x.data() + off, n))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, Relu) {
+  Rng rng(16);
+  for (std::size_t n : parity_sizes()) {
+    for (std::size_t off : kOffsets) {
+      auto x1 = random_vec(n + kMaxOffset, rng);
+      auto x2 = x1;
+      simd::scalar::relu(x1.data() + off, n);
+      simd::relu(x2.data() + off, n);
+      for (std::size_t i = 0; i < x1.size(); ++i) {
+        ASSERT_EQ(x1[i], x2[i]) << "n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST_P(KernelParity, SparseDot) {
+  Rng rng(17);
+  const std::size_t dim = 5000;
+  const auto dense = random_vec(dim + kMaxOffset, rng);
+  for (std::size_t nnz : parity_sizes()) {
+    std::vector<Index> idx(nnz + kMaxOffset);
+    std::vector<float> val(nnz + kMaxOffset);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      // Duplicates allowed by the kernel contract; keep some on purpose.
+      idx[i] = rng.uniform(static_cast<std::uint32_t>(dim));
+      val[i] = rng.uniform_float() * 2.0f - 1.0f;
+    }
+    for (std::size_t off : kOffsets) {
+      const float ref = simd::scalar::sparse_dot(idx.data() + off,
+                                                 val.data() + off, nnz,
+                                                 dense.data());
+      const float got = simd::sparse_dot(idx.data() + off, val.data() + off,
+                                         nnz, dense.data());
+      ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)))
+          << "nnz=" << nnz << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, SparseAxpy) {
+  Rng rng(18);
   const std::size_t dim = 500;
-  const auto dense = random_vec(dim, rng);
-  std::vector<Index> idx = {3, 17, 42, 99, 100, 101, 250, 331, 400, 499};
-  std::vector<float> val(idx.size());
-  for (auto& v : val) v = rng.uniform_float();
-  float ref = 0.0f;
-  for (std::size_t i = 0; i < idx.size(); ++i) ref += val[i] * dense[idx[i]];
-  EXPECT_NEAR(simd::sparse_dot(idx.data(), val.data(), idx.size(),
-                               dense.data()),
-              ref, 1e-5f);
-  EXPECT_NEAR(simd::scalar::sparse_dot(idx.data(), val.data(), idx.size(),
-                                       dense.data()),
-              ref, 1e-5f);
-}
-
-TEST(SparseKernels, SparseAxpyScattersCorrectly) {
-  Rng rng(78);
-  std::vector<float> dense(100, 1.0f);
-  std::vector<Index> idx = {0, 5, 99};
-  std::vector<float> val = {1.0f, 2.0f, 3.0f};
-  simd::sparse_axpy(2.0f, idx.data(), val.data(), idx.size(), dense.data());
-  EXPECT_FLOAT_EQ(dense[0], 3.0f);
-  EXPECT_FLOAT_EQ(dense[5], 5.0f);
-  EXPECT_FLOAT_EQ(dense[99], 7.0f);
-  EXPECT_FLOAT_EQ(dense[1], 1.0f);
-}
-
-TEST(SparseKernels, LargeSparseDotUsesGatherPath) {
-  Rng rng(79);
-  const std::size_t dim = 10'000;
-  const auto dense = random_vec(dim, rng);
-  std::vector<Index> idx;
-  std::vector<float> val;
-  for (int i = 0; i < 531; ++i) {  // > 8 so the AVX2 gather loop runs
-    idx.push_back(rng.uniform(static_cast<std::uint32_t>(dim)));
-    val.push_back(rng.uniform_float());
+  for (std::size_t nnz : parity_sizes()) {
+    std::vector<Index> idx(nnz);
+    std::vector<float> val(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      idx[i] = rng.uniform(static_cast<std::uint32_t>(dim));
+      val[i] = rng.uniform_float();
+    }
+    auto d1 = random_vec(dim, rng);
+    auto d2 = d1;
+    simd::scalar::sparse_axpy(0.7f, idx.data(), val.data(), nnz, d1.data());
+    simd::sparse_axpy(0.7f, idx.data(), val.data(), nnz, d2.data());
+    for (std::size_t i = 0; i < dim; ++i)
+      ASSERT_NEAR(d1[i], d2[i], 1e-5f) << "nnz=" << nnz;
   }
-  const float ref = simd::scalar::sparse_dot(idx.data(), val.data(),
-                                             idx.size(), dense.data());
-  const float got =
-      simd::sparse_dot(idx.data(), val.data(), idx.size(), dense.data());
-  EXPECT_NEAR(got, ref, 1e-3f * (1.0f + std::fabs(ref)));
 }
 
-TEST(Dispatch, ToggleSwitchesPath) {
-  EXPECT_TRUE(simd::simd_enabled() == simd::compiled_with_avx2());
+TEST_P(KernelParity, Softmax) {
+  Rng rng(19);
+  for (std::size_t n : parity_sizes()) {
+    if (n == 0) continue;
+    for (std::size_t off : kOffsets) {
+      auto x1 = random_vec(n + kMaxOffset, rng, 5.0f);
+      auto x2 = x1;
+      simd::scalar::softmax_inplace(x1.data() + off, n);
+      simd::softmax_inplace(x2.data() + off, n);
+      float total = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(x1[off + i], x2[off + i], 1e-5f)
+            << "n=" << n << " off=" << off;
+        total += x2[off + i];
+      }
+      ASSERT_NEAR(total, 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST_P(KernelParity, AdamStep) {
+  Rng rng(20);
+  for (std::size_t n : parity_sizes()) {
+    for (std::size_t off : kOffsets) {
+      const std::size_t len = n + kMaxOffset;
+      auto w1 = random_vec(len, rng);
+      auto w2 = w1;
+      auto m1 = random_vec(len, rng, 0.1f);
+      auto m2 = m1;
+      std::vector<float> v1(len), v2(len);
+      for (auto& v : v1) v = rng.uniform_float() * 0.01f;
+      v2 = v1;
+      const auto g = random_vec(len, rng);
+      simd::scalar::adam_step(w1.data() + off, m1.data() + off,
+                              v1.data() + off, g.data() + off, n, 1e-3f,
+                              0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
+      simd::adam_step(w2.data() + off, m2.data() + off, v2.data() + off,
+                      g.data() + off, n, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.1f,
+                      0.001f);
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_NEAR(w1[i], w2[i], 2e-5f) << "n=" << n << " off=" << off;
+        ASSERT_NEAR(m1[i], m2[i], 1e-6f) << "n=" << n << " off=" << off;
+        ASSERT_NEAR(v1[i], v2[i], 1e-6f) << "n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST_P(KernelParity, DotBf16) {
+  Rng rng(21);
+  for (std::size_t n : parity_sizes()) {
+    const auto w = random_bf16(n + kMaxOffset, rng);
+    const auto x = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      const float ref =
+          simd::scalar::dot_bf16(w.data() + off, x.data() + off, n);
+      const float got = simd::dot_bf16(w.data() + off, x.data() + off, n);
+      ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, AxpyBf16) {
+  Rng rng(22);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_bf16(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      auto y1 = random_vec(n + kMaxOffset, rng);
+      auto y2 = y1;
+      simd::scalar::axpy_bf16(0.41f, x.data() + off, y1.data() + off, n);
+      simd::axpy_bf16(0.41f, x.data() + off, y2.data() + off, n);
+      for (std::size_t i = 0; i < y1.size(); ++i)
+        ASSERT_NEAR(y1[i], y2[i], 1e-5f) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, SparseDotBf16) {
+  Rng rng(23);
+  const std::size_t dim = 3000;
+  const auto dense = random_bf16(dim, rng);
+  for (std::size_t nnz : parity_sizes()) {
+    std::vector<Index> idx(nnz);
+    std::vector<float> val(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      idx[i] = rng.uniform(static_cast<std::uint32_t>(dim));
+      val[i] = rng.uniform_float();
+    }
+    const float ref = simd::scalar::sparse_dot_bf16(idx.data(), val.data(),
+                                                    nnz, dense.data());
+    const float got =
+        simd::sparse_dot_bf16(idx.data(), val.data(), nnz, dense.data());
+    ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref))) << "nnz=" << nnz;
+  }
+}
+
+TEST_P(KernelParity, QuantizeDequantizeRoundTrip) {
+  Rng rng(24);
+  for (std::size_t n : parity_sizes()) {
+    const auto src = random_vec(n, rng, 10.0f);
+    std::vector<Bf16> q(n), q_ref(n);
+    simd::quantize_bf16(src.data(), q.data(), n);
+    simd::scalar::quantize_bf16(src.data(), q_ref.data(), n);
+    ASSERT_EQ(q, q_ref) << "n=" << n;  // quantization is exact per element
+    std::vector<float> back(n);
+    simd::dequantize_bf16(q.data(), back.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // 8-bit significand, round-to-nearest: relative error <= 2^-9 for
+      // normal values; 1/256 gives headroom for the denormal edge.
+      ASSERT_NEAR(back[i], src[i], std::fabs(src[i]) / 256.0f + 1e-30f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, KernelParity,
+                         ::testing::ValuesIn(supported_levels()),
+                         [](const auto& info) {
+                           return std::string(simd::to_string(info.param));
+                         });
+
+// ---- bf16 scalar semantics -------------------------------------------------
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  for (float f : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 128.0f, -0.375f}) {
+    EXPECT_EQ(simd::bf16_to_float(simd::float_to_bf16(f)), f) << f;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1 + 2^-8 sits exactly between bf16(1.0) = 0x3F80 and 0x3F81: the tie
+  // goes to the even mantissa (0x3F80).
+  const float tie_low = std::bit_cast<float>(0x3F808000u);
+  EXPECT_EQ(simd::float_to_bf16(tie_low), 0x3F80u);
+  // 1 + 2^-7 + 2^-8 is the tie between 0x3F81 and 0x3F82 -> even (0x3F82).
+  const float tie_high = std::bit_cast<float>(0x3F818000u);
+  EXPECT_EQ(simd::float_to_bf16(tie_high), 0x3F82u);
+  // Just above a tie rounds up.
+  const float above = std::bit_cast<float>(0x3F808001u);
+  EXPECT_EQ(simd::float_to_bf16(above), 0x3F81u);
+}
+
+TEST(Bf16, SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(simd::bf16_to_float(simd::float_to_bf16(inf)), inf);
+  EXPECT_EQ(simd::bf16_to_float(simd::float_to_bf16(-inf)), -inf);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(simd::bf16_to_float(simd::float_to_bf16(nan))));
+  // Rounding must not overflow the largest finite bf16 into infinity for
+  // values that are finite in bf16 range.
+  const float big = 3.3e38f;
+  EXPECT_TRUE(std::isinf(simd::bf16_to_float(simd::float_to_bf16(big))) ||
+              simd::bf16_to_float(simd::float_to_bf16(big)) > 3e38f);
+}
+
+TEST(Bf16, MixedDotTracksFp32WithinQuantizationError) {
+  Rng rng(25);
+  const std::size_t n = 512;
+  const auto w = random_vec(n, rng);
+  const auto x = random_vec(n, rng);
+  std::vector<Bf16> q(n);
+  simd::quantize_bf16(w.data(), q.data(), n);
+  const float fp32 = simd::scalar::dot(w.data(), x.data(), n);
+  const float bf16 = simd::scalar::dot_bf16(q.data(), x.data(), n);
+  // Each term errs by <= |w_i x_i| / 512; the sum of magnitudes bounds it.
+  float magnitude = 0.0f;
+  for (std::size_t i = 0; i < n; ++i)
+    magnitude += std::fabs(w[i]) * std::fabs(x[i]);
+  EXPECT_NEAR(bf16, fp32, magnitude / 256.0f + 1e-5f);
+}
+
+// ---- dispatch machinery ----------------------------------------------------
+
+class DispatchLevels : public ::testing::Test {
+ protected:
+  void SetUp() override { entry_level_ = simd::active_level(); }
+  void TearDown() override { simd::set_simd_level(entry_level_); }
+  simd::SimdLevel entry_level_;
+};
+
+TEST_F(DispatchLevels, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(simd::level_compiled(SimdLevel::kScalar));
+  EXPECT_TRUE(simd::level_supported(SimdLevel::kScalar));
+  EXPECT_TRUE(simd::level_supported(simd::detected_level()));
+}
+
+TEST_F(DispatchLevels, SetLevelRebindsTheTable) {
+  for (SimdLevel level : supported_levels()) {
+    simd::set_simd_level(level);
+    EXPECT_EQ(simd::active_level(), level);
+    EXPECT_EQ(simd::backend().level, level);
+    EXPECT_STREQ(simd::backend().name, simd::to_string(level));
+    // Kernels keep working at every binding.
+    std::vector<float> a = {1, 2, 3}, b = {4, 5, 6};
+    EXPECT_FLOAT_EQ(simd::dot(a.data(), b.data(), 3), 32.0f);
+  }
+}
+
+TEST_F(DispatchLevels, BackendForReturnsFixedTables) {
+  for (SimdLevel level : supported_levels()) {
+    const simd::Backend* table = simd::backend_for(level);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->level, level);
+  }
+}
+
+TEST_F(DispatchLevels, UnsupportedLevelThrows) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAVX2, SimdLevel::kAVX512}) {
+    if (simd::level_supported(level)) continue;
+    EXPECT_THROW(simd::set_simd_level(level), Error);
+    EXPECT_EQ(simd::backend_for(level), nullptr);
+  }
+}
+
+TEST_F(DispatchLevels, ParseRoundTripsAndRejectsGarbage) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAVX2, SimdLevel::kAVX512}) {
+    EXPECT_EQ(simd::parse_simd_level(simd::to_string(level)), level);
+  }
+  EXPECT_THROW(simd::parse_simd_level("avx1024"), Error);
+  EXPECT_THROW(simd::parse_simd_level(nullptr), Error);
+}
+
+TEST_F(DispatchLevels, DeprecatedShimMapsOntoDispatch) {
+  EXPECT_EQ(simd::compiled_with_avx2(),
+            simd::level_compiled(SimdLevel::kAVX2));
   simd::set_simd_enabled(false);
+  EXPECT_EQ(simd::active_level(), SimdLevel::kScalar);
   EXPECT_FALSE(simd::simd_enabled());
-  // Kernels still work in scalar mode.
+  simd::set_simd_enabled(true);
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+  EXPECT_EQ(simd::simd_enabled(),
+            simd::detected_level() != SimdLevel::kScalar);
+  // Scalar mode still computes correctly.
+  simd::set_simd_enabled(false);
   std::vector<float> a = {1, 2, 3}, b = {4, 5, 6};
   EXPECT_FLOAT_EQ(simd::dot(a.data(), b.data(), 3), 32.0f);
-  simd::set_simd_enabled(true);
 }
 
 TEST(Softmax, StableUnderLargeLogits) {
