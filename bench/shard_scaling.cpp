@@ -1,0 +1,224 @@
+// Shard-scaling bench: serving throughput and LSH rebuild latency of the
+// model-parallel ShardedSampledLayer at S = 1, 2, 4, 8 shards.
+//
+// What sharding buys (core/sharded_layer.h): each shard owns its own table
+// group and maintenance thread, so an asynchronous full rebuild of the
+// whole output layer runs as S concurrent single-shard builds instead of
+// one serialized pass — wall-clock rebuild latency falls roughly like
+// 1/min(S, cores) when cores are available, and holds ~flat (same total
+// hashing work, same total table memory thanks to per-shard range
+// scaling) when they are not. The qps column prices the serve-side trade:
+// every query hashes against S independent families, a fixed per-query
+// cost that the per-candidate scoring work amortizes as the layer widens
+// — expect qps to dip with S at small widths and converge at paper scale.
+//
+//   ./build/bench/shard_scaling
+//
+// Environment: SLIDE_BENCH_SCALE (tiny|small|medium|paper),
+// SLIDE_BENCH_THREADS, SLIDE_BENCH_REPS, SLIDE_BENCH_JSON_DIR. Emits
+// BENCH_shard.json (gated by tools/bench_compare.py in CI): per-S qps and
+// async rebuild latency, plus scale-invariant within-run speedup ratios —
+// the monotone-improvement contract lives in those.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace slide;
+
+struct Workload {
+  Index features;
+  Index labels;
+  Index hidden;
+  Index target;
+  std::size_t queries;
+};
+
+Workload workload_for(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return {.features = 2'000, .labels = 8'192, .hidden = 64,
+              .target = 164, .queries = 512};
+    case Scale::kSmall:
+      return {.features = 5'000, .labels = 32'768, .hidden = 128,
+              .target = 656, .queries = 1'024};
+    case Scale::kMedium:
+      return {.features = 20'000, .labels = 131'072, .hidden = 128,
+              .target = 2'622, .queries = 2'048};
+    case Scale::kPaper:
+      return {.features = 100'000, .labels = 262'144, .hidden = 128,
+              .target = 5'243, .queries = 4'096};
+  }
+  return workload_for(Scale::kTiny);
+}
+
+struct Row {
+  int shards = 0;
+  double qps = 0.0;
+  double async_rebuild_ms = 0.0;
+  double sync_rebuild_info = 0.0;  // ms; informational (not gated)
+  long rebuilds = 0;
+};
+
+int env_reps() {
+  const char* env = std::getenv("SLIDE_BENCH_REPS");
+  const int n = env == nullptr ? 0 : std::atoi(env);
+  return n > 0 ? n : 3;
+}
+
+Row run_config(int shards, const Workload& w, const Dataset& queries,
+               int threads, int reps) {
+  Row row{.shards = shards};
+
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 9;
+  family.l = 50;
+  // Aggressive schedule so maybe_rebuild(iteration) fires on demand: the
+  // bench drives maintenance events explicitly, it does not train.
+  NetworkConfig cfg = NetworkBuilder(w.features)
+                          .dense(w.hidden)
+                          .sampled(w.labels, family, w.target)
+                          .table({.range_pow = 12, .bucket_size = 128})
+                          .rebuild_schedule({.enabled = true,
+                                             .initial_period = 1,
+                                             .decay = 0.0})
+                          .maintenance(MaintenancePolicy::kAsyncFull)
+                          .shards(shards)
+                          .max_batch(64)
+                          .seed(7)
+                          .to_config();
+  Network net(cfg, threads);
+  ThreadPool pool(threads);
+
+  // Async rebuild latency: fire one maintenance event (S concurrent
+  // shard rebuilds on the per-shard workers) and wait for the publish.
+  long iteration = 0;
+  double best_async = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    net.quiesce_maintenance();
+    WallTimer timer;
+    net.maybe_rebuild(++iteration, nullptr);
+    net.quiesce_maintenance();
+    best_async = std::min(best_async, timer.seconds());
+  }
+  row.async_rebuild_ms = best_async * 1e3;
+  row.rebuilds = dynamic_cast<const ShardedSampledLayer&>(net.stack(0))
+                     .rebuild_count();
+
+  // Sync rebuild (rebuild_all: shards fan out across the pool) — context
+  // number, not gated: at S=1 it parallelizes *within* the single group,
+  // so it does not isolate the sharding effect the async number shows.
+  double best_sync = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    net.rebuild_all(&pool);
+    best_sync = std::min(best_sync, timer.seconds());
+  }
+  row.sync_rebuild_info = best_sync * 1e3;
+
+  // Serving throughput through the batch path (sampled inference, the
+  // serve engine's dispatch): best-of-reps queries/sec.
+  std::vector<SparseVector> inputs;
+  inputs.reserve(w.queries);
+  for (std::size_t i = 0; i < w.queries; ++i)
+    inputs.push_back(queries[i % queries.size()].features);
+  BatchOutput out;
+  double best_batch = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    net.predict_batch(inputs, out, &pool, /*top_k=*/4, /*exact=*/false);
+    best_batch = std::min(best_batch, timer.seconds());
+  }
+  row.qps = static_cast<double>(w.queries) / best_batch;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = bench::env_scale(Scale::kTiny);
+  const int threads = bench::env_threads();
+  const int reps = env_reps();
+  const Workload w = workload_for(scale);
+
+  bench::print_header(
+      "BENCH_shard — sharded wide-output layer scaling (qps + rebuild "
+      "latency vs shard count)",
+      "model-parallel LSH shards (cf. Distributed SLIDE, Yan et al. 2022); "
+      "per-shard maintenance threads rebuild concurrently");
+  bench::print_env(scale, threads);
+  const int cores = hardware_threads();
+  std::printf("[workload] labels=%u hidden=%u target=%u queries=%zu "
+              "reps=%d cores=%d\n\n",
+              w.labels, w.hidden, w.target, w.queries, reps, cores);
+  if (cores < 4) {
+    std::printf("[note] %d hardware core(s): S concurrent shard rebuilds "
+                "serialize, so expect ~flat (not improving) rebuild "
+                "latency in this run's numbers\n\n",
+                cores);
+  }
+
+  SyntheticConfig dcfg;
+  dcfg.feature_dim = w.features;
+  dcfg.label_dim = w.labels;
+  dcfg.num_train = 16;  // the bench never trains
+  dcfg.num_test = w.queries;
+  dcfg.seed = 11;
+  const SyntheticDataset data = make_synthetic_xc(dcfg);
+
+  std::vector<Row> rows;
+  for (int shards : {1, 2, 4, 8}) {
+    rows.push_back(run_config(shards, w, data.test, threads, reps));
+    const Row& r = rows.back();
+    std::printf("  S=%d  qps %10.0f | async rebuild %8.2f ms | sync "
+                "rebuild %8.2f ms | rebuilds %ld\n",
+                r.shards, r.qps, r.async_rebuild_ms, r.sync_rebuild_info,
+                r.rebuilds);
+  }
+
+  auto at = [&](int shards) -> const Row& {
+    for (const Row& r : rows)
+      if (r.shards == shards) return r;
+    std::abort();
+  };
+  const double s2 = at(1).async_rebuild_ms / at(2).async_rebuild_ms;
+  const double s4 = at(1).async_rebuild_ms / at(4).async_rebuild_ms;
+  const double s8 = at(1).async_rebuild_ms / at(8).async_rebuild_ms;
+  const double qps4 = at(4).qps / at(1).qps;
+  std::printf("\n[summary] async rebuild speedup vs S=1: S=2 %.2fx, S=4 "
+              "%.2fx, S=8 %.2fx | qps S=4/S=1 %.2fx (cores matter: expect "
+              "~min(S, cores)x for rebuilds)\n",
+              s2, s4, s8, qps4);
+
+  bench::Json json;
+  json.begin_object();
+  json.key("bench").string("shard_scaling");
+  json.key("scale").string(bench::scale_name(scale));
+  json.key("threads").number(static_cast<long long>(threads));
+  json.key("hardware_cores").number(static_cast<long long>(cores));
+  json.key("labels").number(static_cast<long long>(w.labels));
+  json.key("queries").number(static_cast<long long>(w.queries));
+  json.key("configs").begin_array();
+  for (const Row& r : rows) {
+    json.begin_object();
+    json.key("name").string(("s" + std::to_string(r.shards)).c_str());
+    json.key("shards").number(static_cast<long long>(r.shards));
+    json.key("qps").number(r.qps);
+    json.key("async_rebuild_ms").number(r.async_rebuild_ms);
+    json.key("sync_rebuild_info").number(r.sync_rebuild_info);
+    json.end_object();
+  }
+  json.end_array();
+  // Scale-invariant within-run ratios: these carry the monotone-
+  // improvement contract through the CI gate regardless of runner speed.
+  json.key("speedup_async_rebuild_s2_vs_s1").number(s2);
+  json.key("speedup_async_rebuild_s4_vs_s1").number(s4);
+  json.key("speedup_async_rebuild_s8_vs_s1").number(s8);
+  json.key("speedup_qps_s4_vs_s1").number(qps4);
+  json.end_object();
+  json.write_file(bench::json_path("BENCH_shard.json"));
+  return 0;
+}

@@ -11,11 +11,19 @@
 // micro-batching). See examples/serve_cli.cpp for the full load driver with
 // hot-swapping, and bench/serve_throughput.cpp for the tuning numbers.
 #include <cstdio>
+#include <cstdlib>
 
 #include "slide/slide.h"
 
 int main() {
   using namespace slide;
+
+  // SLIDE_SHARDS=N (default 0 = monolithic) splits the output layer into N
+  // model-parallel LSH shards (core/sharded_layer.h) — same API, same
+  // training loop, per-shard table maintenance. CI runs this smoke at
+  // shards={1,4}.
+  const char* shards_env = std::getenv("SLIDE_SHARDS");
+  const int shards = shards_env == nullptr ? 0 : std::atoi(shards_env);
 
   // 1. Data: a Delicious-200K-like synthetic stand-in at tiny scale
   //    (use read_xc_file() to load a real XC-repository file instead).
@@ -37,16 +45,16 @@ int main() {
   table.range_pow = 10;
 
   const int threads = hardware_threads();
-  Network network = NetworkBuilder(data.train.feature_dim())
-                        .dense(32)
-                        .sampled(data.train.label_dim(), family,
-                                 /*sampling_target=*/64)
-                        .table(table)
-                        .max_batch(64)
-                        .build(threads);
-  std::printf("network: %zu parameters, %d layers, output sampling %.1f%%\n",
+  NetworkBuilder builder(data.train.feature_dim());
+  builder.dense(32)
+      .sampled(data.train.label_dim(), family, /*sampling_target=*/64)
+      .table(table);
+  if (shards > 0) builder.shards(shards);
+  Network network = builder.max_batch(64).build(threads);
+  std::printf("network: %zu parameters, %d layers, output sampling %.1f%%, "
+              "shards %d\n",
               network.num_parameters(), network.num_layers(),
-              100.0 * 64 / data.train.label_dim());
+              100.0 * 64 / data.train.label_dim(), shards);
 
   // 3. Train: one thread per batch instance, lazy Adam, LSH rebuilds on the
   //    exponential-decay schedule.
@@ -60,9 +68,12 @@ int main() {
   trainer.train(data.train, /*iterations=*/200, [&](long iteration) {
     const double acc = evaluate_p_at_1(network, data.test, trainer.pool(),
                                        {.exact = true, .max_samples = 300});
+    // stack() (not output_layer()) — the generic Layer accessor works for
+    // monolithic and sharded output layers alike.
     std::printf("  iter %4ld | %5.1fs | P@1 %.3f | active %.1f%%\n",
                 iteration, timer.seconds(), acc,
-                100.0 * network.output_layer().average_active_fraction());
+                100.0 * network.stack(network.stack_depth() - 1)
+                            .average_active_fraction());
   }, /*callback_every=*/50);
 
   // 4. Final evaluation: exact (all classes scored) and LSH-sampled

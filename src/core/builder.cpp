@@ -113,6 +113,18 @@ NetworkBuilder& NetworkBuilder::maintenance(MaintenancePolicy policy) {
   return *this;
 }
 
+NetworkBuilder& NetworkBuilder::shards(int shards) {
+  SLIDE_CHECK(shards >= 1, "NetworkBuilder::shards: must be >= 1");
+  LayerSpec& spec = last_layer("shards");
+  SLIDE_CHECK(spec.hashed,
+              "NetworkBuilder::shards: sharding requires an LSH-sampled "
+              "layer (call .sampled(...) first)");
+  SLIDE_CHECK(static_cast<Index>(shards) <= spec.units,
+              "NetworkBuilder::shards: more shards than units");
+  spec.shards = shards;
+  return *this;
+}
+
 NetworkBuilder& NetworkBuilder::max_batch(int max_batch_size) {
   SLIDE_CHECK(max_batch_size > 0,
               "NetworkBuilder::max_batch: must be positive");

@@ -70,6 +70,14 @@ class NetworkBuilder {
   /// shadow rebuild + atomic publish), or async_delta (background re-insert
   /// of dirty neurons between full rebuilds). See MaintenancePolicy.
   NetworkBuilder& maintenance(MaintenancePolicy policy);
+  /// Model-parallel sharding of the most recently added LSH-sampled layer
+  /// (core/sharded_layer.h): the neuron range splits into `shards`
+  /// contiguous shards, each with its own weight block, LSH tables,
+  /// dirty-delta queue, and maintenance thread. shards(1) builds a
+  /// single-shard ShardedSampledLayer, bit-identical to the monolithic
+  /// layer under sync maintenance; leave the knob unset for the monolithic
+  /// implementation itself.
+  NetworkBuilder& shards(int shards);
 
   // ---- Network-wide knobs ----
 

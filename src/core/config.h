@@ -91,6 +91,15 @@ struct LayerSpec {
   /// updates (paper §4.2 heuristic 3; Simhash only).
   bool incremental_rehash = false;
 
+  /// Model-parallel sharding of a hashed layer (core/sharded_layer.h).
+  /// 0 (the default) builds the monolithic SampledLayer; any value >= 1
+  /// builds a ShardedSampledLayer whose neuron range is partitioned into
+  /// that many contiguous shards, each with its own weight block, LSH
+  /// tables, dirty-delta queue, and maintenance thread. shards = 1 is the
+  /// parity anchor: bit-identical to the monolithic layer under sync
+  /// maintenance. Requires `hashed`.
+  int shards = 0;
+
   /// Weight init stddev; 0 selects 2/sqrt(fan_in).
   float init_stddev = 0.0f;
 };

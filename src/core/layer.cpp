@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/sharded_layer.h"
 #include "simd/kernels.h"
 #include "sys/prefetch.h"
 #include "sys/timer.h"
@@ -110,8 +111,38 @@ const char* to_string(LayerKind kind) {
       return "sampled";
     case LayerKind::kRandomSampled:
       return "random_sampled";
+    case LayerKind::kSharded:
+      return "sharded";
   }
   return "?";
+}
+
+void Layer::forward_inference_topk(std::span<const Index> prev_ids,
+                                   std::span<const float> prev_act, int k,
+                                   bool exact, Rng& rng, VisitedSet& visited,
+                                   TopKScratch& scratch,
+                                   std::vector<Index>& out) const {
+  forward_inference(prev_ids, prev_act, exact, rng, visited, scratch.ids,
+                    scratch.act);
+  std::vector<std::size_t>& order = scratch.order;
+  const std::vector<float>& act = scratch.act;
+  order.resize(act.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(k), order.size());
+  // Ties break toward the earlier candidate position (the lower unit id in
+  // exact mode), matching predict_top1's first-max rule.
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(take),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return act[a] > act[b] || (act[a] == act[b] && a < b);
+                    });
+  out.clear();
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(scratch.ids.empty() ? static_cast<Index>(order[i])
+                                      : scratch.ids[order[i]]);
+  }
 }
 
 // ===========================================================================
@@ -944,6 +975,8 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
                                   Precision precision) {
   SLIDE_CHECK(!(spec.hashed && spec.random_sampled),
               "make_layer: hashed and random_sampled are exclusive");
+  SLIDE_CHECK(spec.shards == 0 || spec.hashed,
+              "make_layer: shards requires an LSH-sampled (hashed) layer");
   if (spec.hashed) {
     SampledLayer::Config cfg;
     cfg.units = spec.units;
@@ -961,6 +994,10 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
     cfg.adam = adam;
     cfg.precision = precision;
     cfg.seed = seed;
+    if (spec.shards >= 1) {
+      return std::make_unique<ShardedSampledLayer>(cfg, spec.shards,
+                                                   batch_slots, max_threads);
+    }
     return std::make_unique<SampledLayer>(cfg, batch_slots, max_threads);
   }
   if (spec.random_sampled) {

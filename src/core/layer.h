@@ -67,9 +67,30 @@ struct ActiveSet {
 // ---------------------------------------------------------------------------
 
 /// Concrete type of a stack layer (diagnostics, checkpoint tooling).
-enum class LayerKind { kDense, kSampled, kRandomSampled };
+enum class LayerKind { kDense, kSampled, kRandomSampled, kSharded };
 
 const char* to_string(LayerKind kind);
+
+/// Reusable scratch for the top-k inference hook (owned by
+/// InferenceContext). Every vector keeps its capacity across calls, so
+/// steady-state top-k queries allocate nothing — this is where the sharded
+/// layer's k-way heap merge lives (see Layer::forward_inference_topk).
+struct TopKScratch {
+  std::vector<Index> ids;    // candidate ids (per-shard run for sharded)
+  std::vector<float> act;    // candidate activations
+  std::vector<std::size_t> order;  // ranking permutation (default path)
+  /// Bounded selection heap: (score, position<<32 | global id). Position
+  /// packs above the id so ties resolve toward the earlier candidate with
+  /// a single integer compare.
+  std::vector<std::pair<float, std::uint64_t>> heap;
+
+  void clear() {
+    ids.clear();
+    act.clear();
+    order.clear();
+    heap.clear();
+  }
+};
 
 /// Per-layer memory accounting (drives Network::memory_footprint and the
 /// serve-side footprint report).
@@ -124,7 +145,7 @@ class Layer {
   /// serialization of a "settled" model). No-op without async maintenance.
   virtual void flush_maintenance() {}
 
-  // ---- Inference hook ----
+  // ---- Inference hooks ----
   /// Single-sample inference forward into caller buffers. `exact` scores
   /// all units regardless of the layer's sampling policy.
   virtual void forward_inference(std::span<const Index> prev_ids,
@@ -132,6 +153,20 @@ class Layer {
                                  Rng& rng, VisitedSet& visited,
                                  std::vector<Index>& ids_out,
                                  std::vector<float>& act_out) const = 0;
+
+  /// Top-k inference: selects candidates exactly as forward_inference and
+  /// writes the ids of the k highest-scoring ones into `out`, descending
+  /// score, ties toward the earlier candidate position (the lower unit id
+  /// in exact mode). Network::predict_topk calls this on the output layer.
+  /// The default implementation scores through forward_inference and
+  /// partial-sorts in the scratch; the sharded layer overrides it with a
+  /// k-way heap merge over its per-shard candidate runs.
+  virtual void forward_inference_topk(std::span<const Index> prev_ids,
+                                      std::span<const float> prev_act, int k,
+                                      bool exact, Rng& rng,
+                                      VisitedSet& visited,
+                                      TopKScratch& scratch,
+                                      std::vector<Index>& out) const;
 
   // ---- Per-slot state ----
   virtual ActiveSet& slot(int s) = 0;
@@ -146,6 +181,33 @@ class Layer {
   /// derived state (hash memos, quantized mirrors) must be refreshed.
   virtual void on_weights_loaded() noexcept = 0;
   virtual std::size_t num_parameters() const noexcept = 0;
+
+  // ---- Sharded serialize hooks (checkpoint format v3) ----
+  // The logical parameter matrix of a layer is always the [units x fan_in]
+  // neuron-major matrix plus a [units] bias vector; a sharded layer stores
+  // it as contiguous row-range blocks. Monolithic layers are the
+  // single-shard case: the defaults below make core/serialize's
+  // per-shard-block reader/writer work for every layer, and let a
+  // checkpoint written at one shard count load into a network using
+  // another (resharding).
+  /// Number of contiguous weight shards (1 for monolithic layers).
+  virtual int num_shards() const noexcept { return 1; }
+  /// First global neuron row owned by `shard`.
+  virtual Index shard_row_offset(int /*shard*/) const noexcept { return 0; }
+  /// Weight/bias blocks of one shard (shard 0 == the whole layer for
+  /// monolithic layers).
+  virtual std::span<float> shard_weights(int /*shard*/) noexcept {
+    return weights_span();
+  }
+  virtual std::span<const float> shard_weights(int /*shard*/) const noexcept {
+    return weights_span();
+  }
+  virtual std::span<float> shard_bias(int /*shard*/) noexcept {
+    return bias_span();
+  }
+  virtual std::span<const float> shard_bias(int /*shard*/) const noexcept {
+    return bias_span();
+  }
 
   // ---- Quantized inference (bf16 weight mirrors) ----
   /// The precision the layer's *inference* scoring path reads weights at.
@@ -170,6 +232,12 @@ class Layer {
 
   /// Average active fraction since the last reset (1.0 for dense layers).
   virtual double average_active_fraction() const = 0;
+
+  /// Cumulative seconds spent in LSH sampling / activation math since the
+  /// last timer reset (the Figure 6 / Table 2 instrumentation). Layers
+  /// without phase timers report 0.
+  virtual double sampling_seconds() const { return 0.0; }
+  virtual double compute_seconds() const { return 0.0; }
 };
 
 // ---------------------------------------------------------------------------
@@ -448,8 +516,8 @@ class SampledLayer : public Layer {
 
   /// Per-thread time spent in LSH sampling vs activation math since the
   /// last reset (drives the Figure 6 / Table 2 instrumentation).
-  double sampling_seconds() const;
-  double compute_seconds() const;
+  double sampling_seconds() const override;
+  double compute_seconds() const override;
   void reset_phase_timers();
 
  private:

@@ -116,8 +116,11 @@ void Network::predict_topk(const SparseVector& x, InferenceContext& ctx,
   SLIDE_ASSERT(writers_active() == 0);
   const std::uint64_t epoch_at_entry = write_epoch();
 #endif
-  // Run the same inference forward as predict_top1, then partial-sort the
-  // output activations.
+  // Run the same inference forward as predict_top1 through the hidden
+  // layers, then let the output layer rank its own candidates — the
+  // default hook partial-sorts exactly as this function used to, and the
+  // sharded layer overrides it with a k-way heap merge over its per-shard
+  // candidate runs (both in ctx scratch, allocation-free at steady state).
   ctx.dense.resize(embedding_->units());
   embedding_->forward_inference(x, ctx.dense.data());
   std::vector<Index>* prev_ids = &ctx.ids_a;
@@ -126,31 +129,15 @@ void Network::predict_topk(const SparseVector& x, InferenceContext& ctx,
   prev_act->assign(ctx.dense.begin(), ctx.dense.end());
   std::vector<Index>* next_ids = &ctx.ids_b;
   std::vector<float>* next_act = &ctx.act_b;
-  for (const auto& layer : layers_) {
-    layer->forward_inference(*prev_ids, *prev_act, exact, ctx.rng,
-                             ctx.visited, *next_ids, *next_act);
+  const std::size_t last = layers_.size() - 1;
+  for (std::size_t i = 0; i < last; ++i) {
+    layers_[i]->forward_inference(*prev_ids, *prev_act, exact, ctx.rng,
+                                  ctx.visited, *next_ids, *next_act);
     std::swap(prev_ids, next_ids);
     std::swap(prev_act, next_act);
   }
-  std::vector<std::size_t>& order = ctx.order;
-  order.resize(prev_act->size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const std::size_t take =
-      std::min<std::size_t>(static_cast<std::size_t>(k), order.size());
-  // Ties break toward the earlier active position (the lower unit id in
-  // exact mode), matching predict_top1's first-max rule.
-  std::partial_sort(order.begin(),
-                    order.begin() + static_cast<std::ptrdiff_t>(take),
-                    order.end(), [&](std::size_t a, std::size_t b) {
-                      return (*prev_act)[a] > (*prev_act)[b] ||
-                             ((*prev_act)[a] == (*prev_act)[b] && a < b);
-                    });
-  out.clear();
-  out.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    out.push_back(prev_ids->empty() ? static_cast<Index>(order[i])
-                                    : (*prev_ids)[order[i]]);
-  }
+  layers_[last]->forward_inference_topk(*prev_ids, *prev_act, k, exact,
+                                        ctx.rng, ctx.visited, ctx.topk, out);
   // A moved epoch or live writer means a writer overlapped this read — a
   // data race the thread-safety contract (see network.h) forbids.
   SLIDE_ASSERT(write_epoch() == epoch_at_entry && writers_active() == 0);

@@ -52,7 +52,10 @@ struct InferenceContext {
   std::vector<float> dense;
   std::vector<Index> ids_a, ids_b;
   std::vector<float> act_a, act_b;
-  std::vector<std::size_t> order;  // predict_topk ranking scratch
+  /// Output-layer top-k scratch (candidate buffers, ranking permutation,
+  /// and the sharded layer's k-way merge heap) — see
+  /// Layer::forward_inference_topk.
+  TopKScratch topk;
 };
 
 /// Results of Network::predict_batch plus the scratch it reuses across
@@ -159,9 +162,10 @@ class Network {
   int stack_depth() const noexcept { return static_cast<int>(layers_.size()); }
 
   /// Concrete accessors, kept for existing callers (instrumentation, tests,
-  /// benches). Every in-tree layer type derives from SampledLayer, so the
-  /// downcast is exact; new Layer implementations outside that hierarchy
-  /// must be reached through stack().
+  /// benches). Valid only for stacks of SampledLayer-derived layers (dense,
+  /// sampled, random-sampled); a ShardedSampledLayer — or any other Layer
+  /// outside that hierarchy — must be reached through stack(), and the
+  /// debug assert below fires if it is not.
   SampledLayer& layer(int i) noexcept {
     SLIDE_ASSERT(dynamic_cast<SampledLayer*>(
                      layers_[static_cast<std::size_t>(i)].get()) != nullptr);
@@ -323,7 +327,7 @@ inline void InferenceContext::reset() {
   ids_b.clear();
   act_a.clear();
   act_b.clear();
-  order.clear();
+  topk.clear();
 }
 
 inline void InferenceContext::reset(Index max_units) {

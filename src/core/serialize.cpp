@@ -1,16 +1,18 @@
 #include "core/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 namespace slide {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x534C4944;  // "SLID"
-// Version 2 = version 1 + a precision tag word after the header; loaders
-// accept both (see serialize.h's version history).
-constexpr std::uint32_t kVersion = 2;
+// Version 3 = version 2 + per-shard parameter blocks for kind-0 stack
+// layers; loaders accept 1..3 (see serialize.h's version history).
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
@@ -38,6 +40,55 @@ void read_floats(std::istream& in, std::span<float> data) {
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(data.size() * sizeof(float)));
   SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+}
+
+/// Reads the raw payload of a length-prefixed block whose length word was
+/// already consumed by the caller.
+void read_payload(std::istream& in, float* data, std::size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+}
+
+/// Copies `count` global rows of `row_width` floats starting at row
+/// `first` from `src` into whichever of the layer's shard blocks own them
+/// (the reshard path: file partition != target partition).
+void scatter_rows(Layer& layer, const float* src, Index first, Index count,
+                  std::size_t row_width, bool bias) {
+  for (int s = 0; s < layer.num_shards(); ++s) {
+    const std::span<float> span =
+        bias ? layer.shard_bias(s) : layer.shard_weights(s);
+    const Index off = layer.shard_row_offset(s);
+    const Index shard_rows = static_cast<Index>(span.size() / row_width);
+    const Index lo = std::max(first, off);
+    const Index hi = std::min<Index>(first + count, off + shard_rows);
+    if (lo >= hi) continue;
+    std::copy(src + static_cast<std::size_t>(lo - first) * row_width,
+              src + static_cast<std::size_t>(hi - first) * row_width,
+              span.data() + static_cast<std::size_t>(lo - off) * row_width);
+  }
+}
+
+/// Reads one block (length word already pending in the stream) covering
+/// `block_rows` global rows starting at `first`: straight into a matching
+/// target shard span when the partitions line up, through a scatter buffer
+/// otherwise.
+void read_rows_into_layer(std::istream& in, Layer& layer, Index first,
+                          Index block_rows, std::size_t row_width, bool bias,
+                          std::vector<float>& scratch) {
+  const std::size_t len =
+      static_cast<std::size_t>(block_rows) * row_width;
+  for (int s = 0; s < layer.num_shards(); ++s) {
+    const std::span<float> span =
+        bias ? layer.shard_bias(s) : layer.shard_weights(s);
+    if (layer.shard_row_offset(s) == first && span.size() == len) {
+      read_payload(in, span.data(), len);  // partitions align: no copy
+      return;
+    }
+  }
+  scratch.resize(len);
+  read_payload(in, scratch.data(), len);
+  scatter_rows(layer, scratch.data(), first, block_rows, row_width, bias);
 }
 
 void write_header(std::ostream& out, std::uint32_t kind,
@@ -117,8 +168,13 @@ void save_weights(const Network& network, std::ostream& out) {
     const Layer& layer = network.stack(i);
     write_u32(out, layer.units());
     write_u32(out, layer.fan_in());
-    write_floats(out, layer.weights_span());
-    write_floats(out, layer.bias_span());
+    // v3: one weights+bias block pair per shard, contiguous global row
+    // ranges in order (monolithic layers are the single-shard case).
+    write_u32(out, static_cast<std::uint32_t>(layer.num_shards()));
+    for (int s = 0; s < layer.num_shards(); ++s) {
+      write_floats(out, layer.shard_weights(s));
+      write_floats(out, layer.shard_bias(s));
+    }
   }
   SLIDE_CHECK(out.good(), "save_weights: write failed");
 }
@@ -151,14 +207,42 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
   read_floats(in, emb.weights_span());
   read_floats(in, emb.bias_span());
   emb.refresh_inference_mirror();
+  std::vector<float> scratch;  // reshard scatter buffer (rarely used)
   for (int i = 0; i < network.stack_depth(); ++i) {
     Layer& layer = network.stack(i);
-    SLIDE_CHECK(read_u32(in) == layer.units(),
-                "load_weights: layer width mismatch");
-    SLIDE_CHECK(read_u32(in) == layer.fan_in(),
+    const Index units = layer.units();
+    const Index fan_in = layer.fan_in();
+    SLIDE_CHECK(read_u32(in) == units, "load_weights: layer width mismatch");
+    SLIDE_CHECK(read_u32(in) == fan_in,
                 "load_weights: layer fan-in mismatch");
-    read_floats(in, layer.weights_span());
-    read_floats(in, layer.bias_span());
+    // v3 kind-0 layers carry a shard count + per-shard blocks; earlier
+    // versions and kind-1 legacy files are the one-block (monolithic)
+    // layout. The file's partition need not match the target layer's —
+    // blocks are scattered by global row index, which is how a monolithic
+    // checkpoint reshards into a sharded layer (and vice versa).
+    const std::uint32_t file_shards =
+        (version >= 3 && kind == 0) ? read_u32(in) : 1;
+    SLIDE_CHECK(file_shards >= 1 && file_shards <= units,
+                "load_weights: invalid shard count");
+    Index row = 0;
+    for (std::uint32_t fs = 0; fs < file_shards; ++fs) {
+      const std::uint32_t wlen = read_u32(in);
+      SLIDE_CHECK(wlen > 0 && wlen % fan_in == 0,
+                  "load_weights: parameter block size mismatch "
+                  "(incompatible architecture)");
+      const Index block_rows = static_cast<Index>(wlen / fan_in);
+      SLIDE_CHECK(row + block_rows <= units,
+                  "load_weights: shard blocks exceed layer width");
+      read_rows_into_layer(in, layer, row, block_rows, fan_in,
+                           /*bias=*/false, scratch);
+      SLIDE_CHECK(read_u32(in) == static_cast<std::uint32_t>(block_rows),
+                  "load_weights: bias block size mismatch");
+      read_rows_into_layer(in, layer, row, block_rows, /*row_width=*/1,
+                           /*bias=*/true, scratch);
+      row += block_rows;
+    }
+    SLIDE_CHECK(row == units,
+                "load_weights: shard blocks do not cover the layer");
     layer.on_weights_loaded();
   }
   // Hash tables are a function of the weights: refresh them.

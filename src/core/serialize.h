@@ -20,6 +20,15 @@
 //       master weights regardless of the tag — bf16 mirrors are derived
 //       state and are re-quantized by the loading network when its own
 //       config asks for bf16. Version-1 files load unchanged (tag fp32).
+//   3 — kind-0 stack layers gain a shard-count word before their parameter
+//       blocks, followed by one weights+bias block pair per shard
+//       (contiguous global row ranges in order; monolithic layers write a
+//       single "shard"). The loader scatters file blocks into the target
+//       layer's own shard partition by global row index, so a checkpoint
+//       written at one shard count loads into a network using another —
+//       including monolithic-to-sharded resharding (serve/snapshot.h,
+//       publish_clone). v1/v2 files (and kind-1 legacy dense files, which
+//       never carry shard words) load unchanged.
 #pragma once
 
 #include <iosfwd>

@@ -1,28 +1,47 @@
 #include "data/xc_reader.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace slide {
 
 namespace {
 
-// Parses an unsigned integer from [p, end); advances p. Throws on failure.
-Index parse_index(const char*& p, const char* end, const char* what) {
+/// Malformed-input error with the 1-based line number attached — feeding a
+/// multi-gigabyte XC file through a pipeline without being told *where* it
+/// broke is not actionable.
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw Error("read_xc: line " + std::to_string(line_no) + ": " + what);
+}
+
+// Parses an unsigned integer from [p, end); advances p. Throws (with the
+// line number) on garbage, overflow, or an empty token.
+Index parse_index(const char*& p, const char* end, const char* what,
+                  std::size_t line_no) {
   Index value = 0;
   auto [next, ec] = std::from_chars(p, end, value);
+  if (ec == std::errc::result_out_of_range)
+    fail(line_no, std::string("integer out of range in ") + what);
   if (ec != std::errc{} || next == p)
-    throw Error(std::string("read_xc: expected integer in ") + what);
+    fail(line_no, std::string("expected integer in ") + what);
   p = next;
   return value;
 }
 
-float parse_float(const char*& p, const char* end) {
+float parse_float(const char*& p, const char* end, std::size_t line_no) {
   float value = 0.0f;
   auto [next, ec] = std::from_chars(p, end, value);
+  // result_out_of_range leaves `value` unmodified (so 1e40 would silently
+  // read as 0): reject it outright rather than guessing.
+  if (ec == std::errc::result_out_of_range)
+    fail(line_no, "feature value out of float range");
   if (ec != std::errc{} || next == p)
-    throw Error("read_xc: expected float feature value");
+    fail(line_no, "expected float feature value");
+  if (!std::isfinite(value))
+    fail(line_no, "non-finite feature value (NaN/Inf rejected)");
   p = next;
   return value;
 }
@@ -40,15 +59,19 @@ Dataset read_xc(std::istream& in, bool l2_normalize) {
   std::size_t num_samples = 0;
   Index feature_dim = 0, label_dim = 0;
   if (!(hs >> num_samples >> feature_dim >> label_dim))
-    throw Error("read_xc: malformed header line");
+    fail(1, "malformed header (expected <samples> <features> <labels>)");
+  if (feature_dim == 0 || label_dim == 0)
+    fail(1, "header dimensions must be positive");
 
   Dataset dataset(feature_dim, label_dim);
   dataset.reserve(num_samples);
 
   std::string line;
   for (std::size_t i = 0; i < num_samples; ++i) {
+    const std::size_t line_no = i + 2;  // 1-based; line 1 is the header
     if (!std::getline(in, line))
-      throw Error("read_xc: fewer data lines than the header declares");
+      throw Error("read_xc: line " + std::to_string(line_no) +
+                  ": fewer data lines than the header declares");
     if (!line.empty() && line.back() == '\r') line.pop_back();
 
     const char* p = line.data();
@@ -59,7 +82,12 @@ Dataset read_xc(std::istream& in, bool l2_normalize) {
     // the line starts with a space (unlabeled sample).
     if (p < end && *p != ' ') {
       for (;;) {
-        sample.labels.push_back(parse_index(p, end, "label list"));
+        const Index label = parse_index(p, end, "label list", line_no);
+        if (label >= label_dim)
+          fail(line_no, "label " + std::to_string(label) +
+                            " out of range (label_dim " +
+                            std::to_string(label_dim) + ")");
+        sample.labels.push_back(label);
         if (p < end && *p == ',') {
           ++p;
           continue;
@@ -71,11 +99,15 @@ Dataset read_xc(std::istream& in, bool l2_normalize) {
     for (;;) {
       skip_spaces(p, end);
       if (p >= end) break;
-      const Index idx = parse_index(p, end, "feature index");
+      const Index idx = parse_index(p, end, "feature index", line_no);
+      if (idx >= feature_dim)
+        fail(line_no, "feature index " + std::to_string(idx) +
+                          " out of range (feature_dim " +
+                          std::to_string(feature_dim) + ")");
       if (p >= end || *p != ':')
-        throw Error("read_xc: expected ':' after feature index");
+        fail(line_no, "expected ':' after feature index (truncated pair?)");
       ++p;
-      const float val = parse_float(p, end);
+      const float val = parse_float(p, end, line_no);
       sample.features.push_back(idx, val);
     }
     sample.features.compact();

@@ -19,8 +19,11 @@
 namespace slide {
 
 /// Parses a dataset in XC repository format. Throws slide::Error on
-/// malformed input. `l2_normalize` applies per-sample feature normalization
-/// (the preprocessing used by the reference implementation).
+/// malformed input — truncated index:value pairs, out-of-range label or
+/// feature indices, non-finite (NaN/Inf) feature values, integer overflow,
+/// and missing lines are all rejected with the offending 1-based line
+/// number in the message. `l2_normalize` applies per-sample feature
+/// normalization (the preprocessing used by the reference implementation).
 Dataset read_xc(std::istream& in, bool l2_normalize = true);
 Dataset read_xc_file(const std::string& path, bool l2_normalize = true);
 

@@ -9,15 +9,15 @@ namespace {
 
 double sampled_layers_sampling_seconds(Network& network) {
   double total = 0.0;
-  for (int i = 0; i < network.num_sampled_layers(); ++i)
-    total += network.layer(i).sampling_seconds();
+  for (int i = 0; i < network.stack_depth(); ++i)
+    total += network.stack(i).sampling_seconds();
   return total;
 }
 
 double sampled_layers_compute_seconds(Network& network) {
   double total = 0.0;
-  for (int i = 0; i < network.num_sampled_layers(); ++i)
-    total += network.layer(i).compute_seconds();
+  for (int i = 0; i < network.stack_depth(); ++i)
+    total += network.stack(i).compute_seconds();
   return total;
 }
 

@@ -140,4 +140,22 @@ std::uint64_t publish_clone(ModelStore& store, const Network& trained,
   return store.load_checkpoint(config, buffer, source, rebuild_threads);
 }
 
+std::uint64_t publish_clone_sharded(ModelStore& store, const Network& trained,
+                                    int shards, int rebuild_threads,
+                                    const std::string& source) {
+  SLIDE_CHECK(shards >= 0, "publish_clone_sharded: shards must be >= 0");
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights(trained, buffer);
+  buffer.seekg(0);
+  // Retarget every hashed layer at the requested shard count; the v3
+  // checkpoint loader scatters the trainer's blocks into the new partition
+  // by global row index, so the served weights are exactly the trainer's
+  // regardless of either side's sharding.
+  NetworkConfig config = trained.config();
+  for (LayerSpec& spec : config.layers) {
+    if (spec.hashed) spec.shards = shards;
+  }
+  return store.load_checkpoint(config, buffer, source, rebuild_threads);
+}
+
 }  // namespace slide

@@ -124,4 +124,16 @@ std::uint64_t publish_clone(ModelStore& store, const Network& trained,
                             Precision precision, int rebuild_threads = 0,
                             const std::string& source = "clone");
 
+/// publish_clone with a shard-count override: every hashed layer of the
+/// published snapshot is re-partitioned into `shards` model-parallel LSH
+/// shards (core/sharded_layer.h) regardless of how the trainer's network is
+/// laid out — the checkpoint-v3 loader reshards the weight blocks by global
+/// row index, so the served parameters are bit-identical to the trainer's.
+/// `shards` = 0 publishes the monolithic layout; this is how a v2-era
+/// monolithic model is re-published as a sharded serving snapshot (and how
+/// a sharded trainer publishes a monolithic one).
+std::uint64_t publish_clone_sharded(ModelStore& store, const Network& trained,
+                                    int shards, int rebuild_threads = 0,
+                                    const std::string& source = "reshard");
+
 }  // namespace slide

@@ -14,6 +14,7 @@
 #include "core/layer.h"                // IWYU pragma: export
 #include "core/network.h"              // IWYU pragma: export
 #include "core/serialize.h"            // IWYU pragma: export
+#include "core/sharded_layer.h"        // IWYU pragma: export
 #include "core/trainer.h"              // IWYU pragma: export
 #include "data/batching.h"             // IWYU pragma: export
 #include "data/dataset.h"              // IWYU pragma: export

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "data/batching.h"
+#include "sys/rng.h"
 #include "data/dataset.h"
 #include "data/sparse_vector.h"
 #include "data/synthetic.h"
@@ -171,6 +172,169 @@ TEST(XcReader, RejectsMalformedInput) {
   {
     std::istringstream in("1 4 3\n0 9:1.0\n");  // feature out of range
     EXPECT_THROW(read_xc(in), Error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// XC reader: property/fuzz tests. A seeded generator produces valid files,
+// injects one corruption from a catalogue of real-world failure shapes
+// (truncated pairs, out-of-range indices, NaN/Inf values, overflow, CRLF,
+// empty label tokens, missing lines), and asserts the reader rejects the
+// file with a line-numbered slide::Error — never UB, never silent
+// acceptance. The ASan+UBSan CI job runs this suite.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct XcFuzzFile {
+  std::string text;
+  std::size_t corrupted_line = 0;  // 1-based; 0 = corruption is file-level
+};
+
+std::string valid_data_line(Rng& rng, Index feature_dim, Index label_dim) {
+  std::string line;
+  const int num_labels = static_cast<int>(rng.uniform(3));  // 0..2
+  for (int l = 0; l < num_labels; ++l) {
+    if (l) line += ',';
+    line += std::to_string(rng.uniform(label_dim));
+  }
+  const int nnz = 1 + static_cast<int>(rng.uniform(4));
+  for (int f = 0; f < nnz; ++f) {
+    line += ' ';
+    line += std::to_string(rng.uniform(feature_dim));
+    line += ':';
+    line += std::to_string(0.25f * (1.0f + rng.uniform_float()));
+  }
+  return line;
+}
+
+/// Builds a valid file, then applies corruption `kind` (9 = file-level
+/// truncation). Every kind must make read_xc throw.
+XcFuzzFile make_corrupted(Rng& rng, int kind) {
+  const Index feature_dim = 5 + rng.uniform(50);
+  const Index label_dim = 2 + rng.uniform(20);
+  const std::size_t samples = 1 + rng.uniform(6);
+  std::vector<std::string> lines;
+  lines.push_back(std::to_string(samples) + ' ' +
+                  std::to_string(feature_dim) + ' ' +
+                  std::to_string(label_dim));
+  for (std::size_t i = 0; i < samples; ++i)
+    lines.push_back(valid_data_line(rng, feature_dim, label_dim));
+
+  XcFuzzFile file;
+  const std::size_t victim = 2 + rng.uniform(static_cast<Index>(samples));
+  file.corrupted_line = victim;
+  std::string& line = lines[victim - 1];
+  switch (kind) {
+    case 0:  // truncated pair: index with no value
+      line += ' ' + std::to_string(rng.uniform(feature_dim)) + ':';
+      break;
+    case 1:  // feature index out of range
+      line += ' ' + std::to_string(feature_dim + rng.uniform(1000)) + ":1.0";
+      break;
+    case 2:  // label out of range
+      line = std::to_string(label_dim + rng.uniform(1000)) + " 0:1.0";
+      break;
+    case 3:  // NaN feature value
+      line += " 1:nan";
+      break;
+    case 4:  // Inf feature value
+      line += rng.uniform(2) ? " 1:inf" : " 1:-inf";
+      break;
+    case 5:  // bad pair separator
+      line += " 1=0.5";
+      break;
+    case 6:  // empty label token (double comma)
+      line = "0,," + std::to_string(label_dim - 1) + " 0:1.0";
+      break;
+    case 7:  // negative feature index
+      line += " -3:1.0";
+      break;
+    case 8:  // integer overflow in the label list
+      line = "99999999999999999999 0:1.0";
+      break;
+    case 9:  // file-level: fewer data lines than the header declares
+      lines.pop_back();
+      file.corrupted_line = 0;
+      break;
+    default:
+      ADD_FAILURE() << "unknown corruption kind " << kind;
+  }
+  const char* eol = rng.uniform(2) ? "\r\n" : "\n";
+  for (const std::string& l : lines) file.text += l + eol;
+  return file;
+}
+
+}  // namespace
+
+TEST(XcReaderFuzz, SeededValidFilesAlwaysParse) {
+  Rng rng(20260730);
+  for (int round = 0; round < 60; ++round) {
+    const Index feature_dim = 5 + rng.uniform(50);
+    const Index label_dim = 2 + rng.uniform(20);
+    const std::size_t samples = 1 + rng.uniform(6);
+    std::string text = std::to_string(samples) + ' ' +
+                       std::to_string(feature_dim) + ' ' +
+                       std::to_string(label_dim) + '\n';
+    for (std::size_t i = 0; i < samples; ++i)
+      text += valid_data_line(rng, feature_dim, label_dim) + '\n';
+    std::istringstream in(text);
+    const Dataset d = read_xc(in, /*l2_normalize=*/false);
+    EXPECT_EQ(d.size(), samples);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (Index l : d[i].labels) EXPECT_LT(l, label_dim);
+      for (std::size_t k = 0; k < d[i].features.nnz(); ++k) {
+        EXPECT_LT(d[i].features.indices()[k], feature_dim);
+        EXPECT_TRUE(std::isfinite(d[i].features.values()[k]));
+      }
+    }
+  }
+}
+
+TEST(XcReaderFuzz, CorruptionsAreRejectedWithLineNumbers) {
+  Rng rng(42);
+  for (int round = 0; round < 40; ++round) {
+    for (int kind = 0; kind < 10; ++kind) {
+      const XcFuzzFile file = make_corrupted(rng, kind);
+      std::istringstream in(file.text);
+      try {
+        read_xc(in);
+        ADD_FAILURE() << "corruption kind " << kind
+                      << " was silently accepted:\n"
+                      << file.text;
+      } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line "), std::string::npos)
+            << "kind " << kind << ": error lacks a line number: " << what;
+        if (file.corrupted_line != 0) {
+          const std::string tag =
+              "line " + std::to_string(file.corrupted_line) + ":";
+          EXPECT_NE(what.find(tag), std::string::npos)
+              << "kind " << kind << ": expected \"" << tag
+              << "\" in: " << what << "\nfile:\n"
+              << file.text;
+        }
+      }
+    }
+  }
+}
+
+TEST(XcReaderFuzz, OverflowAndOutOfRangeFloatsAreRejected) {
+  {
+    std::istringstream in("1 4 3\n0 1:1e40\n");  // beyond float range
+    EXPECT_THROW(read_xc(in), Error);
+  }
+  {
+    // Overflowing feature index (fits in no uint32).
+    std::istringstream in("1 4 3\n0 4294967296:1.0\n");
+    EXPECT_THROW(read_xc(in), Error);
+  }
+  {
+    // Unlabeled CRLF line with a tab separator still parses.
+    std::istringstream in("1 4 3\r\n \t0:1.0\t2:0.5\r\n");
+    const Dataset d = read_xc(in, false);
+    EXPECT_TRUE(d[0].labels.empty());
+    EXPECT_EQ(d[0].features.nnz(), 2u);
   }
 }
 

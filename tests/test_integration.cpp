@@ -199,5 +199,96 @@ TEST(Integration, SimdToggleKeepsTrainingCorrect) {
   EXPECT_GT(run(false), 0.25);
 }
 
+// ---------------------------------------------------------------------------
+// Golden end-to-end determinism: a fixed-seed, single-threaded, sync-
+// maintenance, scalar-kernel 2-epoch train must reproduce the exact same
+// weights (FNV-1a digest) and clear an accuracy floor. This is the
+// regression tripwire that catches refactors which change numerics or RNG
+// consumption anywhere in the stack — beyond what unit-level parity tests
+// see. If a PR changes the trajectory *intentionally* (new init, different
+// sampling order), re-pin the digest printed in the failure message and
+// say why in the PR.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const float> data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t n = data.size() * sizeof(float);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t weight_digest(const Network& net) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = fnv1a(h, net.embedding().weights_span());
+  h = fnv1a(h, net.embedding().bias_span());
+  for (int i = 0; i < net.stack_depth(); ++i) {
+    const Layer& layer = net.stack(i);
+    for (int s = 0; s < layer.num_shards(); ++s) {
+      h = fnv1a(h, layer.shard_weights(s));
+      h = fnv1a(h, layer.shard_bias(s));
+    }
+  }
+  return h;
+}
+
+TEST(Integration, GoldenFixedSeedDigestAndAccuracyFloor) {
+  // Pin the dispatch to the scalar kernels: the digest must not depend on
+  // the host's vector ISA. (Restored on every exit path.)
+  struct LevelGuard {
+    simd::SimdLevel entry = simd::active_level();
+    ~LevelGuard() { simd::set_simd_level(entry); }
+  } guard;
+  simd::set_simd_level(simd::SimdLevel::kScalar);
+
+  const auto data = planted(1234);
+  auto run_once = [&]() -> std::pair<std::uint64_t, double> {
+    NetworkConfig cfg = slide_config(data, 24);
+    Network net(cfg, 1);
+    TrainerConfig tc;
+    tc.batch_size = 32;
+    tc.num_threads = 1;  // single-threaded: no HOGWILD accumulation races
+    tc.learning_rate = 5e-3f;
+    tc.seed = 99;
+    Trainer trainer(net, tc);
+    // 2 epochs over 800 samples at batch 32.
+    trainer.train(data.train, 2 * 25);
+    const double acc =
+        evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
+    return {weight_digest(net), acc};
+  };
+
+  // Hard determinism: two in-process runs must agree to the last bit —
+  // any RNG misuse, uninitialized read, or state leaking between
+  // constructions shows up here, in every build flavor.
+  const auto [digest, acc] = run_once();
+  const auto [digest2, acc2] = run_once();
+  EXPECT_EQ(digest, digest2) << "fixed-seed training is not deterministic";
+  EXPECT_EQ(acc, acc2);
+  EXPECT_GE(acc, 0.35) << "accuracy floor breached (got " << acc << ")";
+
+  // Cross-PR drift tripwire: the digest is additionally pinned, but only
+  // in the build flavor it was recorded under — optimized -march=native on
+  // an AVX-512 host, where the compiler's FMA-contraction and
+  // auto-vectorization choices for the -O3 training loops match the
+  // reference (pinning SLIDE_SIMD_LEVEL only fixes the dispatch table, not
+  // the codegen of the surrounding loops). Debug, SLIDE_PORTABLE, and
+  // non-AVX-512 hosts legitimately produce a different — still
+  // deterministic, still floor-checked — trajectory and skip the pin.
+#if defined(NDEBUG) && defined(__FMA__) && defined(__AVX512F__)
+  const std::uint64_t kPinnedDigest = 0x661863b285ffb6eeull;
+  EXPECT_EQ(digest, kPinnedDigest)
+      << "golden weight digest moved: got 0x" << std::hex << digest
+      << " — if the numeric trajectory changed intentionally, re-pin "
+         "kPinnedDigest to this value";
+#else
+  std::printf("[golden] digest 0x%llx (pin checked only in native AVX-512 "
+              "Release builds)\n",
+              static_cast<unsigned long long>(digest));
+#endif
+}
+
 }  // namespace
 }  // namespace slide
