@@ -15,6 +15,11 @@
 //                     the scoring path reads half the weight bytes (the
 //                     footprint report below shows the exact numbers)
 //                     while training/checkpoints stay fp32
+//     --dist N        serve the wide output layer from N shard worker
+//                     threads over loopback TCP (src/dist/): the snapshot
+//                     boots a DistributedSampledLayer that pushes the
+//                     checkpoint weights to the workers, and the stats
+//                     table grows bytes-on-wire + shard-health rows
 //
 // The driver trains a SLIDE model on a synthetic Delicious-like XC
 // dataset (SLIDE_BENCH_SCALE widens it), checkpoints it, boots a
@@ -48,6 +53,7 @@ struct Options {
   long iters = 300;
   bool exact = false;
   Precision precision = Precision::kFP32;
+  int dist = 0;
 };
 
 Options parse(int argc, char** argv) {
@@ -68,6 +74,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--iters") opt.iters = std::stol(next());
     else if (arg == "--exact") opt.exact = true;
     else if (arg == "--precision") opt.precision = parse_precision(next().c_str());
+    else if (arg == "--dist") opt.dist = std::stoi(next());
     else throw Error("unknown option: " + arg);
   }
   SLIDE_CHECK(opt.workers > 0, "--workers must be positive");
@@ -78,6 +85,7 @@ Options parse(int argc, char** argv) {
   SLIDE_CHECK(opt.topk > 0, "--topk must be positive");
   SLIDE_CHECK(opt.seconds > 0, "--seconds must be positive");
   SLIDE_CHECK(opt.iters >= 0, "--iters must be non-negative");
+  SLIDE_CHECK(opt.dist >= 0, "--dist must be non-negative");
   return opt;
 }
 
@@ -171,6 +179,26 @@ int main(int argc, char** argv) {
   // bytes); the trainer's network is untouched either way.
   NetworkConfig serve_net_cfg = net_cfg;
   serve_net_cfg.precision = opt.precision;
+  // --dist N: host N shard workers on background threads and point the
+  // serving config's wide layer at them. The checkpoint loader then builds
+  // a DistributedSampledLayer and pushes each shard's weights to its worker
+  // (kSetShardWeights) — the trainer's parameters, served model-parallel.
+  // Declared before the store so the workers outlive the layer's shutdown.
+  std::vector<std::unique_ptr<dist::InProcessWorker>> shard_workers;
+  if (opt.dist > 0) {
+    std::vector<std::string> endpoints;
+    for (int s = 0; s < opt.dist; ++s) {
+      shard_workers.push_back(
+          std::make_unique<dist::InProcessWorker>("tcp:127.0.0.1:0"));
+      endpoints.push_back(shard_workers.back()->endpoint());
+    }
+    for (LayerSpec& spec : serve_net_cfg.layers) {
+      if (!spec.hashed) continue;
+      spec.shards = 0;
+      spec.endpoints = endpoints;
+    }
+    std::printf("[dist] %d shard workers on loopback TCP\n", opt.dist);
+  }
   auto store = ModelStore::from_checkpoint_file(serve_net_cfg, checkpoint);
   std::printf("[store] loaded %s (version %llu, precision %s, simd %s)\n",
               checkpoint.c_str(),
@@ -220,6 +248,13 @@ int main(int argc, char** argv) {
   //    middle: train further, publish, traffic never pauses.
   std::printf("\n[phase 2] load + concurrent train-and-swap\n");
   std::thread swapper([&] {
+    // The shard workers accept exactly one coordinator connection, so the
+    // distributed snapshot cannot be hot-swapped from here — phase 2 then
+    // measures steady-state under the same load instead.
+    if (opt.dist > 0) {
+      std::printf("  [swap] skipped (--dist serves a fixed worker fleet)\n");
+      return;
+    }
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long>(opt.seconds * 300)));
     trainer.train(data.train, std::max(50L, opt.iters / 4));

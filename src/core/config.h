@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/activation.h"
@@ -99,6 +100,20 @@ struct LayerSpec {
   /// parity anchor: bit-identical to the monolithic layer under sync
   /// maintenance. Requires `hashed`.
   int shards = 0;
+
+  /// Multi-process model parallelism (src/dist/): non-empty builds a
+  /// DistributedSampledLayer with one shard worker per endpoint
+  /// ("tcp:host:port" or "shm:path"), partitioned exactly like `shards =
+  /// endpoints.size()`. Requires `hashed`; mutually exclusive with
+  /// `shards`.
+  std::vector<std::string> endpoints;
+  /// Compress activation/error value runs to bf16 on the wire (distributed
+  /// only). Halves hot-path bytes; breaks bit-exactness vs in-process.
+  bool wire_bf16 = false;
+  /// Non-empty (distributed only): workers boot their weights from
+  /// per-shard checkpoint files "<base>.shard<s>of<n>" on their own
+  /// filesystem instead of random init.
+  std::string shard_checkpoint_base;
 
   /// Weight init stddev; 0 selects 2/sqrt(fan_in).
   float init_stddev = 0.0f;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/sharded_layer.h"
+#include "dist/distributed_layer.h"
 #include "simd/kernels.h"
 #include "sys/prefetch.h"
 #include "sys/timer.h"
@@ -113,6 +114,8 @@ const char* to_string(LayerKind kind) {
       return "random_sampled";
     case LayerKind::kSharded:
       return "sharded";
+    case LayerKind::kDistributed:
+      return "distributed";
   }
   return "?";
 }
@@ -865,12 +868,26 @@ void SampledLayer::forward_inference(std::span<const Index> prev_ids,
                                      VisitedSet& visited,
                                      std::vector<Index>& ids_out,
                                      std::vector<float>& act_out) const {
+  forward_inference_budgeted(prev_ids, prev_act, exact, rng, visited,
+                             /*budget_override=*/0, ids_out, act_out);
+}
+
+void SampledLayer::forward_inference_budgeted(
+    std::span<const Index> prev_ids, std::span<const float> prev_act,
+    bool exact, Rng& rng, VisitedSet& visited, Index budget_override,
+    std::vector<Index>& ids_out, std::vector<float>& act_out) const {
   ids_out.clear();
   if (exact || !config_.hashed) {
     ids_out.resize(units_);
     std::iota(ids_out.begin(), ids_out.end(), Index{0});
   } else {
-    const Index target = std::min<Index>(config_.sampling.target, units_);
+    Index target = std::min<Index>(config_.sampling.target, units_);
+    // Candidate budget: the per-query override (distributed coordinator)
+    // wins over the configured knob; either caps the sampling target.
+    const Index budget = budget_override > 0
+                             ? budget_override
+                             : config_.sampling.inference_budget;
+    if (budget > 0) target = std::min(target, budget);
     thread_local std::vector<std::uint32_t> keys;
     keys.resize(static_cast<std::size_t>(tables_->l()));
     if (prev_ids.empty()) {
@@ -977,6 +994,11 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
               "make_layer: hashed and random_sampled are exclusive");
   SLIDE_CHECK(spec.shards == 0 || spec.hashed,
               "make_layer: shards requires an LSH-sampled (hashed) layer");
+  SLIDE_CHECK(spec.endpoints.empty() || spec.hashed,
+              "make_layer: distributed endpoints require an LSH-sampled "
+              "(hashed) layer");
+  SLIDE_CHECK(spec.endpoints.empty() || spec.shards == 0,
+              "make_layer: endpoints and shards are exclusive");
   if (spec.hashed) {
     SampledLayer::Config cfg;
     cfg.units = spec.units;
@@ -994,6 +1016,13 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
     cfg.adam = adam;
     cfg.precision = precision;
     cfg.seed = seed;
+    if (!spec.endpoints.empty()) {
+      dist::DistributedOptions options;
+      options.wire_bf16 = spec.wire_bf16;
+      options.shard_checkpoint_base = spec.shard_checkpoint_base;
+      return std::make_unique<dist::DistributedSampledLayer>(
+          cfg, spec.endpoints, batch_slots, options);
+    }
     if (spec.shards >= 1) {
       return std::make_unique<ShardedSampledLayer>(cfg, spec.shards,
                                                    batch_slots, max_threads);

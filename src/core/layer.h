@@ -67,7 +67,13 @@ struct ActiveSet {
 // ---------------------------------------------------------------------------
 
 /// Concrete type of a stack layer (diagnostics, checkpoint tooling).
-enum class LayerKind { kDense, kSampled, kRandomSampled, kSharded };
+enum class LayerKind {
+  kDense,
+  kSampled,
+  kRandomSampled,
+  kSharded,
+  kDistributed,
+};
 
 const char* to_string(LayerKind kind);
 
@@ -396,6 +402,18 @@ class SampledLayer : public Layer {
                          Rng& rng, VisitedSet& visited,
                          std::vector<Index>& ids_out,
                          std::vector<float>& act_out) const override;
+
+  /// forward_inference with a per-query candidate-budget override: when
+  /// `budget_override` > 0 it caps the sampling target for this query (the
+  /// distributed coordinator's per-shard split of a global budget);
+  /// 0 falls back to config().sampling.inference_budget, then the target.
+  /// Exact mode ignores the budget (all units are scored by request).
+  void forward_inference_budgeted(std::span<const Index> prev_ids,
+                                  std::span<const float> prev_act, bool exact,
+                                  Rng& rng, VisitedSet& visited,
+                                  Index budget_override,
+                                  std::vector<Index>& ids_out,
+                                  std::vector<float>& act_out) const;
 
   /// Softmax + cross-entropy over the slot's active neurons with the given
   /// true labels (which must be the first entries of the active set, i.e.

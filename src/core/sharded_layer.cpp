@@ -17,6 +17,60 @@ constexpr std::uint64_t kShardSeedStride = 0x9E3779B97F4A7C15ull;
 
 }  // namespace
 
+std::vector<Index> shard_partition(Index units, int shards) {
+  SLIDE_CHECK(shards >= 1, "shard_partition: shards must be >= 1");
+  SLIDE_CHECK(units >= static_cast<Index>(shards),
+              "shard_partition: more shards than units");
+  // Near-equal contiguous partition: the first units % shards shards own
+  // one extra row. Deterministic in (units, shards), which is what lets a
+  // checkpoint loader recompute any writer's partition from the block
+  // sizes alone.
+  const Index base = units / static_cast<Index>(shards);
+  const Index rem = units % static_cast<Index>(shards);
+  std::vector<Index> offsets;
+  offsets.reserve(static_cast<std::size_t>(shards) + 1);
+  offsets.push_back(0);
+  for (int s = 0; s < shards; ++s)
+    offsets.push_back(offsets.back() + base +
+                      (s < static_cast<int>(rem) ? 1 : 0));
+  return offsets;
+}
+
+SampledLayer::Config derive_shard_config(const SampledLayer::Config& global,
+                                         Index shard_size, int shard_index) {
+  const Index units = global.units;
+  SampledLayer::Config sc = global;
+  sc.units = shard_size;
+  // Proportional share of the global sampling target, rounded up so the
+  // merged active count lands at or slightly above the monolithic
+  // target. shards = 1 keeps the target exactly.
+  const Index global_target = std::min<Index>(global.sampling.target, units);
+  sc.sampling.target = static_cast<Index>(
+      (static_cast<std::uint64_t>(global_target) * shard_size + units - 1) /
+      units);
+  // The inference candidate budget is global too: split it the same way so
+  // the summed per-shard candidate counts land at ~budget instead of
+  // budget x S (the shard oversampling fix; 0 = knob off).
+  if (global.sampling.inference_budget > 0) {
+    const Index global_budget =
+        std::min<Index>(global.sampling.inference_budget, units);
+    sc.sampling.inference_budget = static_cast<Index>(
+        (static_cast<std::uint64_t>(global_budget) * shard_size + units - 1) /
+        units);
+  }
+  // Keep per-bucket occupancy constant across shard counts: a shard
+  // holding 1/S of the rows gets tables with ~1/S of the buckets
+  // (floored), so total table memory — and the fixed clear/allocate cost
+  // of every rebuild — stays flat as S grows instead of multiplying.
+  // shards = 1 keeps the configured range exactly (bit-identity anchor).
+  int pow_shrink = 0;
+  while ((units >> (pow_shrink + 1)) >= shard_size) ++pow_shrink;
+  sc.table.range_pow = std::max(4, global.table.range_pow - pow_shrink);
+  sc.seed = global.seed +
+            kShardSeedStride * static_cast<std::uint64_t>(shard_index);
+  return sc;
+}
+
 ShardedSampledLayer::ShardedSampledLayer(const SampledLayer::Config& config,
                                          int shards, int batch_slots,
                                          int max_threads)
@@ -25,42 +79,12 @@ ShardedSampledLayer::ShardedSampledLayer(const SampledLayer::Config& config,
               "ShardedSampledLayer: sharding requires an LSH (hashed) layer");
   SLIDE_CHECK(!config.random_sampled,
               "ShardedSampledLayer: random_sampled cannot be sharded");
-  SLIDE_CHECK(shards >= 1, "ShardedSampledLayer: shards must be >= 1");
-  SLIDE_CHECK(units_ >= static_cast<Index>(shards),
-              "ShardedSampledLayer: more shards than units");
-
-  // Near-equal contiguous partition: the first units % shards shards own
-  // one extra row. Deterministic in (units, shards), which is what lets a
-  // checkpoint loader recompute any writer's partition from the block
-  // sizes alone.
-  const Index base = units_ / static_cast<Index>(shards);
-  const Index rem = units_ % static_cast<Index>(shards);
-  offsets_.reserve(static_cast<std::size_t>(shards) + 1);
-  offsets_.push_back(0);
-  const Index global_target = std::min<Index>(config.sampling.target, units_);
+  offsets_ = shard_partition(units_, shards);
   for (int s = 0; s < shards; ++s) {
-    const Index size = base + (s < static_cast<int>(rem) ? 1 : 0);
-    offsets_.push_back(offsets_.back() + size);
-
-    SampledLayer::Config sc = config;
-    sc.units = size;
-    // Proportional share of the global sampling target, rounded up so the
-    // merged active count lands at or slightly above the monolithic
-    // target. shards = 1 keeps the target exactly.
-    sc.sampling.target = static_cast<Index>(
-        (static_cast<std::uint64_t>(global_target) * size + units_ - 1) /
-        units_);
-    // Keep per-bucket occupancy constant across shard counts: a shard
-    // holding 1/S of the rows gets tables with ~1/S of the buckets
-    // (floored), so total table memory — and the fixed clear/allocate cost
-    // of every rebuild — stays flat as S grows instead of multiplying.
-    // shards = 1 keeps the configured range exactly (bit-identity anchor).
-    int pow_shrink = 0;
-    while ((units_ >> (pow_shrink + 1)) >= size) ++pow_shrink;
-    sc.table.range_pow = std::max(4, config.table.range_pow - pow_shrink);
-    sc.seed = config.seed + kShardSeedStride * static_cast<std::uint64_t>(s);
-    shards_.push_back(
-        std::make_unique<SampledLayer>(sc, batch_slots, max_threads));
+    const Index size = offsets_[static_cast<std::size_t>(s) + 1] -
+                       offsets_[static_cast<std::size_t>(s)];
+    shards_.push_back(std::make_unique<SampledLayer>(
+        derive_shard_config(config, size, s), batch_slots, max_threads));
   }
   slots_.resize(static_cast<std::size_t>(batch_slots));
 }

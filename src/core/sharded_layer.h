@@ -41,6 +41,23 @@
 
 namespace slide {
 
+/// Deterministic near-equal contiguous partition of `units` into `shards`
+/// row ranges: returns shards + 1 offsets (offsets[0] == 0, back() ==
+/// units); the first units % shards shards own one extra row. Checkpoint
+/// loaders and the distributed coordinator recompute any writer's partition
+/// from (units, shards) alone.
+std::vector<Index> shard_partition(Index units, int shards);
+
+/// Derives the config of one shard from the GLOBAL layer config: shard_size
+/// units, proportional sampling target and inference budget (rounded up),
+/// per-bucket-occupancy-preserving range_pow shrink, and the golden-ratio
+/// seed stride (shard 0 keeps config.seed — the S = 1 bit-identity anchor).
+/// Single source of truth shared by ShardedSampledLayer and the distributed
+/// coordinator, so a remote shard is constructed bit-identically to its
+/// in-process twin.
+SampledLayer::Config derive_shard_config(const SampledLayer::Config& global,
+                                         Index shard_size, int shard_index);
+
 class ShardedSampledLayer final : public Layer {
  public:
   /// `config` describes the GLOBAL layer (total units, global sampling

@@ -1,0 +1,530 @@
+#include "dist/distributed_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/serialize.h"
+#include "simd/kernels.h"
+
+namespace slide::dist {
+
+namespace {
+
+/// WireActiveSet from the inference-path spans (empty prev_ids = dense set
+/// indexed by unit, the Layer::forward_inference convention).
+WireActiveSet capture_spans(std::span<const Index> prev_ids,
+                            std::span<const float> prev_act) {
+  WireActiveSet w;
+  if (prev_ids.empty()) {
+    w.dense_width = static_cast<Index>(prev_act.size());
+    for (std::size_t i = 0; i < prev_act.size(); ++i) {
+      if (prev_act[i] != 0.0f) {
+        w.ids.push_back(static_cast<Index>(i));
+        w.act.push_back(prev_act[i]);
+      }
+    }
+  } else {
+    w.ids.assign(prev_ids.begin(), prev_ids.end());
+    w.act.assign(prev_act.begin(), prev_act.begin() + prev_ids.size());
+  }
+  return w;
+}
+
+}  // namespace
+
+DistributedSampledLayer::DistributedSampledLayer(
+    const SampledLayer::Config& config,
+    const std::vector<std::string>& endpoints, int batch_slots,
+    const DistributedOptions& options)
+    : config_(config),
+      units_(config.units),
+      fan_in_(config.fan_in),
+      wire_bf16_(options.wire_bf16) {
+  SLIDE_CHECK(config.hashed,
+              "DistributedSampledLayer: requires an LSH (hashed) layer");
+  SLIDE_CHECK(!config.random_sampled,
+              "DistributedSampledLayer: random_sampled cannot be sharded");
+  SLIDE_CHECK(!endpoints.empty(),
+              "DistributedSampledLayer: at least one worker endpoint");
+  const int num = static_cast<int>(endpoints.size());
+  offsets_ = shard_partition(units_, num);
+  for (const std::string& ep : endpoints)
+    clients_.push_back(std::make_unique<ShardClient>(ep, options.client));
+  for (int s = 0; s < num; ++s) client(s).connect();
+  for (int s = 0; s < num; ++s) {
+    InitShardMsg init;
+    init.shard_index = s;
+    init.num_shards = num;
+    init.row_offset = offsets_[static_cast<std::size_t>(s)];
+    init.global_units = units_;
+    init.batch_slots = batch_slots;
+    init.config = derive_shard_config(
+        config,
+        offsets_[static_cast<std::size_t>(s) + 1] -
+            offsets_[static_cast<std::size_t>(s)],
+        s);
+    if (!options.shard_checkpoint_base.empty())
+      init.checkpoint_path =
+          shard_file_path(options.shard_checkpoint_base, s, num);
+    client(s).call(init.to_frame(), MsgType::kAck);
+  }
+  slots_.resize(static_cast<std::size_t>(batch_slots));
+  seg_sizes_.assign(static_cast<std::size_t>(batch_slots),
+                    std::vector<std::size_t>(static_cast<std::size_t>(num)));
+  cache_w_.resize(static_cast<std::size_t>(num));
+  cache_b_.resize(static_cast<std::size_t>(num));
+  refresh_checkpoint_cache();
+}
+
+DistributedSampledLayer::~DistributedSampledLayer() { shutdown_workers(); }
+
+int DistributedSampledLayer::shard_of(Index unit) const noexcept {
+  SLIDE_ASSERT(unit < units_);
+  return static_cast<int>(
+             std::upper_bound(offsets_.begin(), offsets_.end(), unit) -
+             offsets_.begin()) -
+         1;
+}
+
+// ---------------------------------------------------------------------------
+// Training path
+// ---------------------------------------------------------------------------
+
+void DistributedSampledLayer::forward(int slot, const ActiveSet& prev,
+                                      std::span<const Index> forced, Rng& rng,
+                                      VisitedSet& /*visited*/, int /*tid*/) {
+  // Same shape as ShardedSampledLayer::forward, with the per-shard select +
+  // score moved across the wire: the prev active set ships sparse, the
+  // coordinator's RNG state round-trips per shard in fixed shard order, so
+  // the consumed stream — and therefore the selected candidates — are
+  // identical to the in-process run. The worker keeps its own VisitedSet
+  // (forward begins a fresh epoch per shard either way).
+  const int num = shards();
+  ForwardMsg msg;
+  msg.slot = slot;
+  msg.prev = WireActiveSet::capture(prev);
+  std::vector<std::size_t>& segs = seg_sizes_[static_cast<std::size_t>(slot)];
+  ActiveSet& ms = slots_[static_cast<std::size_t>(slot)];
+  ms.ids.clear();
+  thread_local std::vector<float> acts;
+  acts.clear();
+  for (int s = 0; s < num; ++s) {
+    const Index lo = offsets_[static_cast<std::size_t>(s)];
+    const Index hi = offsets_[static_cast<std::size_t>(s) + 1];
+    msg.forced_local.clear();
+    for (Index f : forced) {
+      SLIDE_ASSERT(f < units_);
+      if (f >= lo && f < hi) msg.forced_local.push_back(f - lo);
+    }
+    msg.rng = rng.state();
+    const ForwardResp resp = ForwardResp::from_frame(
+        client(s).call(msg.to_frame(wire_bf16_), MsgType::kForwardResp));
+    rng.set_state(resp.rng);
+    SLIDE_CHECK(resp.ids.size() == resp.act.size(),
+                "distributed forward: mismatched id/act runs from shard");
+    segs[static_cast<std::size_t>(s)] = resp.ids.size();
+    for (Index id : resp.ids) ms.ids.push_back(lo + id);
+    acts.insert(acts.end(), resp.act.begin(), resp.act.end());
+  }
+  const std::size_t total = acts.size();
+  ms.act.resize(total);
+  std::copy(acts.begin(), acts.end(), ms.act.begin());
+  ms.err.assign(total, 0.0f);
+  active_sum_.fetch_add(total, std::memory_order_relaxed);
+  active_events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+float DistributedSampledLayer::compute_softmax_ce_deltas(
+    int slot, std::span<const Index> labels, float inv_batch) {
+  SLIDE_CHECK(config_.activation == Activation::kSoftmax,
+              "softmax deltas on a non-softmax layer");
+  ActiveSet& ms = slots_[static_cast<std::size_t>(slot)];
+  const std::size_t n = ms.ids.size();
+  if (n == 0) return 0.0f;
+
+  // Runs entirely on the coordinator over the merged active set — the
+  // normalizing constant spans all shards' candidates, so the loss surface
+  // is the in-process sharded (and monolithic) one.
+  simd::softmax_inplace(ms.act.data(), n);
+  for (std::size_t i = 0; i < n; ++i) ms.err[i] = ms.act[i] * inv_batch;
+
+  const std::vector<std::size_t>& segs =
+      seg_sizes_[static_cast<std::size_t>(slot)];
+  const int num = shards();
+  thread_local std::vector<std::size_t> seg_begin;
+  thread_local std::vector<Index> forced_seen;
+  seg_begin.assign(static_cast<std::size_t>(num), 0);
+  forced_seen.assign(static_cast<std::size_t>(num), 0);
+  std::size_t pos = 0;
+  for (int s = 0; s < num; ++s) {
+    seg_begin[static_cast<std::size_t>(s)] = pos;
+    pos += segs[static_cast<std::size_t>(s)];
+  }
+
+  const float y =
+      labels.empty() ? 0.0f : 1.0f / static_cast<float>(labels.size());
+  float loss = 0.0f;
+  for (Index label : labels) {
+    const int s = shard_of(label);
+    const std::size_t i = seg_begin[static_cast<std::size_t>(s)] +
+                          forced_seen[static_cast<std::size_t>(s)]++;
+    SLIDE_ASSERT(i < n && ms.ids[i] == label);
+    ms.err[i] -= y * inv_batch;
+    loss -= y * std::log(std::max(ms.act[i], 1e-30f));
+  }
+  return loss;
+}
+
+void DistributedSampledLayer::compute_relu_deltas(int slot) {
+  ActiveSet& ms = slots_[static_cast<std::size_t>(slot)];
+  const std::size_t n = ms.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ms.act[i] <= 0.0f) ms.err[i] = 0.0f;
+  }
+}
+
+void DistributedSampledLayer::backward(int slot, ActiveSet& prev,
+                                       int /*tid*/) {
+  // Sequential fold over the shards in fixed order: each request carries
+  // this shard's segment of the merged err plus the CURRENT prev.err, the
+  // worker accumulates its contributions in the in-process loop order, the
+  // response replaces prev.err and seeds the next shard. Identical FP
+  // rounding order to ShardedSampledLayer::backward's sequential loop.
+  // A failure here propagates — dropping one shard's gradients would
+  // silently corrupt the model.
+  const ActiveSet& ms = slots_[static_cast<std::size_t>(slot)];
+  const std::vector<std::size_t>& segs =
+      seg_sizes_[static_cast<std::size_t>(slot)];
+  const std::size_t pn = prev.size();
+  BackwardMsg msg;
+  msg.slot = slot;
+  std::size_t pos = 0;
+  for (int s = 0; s < shards(); ++s) {
+    const std::size_t n = segs[static_cast<std::size_t>(s)];
+    if (n > 0) {
+      msg.err.assign(ms.err.begin() + static_cast<std::ptrdiff_t>(pos),
+                     ms.err.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      msg.prev_err.assign(prev.err.begin(),
+                          prev.err.begin() + static_cast<std::ptrdiff_t>(pn));
+      const BackwardResp resp = BackwardResp::from_frame(client(s).call(
+          msg.to_frame(wire_bf16_), MsgType::kBackwardResp));
+      SLIDE_CHECK(resp.prev_err.size() == pn,
+                  "distributed backward: prev_err size changed in flight");
+      std::copy(resp.prev_err.begin(), resp.prev_err.end(),
+                prev.err.begin());
+    }
+    pos += n;
+  }
+}
+
+void DistributedSampledLayer::apply_updates(float lr, ThreadPool* /*pool*/) {
+  ApplyUpdatesMsg msg;
+  msg.lr = lr;
+  for (int s = 0; s < shards(); ++s)
+    client(s).call(msg.to_frame(), MsgType::kAck);
+}
+
+// ---------------------------------------------------------------------------
+// LSH lifecycle
+// ---------------------------------------------------------------------------
+
+bool DistributedSampledLayer::maybe_rebuild(long iteration,
+                                            ThreadPool* /*pool*/) {
+  // Each worker runs its own schedule (sync policies rebuild inline in the
+  // worker process — the S workers ARE the parallelism the in-process
+  // layer gets from its thread pool).
+  MaybeRebuildMsg msg;
+  msg.iteration = iteration;
+  bool fired = false;
+  for (int s = 0; s < shards(); ++s) {
+    fired |= MaybeRebuildResp::from_frame(
+                 client(s).call(msg.to_frame(), MsgType::kMaybeRebuildResp))
+                 .fired;
+  }
+  return fired;
+}
+
+void DistributedSampledLayer::rebuild_tables(ThreadPool* /*pool*/) {
+  for (int s = 0; s < shards(); ++s)
+    client(s).call(make_frame(MsgType::kRebuildTables), MsgType::kAck);
+}
+
+void DistributedSampledLayer::quiesce_maintenance() const {
+  for (int s = 0; s < shards(); ++s)
+    client(s).call(make_frame(MsgType::kQuiesce), MsgType::kAck);
+}
+
+void DistributedSampledLayer::flush_maintenance() {
+  for (int s = 0; s < shards(); ++s)
+    client(s).call(make_frame(MsgType::kFlushMaintenance), MsgType::kAck);
+  // The Layer contract says the model is "settled" after this — make the
+  // serialization surface (the coordinator cache) reflect the workers'
+  // current parameters.
+  refresh_checkpoint_cache();
+}
+
+// ---------------------------------------------------------------------------
+// Inference path (degraded mode: unhealthy shards are skipped)
+// ---------------------------------------------------------------------------
+
+void DistributedSampledLayer::forward_inference(
+    std::span<const Index> prev_ids, std::span<const float> prev_act,
+    bool exact, Rng& rng, VisitedSet& /*visited*/,
+    std::vector<Index>& ids_out, std::vector<float>& act_out) const {
+  ids_out.clear();
+  act_out.clear();
+  QueryTopkMsg msg;
+  msg.exact = exact;
+  // budget 0 = the shard's own config, which already carries its
+  // proportional split of the global inference budget (derive_shard_config).
+  msg.budget = 0;
+  msg.prev = capture_spans(prev_ids, prev_act);
+  for (int s = 0; s < shards(); ++s) {
+    ShardClient& c = client(s);
+    if (!c.healthy()) continue;
+    msg.rng = rng.state();
+    Frame rf;
+    try {
+      rf = c.call(msg.to_frame(wire_bf16_), MsgType::kQueryTopkResp);
+    } catch (const TransportError&) {
+      continue;  // degraded mode: answer from the surviving shards
+    }
+    const QueryTopkResp resp = QueryTopkResp::from_frame(rf);
+    rng.set_state(resp.rng);
+    const Index off = offsets_[static_cast<std::size_t>(s)];
+    for (Index id : resp.ids) ids_out.push_back(off + id);
+    act_out.insert(act_out.end(), resp.act.begin(), resp.act.end());
+  }
+}
+
+void DistributedSampledLayer::forward_inference_topk(
+    std::span<const Index> prev_ids, std::span<const float> prev_act, int k,
+    bool exact, Rng& rng, VisitedSet& /*visited*/, TopKScratch& scratch,
+    std::vector<Index>& out) const {
+  out.clear();
+  if (k < 1) return;
+  // The ShardedSampledLayer bounded-heap k-way merge, fed by RPC responses
+  // instead of in-process shard calls (same `better` order: descending
+  // score, ties toward the earlier candidate position).
+  auto better = [](const std::pair<float, std::uint64_t>& a,
+                   const std::pair<float, std::uint64_t>& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  };
+  std::vector<std::pair<float, std::uint64_t>>& heap = scratch.heap;
+  heap.clear();
+  const std::size_t cap = static_cast<std::size_t>(k);
+  std::uint64_t position = 0;
+  QueryTopkMsg msg;
+  msg.exact = exact;
+  msg.budget = 0;
+  msg.prev = capture_spans(prev_ids, prev_act);
+  for (int s = 0; s < shards(); ++s) {
+    ShardClient& c = client(s);
+    if (!c.healthy()) continue;
+    msg.rng = rng.state();
+    Frame rf;
+    try {
+      rf = c.call(msg.to_frame(wire_bf16_), MsgType::kQueryTopkResp);
+    } catch (const TransportError&) {
+      continue;  // degraded mode
+    }
+    const QueryTopkResp resp = QueryTopkResp::from_frame(rf);
+    rng.set_state(resp.rng);
+    const Index off = offsets_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < resp.ids.size(); ++i) {
+      const std::pair<float, std::uint64_t> cand{
+          resp.act[i],
+          (position << 32) | static_cast<std::uint64_t>(off + resp.ids[i])};
+      ++position;
+      if (heap.size() < cap) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), better);
+      } else if (better(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), better);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), better);
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);  // descending score
+  out.reserve(heap.size());
+  for (const auto& entry : heap)
+    out.push_back(static_cast<Index>(entry.second & 0xFFFFFFFFull));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+void DistributedSampledLayer::refresh_checkpoint_cache() {
+  for (int s = 0; s < shards(); ++s) {
+    FetchShardResp resp = fetch_shard(s);
+    SLIDE_CHECK(resp.row_offset == offsets_[static_cast<std::size_t>(s)] &&
+                    resp.fan_in == fan_in_,
+                "fetch_shard: worker topology does not match coordinator");
+    cache_w_[static_cast<std::size_t>(s)] = std::move(resp.weights);
+    cache_b_[static_cast<std::size_t>(s)] = std::move(resp.bias);
+  }
+}
+
+FetchShardResp DistributedSampledLayer::fetch_shard(int s) {
+  return FetchShardResp::from_frame(
+      client(s).call(make_frame(MsgType::kFetchShard),
+                     MsgType::kFetchShardResp));
+}
+
+void DistributedSampledLayer::checkpoint_shards(const std::string& base) {
+  CheckpointShardMsg msg;
+  for (int s = 0; s < shards(); ++s) {
+    msg.path = shard_file_path(base, s, shards());
+    client(s).call(msg.to_frame(), MsgType::kAck);
+  }
+}
+
+void DistributedSampledLayer::on_weights_loaded() noexcept {
+  for (int s = 0; s < shards(); ++s) {
+    SetShardWeightsMsg msg;
+    msg.weights = cache_w_[static_cast<std::size_t>(s)];
+    msg.bias = cache_b_[static_cast<std::size_t>(s)];
+    try {
+      client(s).call(msg.to_frame(), MsgType::kAck);
+    } catch (const Error&) {
+      // noexcept contract: the client marked itself unhealthy; the failure
+      // surfaces on the shard's next use.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Misc hooks
+// ---------------------------------------------------------------------------
+
+void DistributedSampledLayer::refresh_inference_mirror() noexcept {
+  for (int s = 0; s < shards(); ++s) {
+    try {
+      client(s).call(make_frame(MsgType::kRefreshMirror), MsgType::kAck);
+    } catch (const Error&) {
+    }
+  }
+}
+
+std::size_t DistributedSampledLayer::inference_weight_bytes() const noexcept {
+  const std::size_t weight_count = static_cast<std::size_t>(units_) * fan_in_;
+  const std::size_t bias_bytes = static_cast<std::size_t>(units_) *
+                                 sizeof(float);
+  if (config_.precision == Precision::kBF16)
+    return weight_count * 2 + bias_bytes;
+  return weight_count * sizeof(float) + bias_bytes;
+}
+
+LayerMemory DistributedSampledLayer::memory() const noexcept {
+  LayerMemory m;
+  for (int s = 0; s < shards(); ++s) {
+    m.master_bytes +=
+        (cache_w_[static_cast<std::size_t>(s)].size() +
+         cache_b_[static_cast<std::size_t>(s)].size()) *
+        sizeof(float);
+  }
+  return m;
+}
+
+void DistributedSampledLayer::set_use_locks(bool locks) noexcept {
+  SetUseLocksMsg msg;
+  msg.locks = locks;
+  for (int s = 0; s < shards(); ++s) {
+    try {
+      client(s).call(msg.to_frame(), MsgType::kAck);
+    } catch (const Error&) {
+    }
+  }
+}
+
+double DistributedSampledLayer::average_active_fraction() const {
+  const std::uint64_t events =
+      active_events_.load(std::memory_order_relaxed);
+  if (events == 0) return 0.0;
+  return static_cast<double>(active_sum_.load(std::memory_order_relaxed)) /
+         (static_cast<double>(events) * static_cast<double>(units_));
+}
+
+StatsResp DistributedSampledLayer::shard_stats(int s) const {
+  return StatsResp::from_frame(
+      client(s).call(make_frame(MsgType::kStats), MsgType::kStatsResp));
+}
+
+double DistributedSampledLayer::sampling_seconds() const {
+  double total = 0.0;
+  for (int s = 0; s < shards(); ++s) {
+    if (!client(s).healthy()) continue;
+    try {
+      total += shard_stats(s).sampling_seconds;
+    } catch (const Error&) {
+    }
+  }
+  return total;
+}
+
+double DistributedSampledLayer::compute_seconds() const {
+  double total = 0.0;
+  for (int s = 0; s < shards(); ++s) {
+    if (!client(s).healthy()) continue;
+    try {
+      total += shard_stats(s).compute_seconds;
+    } catch (const Error&) {
+    }
+  }
+  return total;
+}
+
+long DistributedSampledLayer::rebuild_count() const {
+  long total = 0;
+  for (int s = 0; s < shards(); ++s) {
+    if (!client(s).healthy()) continue;
+    try {
+      total += static_cast<long>(shard_stats(s).rebuild_count);
+    } catch (const Error&) {
+    }
+  }
+  return total;
+}
+
+long DistributedSampledLayer::delta_reinserted() const {
+  long total = 0;
+  for (int s = 0; s < shards(); ++s) {
+    if (!client(s).healthy()) continue;
+    try {
+      total += static_cast<long>(shard_stats(s).delta_reinserted);
+    } catch (const Error&) {
+    }
+  }
+  return total;
+}
+
+WireCounters DistributedSampledLayer::wire_counters() const noexcept {
+  WireCounters total{};
+  for (const auto& c : clients_) {
+    const WireCounters wc = c->counters();
+    total.bytes_sent += wc.bytes_sent;
+    total.bytes_received += wc.bytes_received;
+    total.frames_sent += wc.frames_sent;
+    total.frames_received += wc.frames_received;
+  }
+  return total;
+}
+
+int DistributedSampledLayer::unhealthy_shards() const noexcept {
+  int count = 0;
+  for (const auto& c : clients_) {
+    if (!c->healthy()) ++count;
+  }
+  return count;
+}
+
+void DistributedSampledLayer::shutdown_workers() noexcept {
+  for (const auto& c : clients_) {
+    if (c->healthy()) c->shutdown_worker();
+    c->close();
+  }
+}
+
+}  // namespace slide::dist

@@ -1,0 +1,236 @@
+// Multi-process model parallelism: the coordinator-side Layer.
+//
+// DistributedSampledLayer is ShardedSampledLayer with the shards moved out
+// of process: each of the S workers owns one contiguous row range of the
+// output layer as a full SampledLayer (own MaintainedTables, dirty-delta
+// queue, Adam state), and the coordinator fans every training/inference
+// step out over dist/client.h RPCs, exchanging only the sparse active sets
+// (Distributed SLIDE, arXiv:2201.12667: the activations that cross the
+// wire are the ~0.5% active neurons, not the dense layer).
+//
+// Equivalence contract (pinned by tests/test_dist.cpp): with bf16 wire
+// compression off, a run through S workers is bit-identical to
+// ShardedSampledLayer(S) under sync maintenance —
+//   * shard configs come from the same derive_shard_config,
+//   * the coordinator's Rng::State round-trips through every forward /
+//     query RPC, so workers consume the exact stream the in-process shards
+//     would,
+//   * the wire carries the prev active set sparsely but workers
+//     reconstruct the original dense/sparse shape before compute,
+//   * backward is a sequential fold over the shards in fixed order: each
+//     request ships the current prev.err, the worker accumulates its
+//     contributions in-process-identically, the response replaces
+//     prev.err — same FP rounding order as the in-process loop.
+//
+// Failure model: an unhealthy worker (RPC timeout exhausted, transport
+// gone) is skipped for INFERENCE — the layer keeps answering from the
+// surviving shards ("degraded mode"; unhealthy_shards() surfaces the count
+// through engine stats). TRAINING RPC failures propagate: silently
+// dropping one shard's gradients would corrupt the model.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_layer.h"
+#include "dist/client.h"
+
+namespace slide::dist {
+
+struct DistributedOptions {
+  /// Compress activation/error value runs to bf16 on the wire. Halves the
+  /// hot-path bytes; breaks bit-exactness vs the in-process layer.
+  bool wire_bf16 = false;
+  /// Non-empty: workers boot their weights from per-shard checkpoint files
+  /// "<base>.shard<s>of<n>" (core/serialize.h) that live on THEIR
+  /// filesystem; the path is shipped in kInitShard.
+  std::string shard_checkpoint_base;
+  ClientConfig client;
+};
+
+class DistributedSampledLayer final : public Layer {
+ public:
+  /// `config` describes the GLOBAL layer; one worker per endpoint
+  /// ("tcp:host:port" or "shm:path") receives the derive_shard_config
+  /// derivation for its row range via kInitShard. Dials, handshakes, and
+  /// initializes all workers; pulls the initial weights into the
+  /// coordinator-side checkpoint cache.
+  DistributedSampledLayer(const SampledLayer::Config& config,
+                          const std::vector<std::string>& endpoints,
+                          int batch_slots,
+                          const DistributedOptions& options = {});
+  ~DistributedSampledLayer() override;
+
+  // ---- Identity ----
+  LayerKind kind() const noexcept override { return LayerKind::kDistributed; }
+  Index units() const noexcept override { return units_; }
+  Index fan_in() const noexcept override { return fan_in_; }
+  Activation activation() const noexcept override {
+    return config_.activation;
+  }
+  const SampledLayer::Config& config() const noexcept { return config_; }
+
+  int shards() const noexcept { return static_cast<int>(clients_.size()); }
+  Index shard_offset(int s) const noexcept {
+    return offsets_[static_cast<std::size_t>(s)];
+  }
+  int shard_of(Index unit) const noexcept;
+  const std::string& shard_endpoint(int s) const noexcept {
+    return clients_[static_cast<std::size_t>(s)]->endpoint();
+  }
+
+  // ---- Training hooks (failures propagate — see failure model above) ----
+  void forward(int slot, const ActiveSet& prev, std::span<const Index> forced,
+               Rng& rng, VisitedSet& visited, int tid) override;
+  float compute_softmax_ce_deltas(int slot, std::span<const Index> labels,
+                                  float inv_batch) override;
+  void compute_relu_deltas(int slot) override;
+  void backward(int slot, ActiveSet& prev, int tid) override;
+  void apply_updates(float lr, ThreadPool* pool) override;
+
+  // ---- LSH lifecycle (remote: each worker runs its own schedule) ----
+  bool maybe_rebuild(long iteration, ThreadPool* pool) override;
+  void rebuild_tables(ThreadPool* pool) override;
+  void quiesce_maintenance() const override;
+  /// Drains worker-side maintenance, then refreshes the coordinator-side
+  /// checkpoint cache — after this, save_weights serializes the workers'
+  /// current parameters (the "settled model" contract of Layer).
+  void flush_maintenance() override;
+
+  // ---- Inference hooks (degraded mode: unhealthy shards are skipped) ----
+  void forward_inference(std::span<const Index> prev_ids,
+                         std::span<const float> prev_act, bool exact,
+                         Rng& rng, VisitedSet& visited,
+                         std::vector<Index>& ids_out,
+                         std::vector<float>& act_out) const override;
+  void forward_inference_topk(std::span<const Index> prev_ids,
+                              std::span<const float> prev_act, int k,
+                              bool exact, Rng& rng, VisitedSet& visited,
+                              TopKScratch& scratch,
+                              std::vector<Index>& out) const override;
+
+  // ---- Per-slot state (the merged, globally-indexed active set) ----
+  ActiveSet& slot(int s) override {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+  const ActiveSet& slot(int s) const override {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+
+  // ---- Serialize hooks ----
+  // The checkpoint surface is the coordinator-side cache: one weight/bias
+  // block per shard, refreshed from the workers by flush_maintenance() /
+  // refresh_checkpoint_cache() and pushed BACK to the workers by
+  // on_weights_loaded(). With that round-trip, checkpoint v3's per-shard
+  // blocks map 1:1 onto worker-owned state and a distributed network
+  // saves/loads through the standard core/serialize path.
+  std::span<float> weights_span() noexcept override { return {}; }
+  std::span<const float> weights_span() const noexcept override { return {}; }
+  std::span<float> bias_span() noexcept override { return {}; }
+  std::span<const float> bias_span() const noexcept override { return {}; }
+
+  int num_shards() const noexcept override { return shards(); }
+  Index shard_row_offset(int s) const noexcept override {
+    return shard_offset(s);
+  }
+  std::span<float> shard_weights(int s) noexcept override {
+    auto& w = cache_w_[static_cast<std::size_t>(s)];
+    return {w.data(), w.size()};
+  }
+  std::span<const float> shard_weights(int s) const noexcept override {
+    const auto& w = cache_w_[static_cast<std::size_t>(s)];
+    return {w.data(), w.size()};
+  }
+  std::span<float> shard_bias(int s) noexcept override {
+    auto& b = cache_b_[static_cast<std::size_t>(s)];
+    return {b.data(), b.size()};
+  }
+  std::span<const float> shard_bias(int s) const noexcept override {
+    const auto& b = cache_b_[static_cast<std::size_t>(s)];
+    return {b.data(), b.size()};
+  }
+
+  /// Pushes the checkpoint cache (just rewritten by load_weights) into the
+  /// workers: kSetShardWeights + table rebuild per shard. noexcept per the
+  /// Layer contract — an RPC failure marks the shard unhealthy and is
+  /// surfaced on its next use.
+  void on_weights_loaded() noexcept override;
+  std::size_t num_parameters() const noexcept override {
+    return static_cast<std::size_t>(units_) * fan_in_ + units_;
+  }
+
+  /// Re-pulls every worker's current weights into the checkpoint cache
+  /// (kFetchShard per shard) so a following save_weights serializes live
+  /// parameters.
+  void refresh_checkpoint_cache();
+
+  /// Tells every worker to write its own per-shard checkpoint file
+  /// "<base>.shard<s>of<n>" on ITS filesystem (kCheckpointShard). The
+  /// cluster restart path: workers later boot from these files via
+  /// DistributedOptions::shard_checkpoint_base, no weight bytes cross the
+  /// wire.
+  void checkpoint_shards(const std::string& base);
+
+  /// One worker's full parameter block (tests, diagnostics).
+  FetchShardResp fetch_shard(int s);
+
+  // ---- Quantized inference ----
+  Precision inference_precision() const noexcept override {
+    return config_.precision;
+  }
+  void refresh_inference_mirror() noexcept override;
+  std::size_t inference_weight_bytes() const noexcept override;
+  /// Coordinator-resident bytes only (the checkpoint cache); the shard
+  /// weights, mirrors, and Adam state live in the worker processes.
+  LayerMemory memory() const noexcept override;
+
+  void set_use_locks(bool locks) noexcept override;
+  double average_active_fraction() const override;
+  double sampling_seconds() const override;
+  double compute_seconds() const override;
+
+  // ---- Distributed diagnostics ----
+  /// Summed wire traffic across all shard clients.
+  WireCounters wire_counters() const noexcept;
+  /// Shards currently marked unresponsive/gone (degraded-mode health flag).
+  int unhealthy_shards() const noexcept;
+  /// One worker's StatsResp (throws if the shard is unhealthy).
+  StatsResp shard_stats(int s) const;
+  long rebuild_count() const;
+  long delta_reinserted() const;
+
+  /// Sends kShutdown to every worker (best effort) and closes the clients.
+  /// The destructor calls this; explicit for tests that assert clean exits.
+  void shutdown_workers() noexcept;
+
+ private:
+  ShardClient& client(int s) const {
+    return *clients_[static_cast<std::size_t>(s)];
+  }
+
+  SampledLayer::Config config_;  // the global (pre-partition) config
+  Index units_;
+  Index fan_in_;
+  bool wire_bf16_;
+  std::vector<Index> offsets_;  // size shards() + 1; offsets_[0] == 0
+  /// Mutable: const hooks (quiesce, stats, inference) still do RPC.
+  mutable std::vector<std::unique_ptr<ShardClient>> clients_;
+
+  std::vector<ActiveSet> slots_;  // merged active sets, global ids
+  /// Per-slot, per-shard active-segment lengths of the last forward (the
+  /// in-process layer reads shard(s).slot(slot).size(); here the segment
+  /// boundaries must survive between forward and backward).
+  std::vector<std::vector<std::size_t>> seg_sizes_;
+
+  /// Coordinator-side checkpoint cache (see serialize hooks above).
+  std::vector<std::vector<float>> cache_w_;
+  std::vector<std::vector<float>> cache_b_;
+
+  // Active-fraction diagnostic, tracked at the merge point.
+  mutable std::atomic<std::uint64_t> active_sum_{0};
+  mutable std::atomic<std::uint64_t> active_events_{0};
+};
+
+}  // namespace slide::dist

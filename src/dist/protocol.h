@@ -1,0 +1,282 @@
+// RPC protocol between the coordinator (DistributedSampledLayer) and shard
+// workers (ShardWorker), layered on dist/frame.h frames.
+//
+// One request frame -> one response frame, strictly in order per transport
+// (the client serializes whole exchanges). The coordinator drives; workers
+// only answer. Message catalog:
+//
+//   request            response            carries
+//   kHello             kHelloOk            protocol version handshake
+//   kInitShard         kAck                per-shard SampledLayer::Config +
+//                                          topology (+ checkpoint to load)
+//   kForwardActive     kForwardResp        RNG state + forced labels + prev
+//                                          active set (sparse pairs) ->
+//                                          shard-local actives + RNG state
+//   kBackwardScatter   kBackwardResp       merged err segment + current
+//                                          prev.err -> updated prev.err
+//   kApplyUpdates      kAck                learning rate
+//   kMaybeRebuild      kMaybeRebuildResp   iteration -> fired?
+//   kRebuildTables     kAck
+//   kQuiesce           kAck
+//   kFlushMaintenance  kAck
+//   kRefreshMirror     kAck
+//   kSetUseLocks       kAck
+//   kQueryTopk         kQueryTopkResp      inference candidates (budgeted)
+//   kCheckpointShard   kAck                worker writes its shard file
+//   kFetchShard        kFetchShardResp     weights + bias (tests, rescatter)
+//   kSetShardWeights   kAck                coordinator pushes weights + bias
+//                                          (checkpoint-v3 load path)
+//   kStats             kStatsResp          shard diagnostics
+//   kShutdown          kAck                worker exits its serve loop
+//   any                kErrorResp          worker-side slide::Error text
+//
+// Bit-exactness contract (what makes a 2-worker run reproduce
+// ShardedSampledLayer(S=2) bit for bit, pinned by tests/test_dist.cpp):
+//   * kForwardActive / kQueryTopk round-trip the coordinator's Rng::State,
+//     so the remote shard consumes the exact RNG stream the in-process
+//     shard would have.
+//   * The prev active set travels as sparse {index, value} pairs but is
+//     reconstructed into its original dense/sparse shape before compute —
+//     sparse on the wire, identical math in the shard.
+//   * kBackwardScatter is a sequential fold: the request carries the
+//     current prev.err, the worker accumulates its contributions in the
+//     same loop order as the in-process shard, the response replaces
+//     prev.err. Shard order is fixed, so FP rounding order is identical.
+//
+// Values (activations, errors, weights) may optionally travel bf16
+// (kFlagBf16Values) — halves the hot-path bytes at the cost of exactness;
+// off by default and off in the equivalence tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layer.h"
+#include "dist/frame.h"
+#include "sys/rng.h"
+
+namespace slide::dist {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kInitShard = 3,
+  kForwardActive = 4,
+  kForwardResp = 5,
+  kBackwardScatter = 6,
+  kBackwardResp = 7,
+  kApplyUpdates = 8,
+  kMaybeRebuild = 9,
+  kMaybeRebuildResp = 10,
+  kRebuildTables = 11,
+  kQuiesce = 12,
+  kFlushMaintenance = 13,
+  kRefreshMirror = 14,
+  kSetUseLocks = 15,
+  kQueryTopk = 16,
+  kQueryTopkResp = 17,
+  kCheckpointShard = 18,
+  kFetchShard = 19,
+  kFetchShardResp = 20,
+  kStats = 21,
+  kStatsResp = 22,
+  kShutdown = 23,
+  kAck = 24,
+  kErrorResp = 25,
+  kSetShardWeights = 26,
+};
+
+const char* to_string(MsgType type);
+
+/// Frame type byte -> MsgType with validation (kBadFormat on unknown).
+MsgType msg_type_of(const Frame& frame);
+
+/// An empty-payload frame of the given type (kAck, kQuiesce, ...).
+Frame make_frame(MsgType type);
+
+// ---------------------------------------------------------------------------
+// Field codecs shared by the message structs
+// ---------------------------------------------------------------------------
+
+void write_rng_state(PayloadWriter& w, const Rng::State& st);
+Rng::State read_rng_state(PayloadReader& r);
+
+void write_layer_config(PayloadWriter& w, const SampledLayer::Config& c);
+SampledLayer::Config read_layer_config(PayloadReader& r);
+
+/// The previous layer's active set as it crosses the wire: sparse
+/// {index, value} pairs plus the dense width needed to reconstruct the
+/// original shape (dense_width > 0 means "dense set of that width; the
+/// pairs are its nonzeros").
+struct WireActiveSet {
+  Index dense_width = 0;
+  std::vector<Index> ids;
+  std::vector<float> act;
+
+  /// Captures `prev` for the wire, dropping zeros of a dense set.
+  static WireActiveSet capture(const ActiveSet& prev);
+  /// Rebuilds the original dense/sparse shape into `out` (err zeroed).
+  void reconstruct(ActiveSet& out) const;
+
+  void write(PayloadWriter& w, bool bf16) const;
+  void read(PayloadReader& r, bool bf16);
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+
+  Frame to_frame() const;
+  static HelloMsg from_frame(const Frame& f);
+};
+
+struct InitShardMsg {
+  std::int32_t shard_index = 0;
+  std::int32_t num_shards = 1;
+  Index row_offset = 0;
+  Index global_units = 0;
+  std::int32_t batch_slots = 1;
+  SampledLayer::Config config;  // the per-shard (already derived) config
+  std::string checkpoint_path;  // non-empty: load weights from this file
+
+  Frame to_frame() const;
+  static InitShardMsg from_frame(const Frame& f);
+};
+
+struct ForwardMsg {
+  std::int32_t slot = 0;
+  Rng::State rng{};
+  std::vector<Index> forced_local;
+  WireActiveSet prev;
+
+  Frame to_frame(bool bf16) const;
+  static ForwardMsg from_frame(const Frame& f);
+};
+
+struct ForwardResp {
+  Rng::State rng{};
+  std::vector<Index> ids;  // shard-local active ids
+  std::vector<float> act;
+
+  Frame to_frame(bool bf16) const;
+  static ForwardResp from_frame(const Frame& f);
+};
+
+struct BackwardMsg {
+  std::int32_t slot = 0;
+  std::vector<float> err;       // this shard's segment of the merged err
+  std::vector<float> prev_err;  // current prev.err (dense over prev.size())
+
+  Frame to_frame(bool bf16) const;
+  static BackwardMsg from_frame(const Frame& f);
+};
+
+struct BackwardResp {
+  std::vector<float> prev_err;  // updated prev.err, replaces the caller's
+
+  Frame to_frame(bool bf16) const;
+  static BackwardResp from_frame(const Frame& f);
+};
+
+struct ApplyUpdatesMsg {
+  float lr = 0.0f;
+
+  Frame to_frame() const;
+  static ApplyUpdatesMsg from_frame(const Frame& f);
+};
+
+struct MaybeRebuildMsg {
+  std::int64_t iteration = 0;
+
+  Frame to_frame() const;
+  static MaybeRebuildMsg from_frame(const Frame& f);
+};
+
+struct MaybeRebuildResp {
+  bool fired = false;
+
+  Frame to_frame() const;
+  static MaybeRebuildResp from_frame(const Frame& f);
+};
+
+struct SetUseLocksMsg {
+  bool locks = false;
+
+  Frame to_frame() const;
+  static SetUseLocksMsg from_frame(const Frame& f);
+};
+
+struct QueryTopkMsg {
+  Rng::State rng{};
+  bool exact = false;
+  /// Candidate budget override for this query (satellite: global budget
+  /// split across shards); 0 keeps the shard's configured target.
+  Index budget = 0;
+  WireActiveSet prev;
+
+  Frame to_frame(bool bf16) const;
+  static QueryTopkMsg from_frame(const Frame& f);
+};
+
+struct QueryTopkResp {
+  Rng::State rng{};
+  std::vector<Index> ids;  // shard-local candidates
+  std::vector<float> act;
+
+  Frame to_frame(bool bf16) const;
+  static QueryTopkResp from_frame(const Frame& f);
+};
+
+struct CheckpointShardMsg {
+  std::string path;
+
+  Frame to_frame() const;
+  static CheckpointShardMsg from_frame(const Frame& f);
+};
+
+struct FetchShardResp {
+  Index row_offset = 0;
+  Index rows = 0;
+  Index fan_in = 0;
+  std::vector<float> weights;  // [rows x fan_in]
+  std::vector<float> bias;     // [rows]
+
+  Frame to_frame() const;
+  static FetchShardResp from_frame(const Frame& f);
+};
+
+/// Pushes full fp32 master weights into a worker's shard (the inverse of
+/// kFetchShard): the coordinator's checkpoint-v3 load path rewrites worker
+/// state with this. Never bf16-compressed — masters must round-trip exactly.
+struct SetShardWeightsMsg {
+  std::vector<float> weights;  // [rows x fan_in]
+  std::vector<float> bias;     // [rows]
+
+  Frame to_frame() const;
+  static SetShardWeightsMsg from_frame(const Frame& f);
+};
+
+struct StatsResp {
+  double active_fraction = 0.0;
+  double sampling_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::int64_t rebuild_count = 0;
+  std::int64_t delta_reinserted = 0;
+
+  Frame to_frame() const;
+  static StatsResp from_frame(const Frame& f);
+};
+
+struct ErrorResp {
+  std::string message;
+
+  Frame to_frame() const;
+  static ErrorResp from_frame(const Frame& f);
+};
+
+}  // namespace slide::dist

@@ -1,0 +1,321 @@
+#include "dist/shm_ring.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+namespace slide::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kShmMagic = 0x534C534Du;  // "SLSM"
+constexpr std::uint32_t kShmVersion = 1;
+
+/// One SPSC byte ring: producer owns head, consumer owns tail; both are
+/// monotonic, indices taken mod capacity, so full/empty are unambiguous.
+struct alignas(64) Ring {
+  std::atomic<std::uint64_t> head;
+  char pad0[64 - sizeof(std::atomic<std::uint64_t>)];
+  std::atomic<std::uint64_t> tail;
+  char pad1[64 - sizeof(std::atomic<std::uint64_t>)];
+};
+
+struct ShmHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t capacity;  // bytes per direction
+  std::atomic<std::uint32_t> init_complete;
+  std::atomic<std::uint32_t> server_attached;
+  std::atomic<std::uint32_t> client_attached;
+  std::atomic<std::uint32_t> closed;
+  char pad[64];
+  Ring rings[2];  // [0] server -> client, [1] client -> server
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm rings need lock-free 64-bit atomics");
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm rings need lock-free 32-bit atomics");
+
+constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+constexpr std::size_t header_bytes() {
+  return round_up(sizeof(ShmHeader), 64);
+}
+
+struct Mapping {
+  void* addr = nullptr;
+  std::size_t bytes = 0;
+};
+
+void check_deadline(Clock::time_point start, int timeout_ms,
+                    const char* what) {
+  if (timeout_ms < 0) return;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count();
+  if (elapsed >= timeout_ms)
+    throw TransportTimeout(std::string(what) + ": timed out");
+}
+
+/// Spin -> yield -> sleep. The rings exist to avoid syscalls on the hot
+/// path, but an idle peer must not burn a core forever.
+struct Backoff {
+  int spins = 0;
+  void pause() {
+    if (spins < 64) {
+      ++spins;
+    } else if (spins < 256) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  void reset() noexcept { spins = 0; }
+};
+
+Mapping map_ring_file(const std::string& path, bool create,
+                      std::size_t capacity) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0600);
+  if (fd < 0)
+    throw TransportError("shm open '" + path + "': " + std::strerror(errno));
+  std::size_t total = 0;
+  if (create) {
+    total = header_bytes() + 2 * capacity;
+    if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw TransportError("shm ftruncate '" + path +
+                           "': " + std::strerror(err));
+    }
+  } else {
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < header_bytes()) {
+      ::close(fd);
+      throw TransportError("shm '" + path + "' is not a ring file");
+    }
+    total = static_cast<std::size_t>(st.st_size);
+  }
+  void* addr = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                      0);
+  const int err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED)
+    throw TransportError("shm mmap '" + path + "': " + std::strerror(err));
+  return {addr, total};
+}
+
+class ShmRingTransport final : public Transport {
+ public:
+  ShmRingTransport(Mapping map, bool server)
+      : map_(map),
+        hdr_(static_cast<ShmHeader*>(map.addr)),
+        server_(server) {
+    if (hdr_->magic != kShmMagic || hdr_->version != kShmVersion) {
+      ::munmap(map_.addr, map_.bytes);
+      throw TransportError("shm ring file has wrong magic/version");
+    }
+    cap_ = static_cast<std::size_t>(hdr_->capacity);
+    auto* base = static_cast<std::uint8_t*>(map_.addr) + header_bytes();
+    data_[0] = base;
+    data_[1] = base + cap_;
+  }
+
+  ~ShmRingTransport() override {
+    close();
+    ::munmap(map_.addr, map_.bytes);
+  }
+
+  const char* kind() const noexcept override { return "shm"; }
+
+  void close() override {
+    if (!local_closed_.exchange(true, std::memory_order_acq_rel))
+      hdr_->closed.store(1, std::memory_order_release);
+  }
+
+  void send(const Frame& frame) override {
+    encode_frame(frame, send_buf_);
+    write_bytes(send_buf_.data(), send_buf_.size());
+    count_sent(send_buf_.size());
+  }
+
+  Frame recv(int timeout_ms) override {
+    const auto start = Clock::now();
+    std::uint8_t header[kFrameHeaderBytes];
+    read_bytes(header, kFrameHeaderBytes, start, timeout_ms);
+    const FrameHeader h = decode_frame_header(header);
+    std::vector<std::uint8_t> payload(h.length);
+    if (h.length > 0) read_bytes(payload.data(), h.length, start, timeout_ms);
+    count_received(kFrameHeaderBytes + h.length);
+    return assemble_frame(h, std::move(payload));
+  }
+
+  void mark_attached() {
+    auto& flag = server_ ? hdr_->server_attached : hdr_->client_attached;
+    flag.store(1, std::memory_order_release);
+  }
+
+  bool peer_attached() const noexcept {
+    const auto& flag =
+        server_ ? hdr_->client_attached : hdr_->server_attached;
+    return flag.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  bool closed() const noexcept {
+    return local_closed_.load(std::memory_order_acquire) ||
+           hdr_->closed.load(std::memory_order_acquire) != 0;
+  }
+
+  // kSendTimeoutMs bounds how long a send blocks on a full ring — a peer
+  // that stopped draining must surface as an error, not a live-lock.
+  static constexpr int kSendTimeoutMs = 30000;
+
+  void write_bytes(const std::uint8_t* src, std::size_t n) {
+    Ring& ring = hdr_->rings[server_ ? 0 : 1];
+    std::uint8_t* base = data_[server_ ? 0 : 1];
+    const auto start = Clock::now();
+    Backoff bo;
+    std::size_t done = 0;
+    while (done < n) {
+      if (closed()) throw TransportClosed("shm send: transport closed");
+      const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+      const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+      const std::size_t space = cap_ - static_cast<std::size_t>(head - tail);
+      if (space == 0) {
+        check_deadline(start, kSendTimeoutMs, "shm send");
+        bo.pause();
+        continue;
+      }
+      const std::size_t off = static_cast<std::size_t>(head % cap_);
+      const std::size_t chunk =
+          std::min(std::min(space, n - done), cap_ - off);
+      std::memcpy(base + off, src + done, chunk);
+      ring.head.store(head + chunk, std::memory_order_release);
+      done += chunk;
+      bo.reset();
+    }
+  }
+
+  void read_bytes(std::uint8_t* dst, std::size_t n, Clock::time_point start,
+                  int timeout_ms) {
+    Ring& ring = hdr_->rings[server_ ? 1 : 0];
+    const std::uint8_t* base = data_[server_ ? 1 : 0];
+    Backoff bo;
+    std::size_t done = 0;
+    while (done < n) {
+      const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+      const std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+      const std::size_t avail = static_cast<std::size_t>(head - tail);
+      if (avail == 0) {
+        // Drain-then-fail: data already in the ring is still delivered
+        // after the peer closes; only an empty closed ring is an error.
+        if (closed()) throw TransportClosed("shm recv: transport closed");
+        check_deadline(start, timeout_ms, "shm recv");
+        bo.pause();
+        continue;
+      }
+      const std::size_t off = static_cast<std::size_t>(tail % cap_);
+      const std::size_t chunk =
+          std::min(std::min(avail, n - done), cap_ - off);
+      std::memcpy(dst + done, base + off, chunk);
+      ring.tail.store(tail + chunk, std::memory_order_release);
+      done += chunk;
+      bo.reset();
+    }
+  }
+
+  Mapping map_;
+  ShmHeader* hdr_;
+  std::uint8_t* data_[2] = {nullptr, nullptr};
+  std::size_t cap_ = 0;
+  bool server_;
+  std::atomic<bool> local_closed_{false};
+  std::vector<std::uint8_t> send_buf_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShmListener
+// ---------------------------------------------------------------------------
+
+ShmListener::ShmListener(const std::string& path, std::size_t ring_capacity)
+    : path_(path), capacity_(round_up(std::max<std::size_t>(
+                       ring_capacity, 4 * kFrameHeaderBytes), 64)) {
+  const Mapping map = map_ring_file(path_, /*create=*/true, capacity_);
+  auto* hdr = new (map.addr) ShmHeader{};
+  hdr->magic = kShmMagic;
+  hdr->version = kShmVersion;
+  hdr->capacity = capacity_;
+  hdr->init_complete.store(1, std::memory_order_release);
+  ::munmap(map.addr, map.bytes);
+}
+
+ShmListener::~ShmListener() {
+  close();
+  ::unlink(path_.c_str());
+}
+
+void ShmListener::close() { closed_.store(true, std::memory_order_release); }
+
+std::unique_ptr<Transport> ShmListener::accept(int timeout_ms) {
+  auto transport = std::make_unique<ShmRingTransport>(
+      map_ring_file(path_, /*create=*/false, 0), /*server=*/true);
+  transport->mark_attached();
+  const auto start = Clock::now();
+  Backoff bo;
+  while (!transport->peer_attached()) {
+    if (closed_.load(std::memory_order_acquire))
+      throw TransportClosed("shm accept: listener closed");
+    check_deadline(start, timeout_ms, "shm accept");
+    bo.pause();
+  }
+  return transport;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Transport> shm_attach(const std::string& path, bool server,
+                                      int timeout_ms) {
+  const auto start = Clock::now();
+  while (true) {
+    try {
+      auto transport = std::make_unique<ShmRingTransport>(
+          map_ring_file(path, /*create=*/false, 0), server);
+      transport->mark_attached();
+      Backoff bo;
+      while (!transport->peer_attached()) {
+        check_deadline(start, timeout_ms, "shm attach");
+        bo.pause();
+      }
+      return transport;
+    } catch (const TransportTimeout&) {
+      throw;
+    } catch (const TransportError&) {
+      // Ring file not created (or not initialized) yet — the listener may
+      // come up after us; retry until the deadline.
+      check_deadline(start, timeout_ms, ("shm attach " + path).c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+}  // namespace slide::dist

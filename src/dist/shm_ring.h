@@ -1,0 +1,57 @@
+// Same-host shared-memory ring transport.
+//
+// One file-backed mapping (open + ftruncate + mmap MAP_SHARED — works
+// anywhere a tmpfs or ordinary filesystem does, no shm_open namespace to
+// manage) holds two single-producer/single-consumer byte rings:
+//
+//   +----------------+----------------------+----------------------+
+//   | ShmHeader      | ring A (srv -> cli)  | ring B (cli -> srv)  |
+//   +----------------+----------------------+----------------------+
+//
+// Each ring is a classic SPSC circular byte queue: the producer owns
+// `head`, the consumer owns `tail`, both are C++20 atomic_ref-compatible
+// 64-bit counters that only ever increase (indices are taken mod capacity),
+// so full/empty are unambiguous without a spare slot. Frames are written as
+// their encoded byte stream (dist/frame.h header + payload) and may wrap
+// the ring edge; the reader reassembles across the wrap.
+//
+// Waiting is adaptive spin -> yield -> short sleep with a deadline — the
+// rings exist to keep the sparse-activation hot path away from syscalls,
+// but a worker that has died must still surface as TransportTimeout /
+// TransportClosed rather than a live-locked coordinator. The `closed` word
+// is set by either side's close() (and by the destructor) so the peer
+// observes shutdown promptly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+
+namespace slide::dist {
+
+/// Creates the ring file at `path` (overwriting any stale one) and waits
+/// for one peer to attach. `ring_capacity` is the per-direction byte
+/// capacity (rounded up to a page multiple).
+class ShmListener final : public Listener {
+ public:
+  explicit ShmListener(const std::string& path,
+                       std::size_t ring_capacity = 1u << 20);
+  ~ShmListener() override;
+
+  std::unique_ptr<Transport> accept(int timeout_ms) override;
+  void close() override;
+  std::string endpoint() const override { return "shm:" + path_; }
+
+ private:
+  std::string path_;
+  std::size_t capacity_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Attaches to a ring file created by ShmListener. `server` selects which
+/// direction this side produces into.
+std::unique_ptr<Transport> shm_attach(const std::string& path, bool server,
+                                      int timeout_ms);
+
+}  // namespace slide::dist

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <utility>
 
+#include "dist/distributed_layer.h"
 #include "metrics/table_printer.h"
 
 namespace slide {
@@ -242,6 +243,20 @@ ServeStats InferenceEngine::stats() const {
   s.snapshot_version = store_->version();
   s.swaps_observed = swaps_observed_.load(std::memory_order_relaxed);
   s.latency = latency_.summary();
+  const std::shared_ptr<const ModelSnapshot> snapshot = store_->current();
+  if (snapshot != nullptr && snapshot->network != nullptr) {
+    const Network& net = *snapshot->network;
+    for (int i = 0; i < net.stack_depth(); ++i) {
+      const auto* d =
+          dynamic_cast<const dist::DistributedSampledLayer*>(&net.stack(i));
+      if (d == nullptr) continue;
+      s.distributed = true;
+      const dist::WireCounters wc = d->wire_counters();
+      s.wire_bytes_sent += wc.bytes_sent;
+      s.wire_bytes_received += wc.bytes_received;
+      s.unhealthy_shards += d->unhealthy_shards();
+    }
+  }
   return s;
 }
 
@@ -264,6 +279,14 @@ void InferenceEngine::print_stats(std::ostream& out) const {
   table.add_row({"latency p99", fmt_latency_us(s.latency.p99_us)});
   table.add_row({"latency mean", fmt_latency_us(s.latency.mean_us)});
   table.add_row({"latency max", fmt_latency_us(s.latency.max_us)});
+  if (s.distributed) {
+    table.add_row({"wire bytes sent",
+                   fmt_int(static_cast<long long>(s.wire_bytes_sent))});
+    table.add_row({"wire bytes received",
+                   fmt_int(static_cast<long long>(s.wire_bytes_received))});
+    table.add_row({"unhealthy shards",
+                   fmt_int(static_cast<long long>(s.unhealthy_shards))});
+  }
   table.print(out);
 }
 

@@ -76,6 +76,13 @@ struct ServeStats {
   std::uint64_t snapshot_version = 0;  // store version at reading time
   std::uint64_t swaps_observed = 0;    // version changes seen by workers
   LatencyHistogram::Summary latency;   // end-to-end, microseconds
+
+  // Distributed model parallelism (all zero unless the served network has a
+  // DistributedSampledLayer; see src/dist/).
+  bool distributed = false;
+  std::uint64_t wire_bytes_sent = 0;      // coordinator -> workers
+  std::uint64_t wire_bytes_received = 0;  // workers -> coordinator
+  int unhealthy_shards = 0;  // degraded-mode health flag (skipped shards)
 };
 
 class InferenceEngine {
