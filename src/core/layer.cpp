@@ -6,6 +6,9 @@
 
 #include "core/sharded_layer.h"
 #include "dist/distributed_layer.h"
+#include "retrieval/exact_retriever.h"
+#include "retrieval/hnsw_retriever.h"
+#include "retrieval/lsh_retriever.h"
 #include "simd/kernels.h"
 #include "sys/prefetch.h"
 #include "sys/timer.h"
@@ -340,16 +343,38 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
     if (config_.incremental_rehash) {
       SLIDE_CHECK(family.kind == HashFamilyKind::kSimhash,
                   "incremental_rehash requires the Simhash family");
+      SLIDE_CHECK(config_.retriever == retrieval::RetrieverKind::kLsh,
+                  "incremental_rehash requires the LSH retriever");
     }
-    tables_ = std::make_unique<MaintainedTables>(make_hash_family(family),
-                                                 config_.table,
-                                                 config.seed + 1);
-    simhash_ = dynamic_cast<const Simhash*>(&tables_->family());
-    if (config_.incremental_rehash) {
-      SLIDE_ASSERT(simhash_ != nullptr);
-      projection_memo_ = HugeArray(
-          static_cast<std::size_t>(units_) *
-          static_cast<std::size_t>(simhash_->num_projections()));
+    const retrieval::RowView rows{weights_.data(), fan_in_, units_};
+    switch (config_.retriever) {
+      case retrieval::RetrieverKind::kLsh: {
+        // The retriever owns the tables; the layer keeps a raw alias so
+        // the memo-aware rebuild / delta-reinsert machinery below drives
+        // them directly (bit-identical to the pre-subsystem layer).
+        auto lsh = std::make_unique<retrieval::LshRetriever>(
+            make_hash_family(family), config_.table, config_.sampling, rows,
+            config.seed + 1);
+        tables_ = &lsh->tables();
+        retriever_ = std::move(lsh);
+        break;
+      }
+      case retrieval::RetrieverKind::kExact:
+        retriever_ = std::make_unique<retrieval::ExactRetriever>(rows);
+        break;
+      case retrieval::RetrieverKind::kHnsw:
+        retriever_ = std::make_unique<retrieval::HnswRetriever>(
+            rows, config_.hnsw, config.seed + 1);
+        break;
+    }
+    if (tables_ != nullptr) {
+      simhash_ = dynamic_cast<const Simhash*>(&tables_->family());
+      if (config_.incremental_rehash) {
+        SLIDE_ASSERT(simhash_ != nullptr);
+        projection_memo_ = HugeArray(
+            static_cast<std::size_t>(units_) *
+            static_cast<std::size_t>(simhash_->num_projections()));
+      }
     }
     // The worker object is free until its first task spawns the thread, so
     // async layers can construct it eagerly (no lazy-init race to manage).
@@ -358,7 +383,11 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
     if (config_.maintenance == MaintenancePolicy::kAsyncDelta)
       dirty_flag_ = std::make_unique<std::atomic<std::uint8_t>[]>(units_);
     next_rebuild_ = config_.rebuild.initial_period;
-    build_group(tables_->active_group(), nullptr);  // initial build (§3.1)
+    if (tables_ != nullptr) {
+      build_group(tables_->active_group(), nullptr);  // initial build (§3.1)
+    } else {
+      retriever_->rebuild(nullptr);  // initial index build
+    }
   }
 
   // Allocate the quantized mirror up front so later refreshes are noexcept
@@ -426,27 +455,14 @@ void SampledLayer::select_active(int slot, const ActiveSet& prev,
   }
 
   WallTimer timer;
-  thread_local std::vector<std::uint32_t> keys;
-  keys.resize(static_cast<std::size_t>(tables_->l()));
-  if (prev.dense()) {
-    tables_->query_keys_dense(prev.act.data(), keys);
-  } else {
-    tables_->query_keys_sparse(prev.ids.data(), prev.act.data(),
-                               prev.ids.size(), keys);
-  }
-  thread_local std::vector<std::span<const Index>> buckets;
-  thread_local std::vector<Index> sampled;
-  {
-    // Pin the active group: bucket spans stay valid against a concurrent
-    // async publish for the duration of the sampling pass.
-    const MaintainedTables::Pin pin = tables_->pin();
-    pin->buckets(keys, buckets);
-    SamplingConfig sampling = config_.sampling;
-    sampling.target = target;
-    sample_neurons(sampling, buckets, visited, rng, sampled,
-                   /*fresh_epoch=*/false);
-  }
-  s.ids.insert(s.ids.end(), sampled.begin(), sampled.end());
+  // Candidate generation through the retriever (fresh_epoch = false: the
+  // forced labels above are pre-stamped so they are never re-retrieved).
+  // For the LSH backend this is the historical key → pin → buckets →
+  // sample_neurons sequence, bit for bit.
+  retriever_->retrieve(prev.ids,
+                       std::span<const float>(prev.act.data(), prev.size()),
+                       target, rng, visited, s.ids,
+                       /*fresh_epoch=*/false);
 
   if (config_.fill_random_to_target && s.ids.size() < target) {
     // Uniform random top-up (the reference implementation's fill-in). The
@@ -659,7 +675,8 @@ void SampledLayer::apply_updates(float lr, ThreadPool* pool) {
   // keeps each unit queued once across batches.
   if (config_.hashed &&
       config_.maintenance == MaintenancePolicy::kAsyncDelta &&
-      config_.rebuild.enabled && !units.empty()) {
+      config_.rebuild.enabled && !units.empty() &&
+      retriever_->supports_delta()) {
     std::lock_guard lock(dirty_mutex_);
     for (Index u : units) {
       if (dirty_flag_[u].exchange(1, std::memory_order_relaxed) == 0)
@@ -676,14 +693,26 @@ bool SampledLayer::maybe_rebuild(long iteration, ThreadPool* pool) {
   switch (config_.maintenance) {
     case MaintenancePolicy::kSync:
       // In-place rebuild on the calling thread: the trainer's contract says
-      // no table reader is active between batches.
-      build_group(tables_->active_group(), pool);
+      // no table reader is active between batches. Non-LSH retrievers
+      // rebuild through the generic hook (shadow build + publish, so
+      // "in place" is still reader-safe).
+      if (tables_ != nullptr) {
+        build_group(tables_->active_group(), pool);
+      } else {
+        retriever_->rebuild(pool);
+      }
       rebuild_count_.fetch_add(1, std::memory_order_acq_rel);
       break;
     case MaintenancePolicy::kAsyncFull:
       schedule_full_rebuild();
       break;
     case MaintenancePolicy::kAsyncDelta: {
+      if (!retriever_->supports_delta()) {
+        // Backend cannot refresh single ids (HNSW, exact): every delta
+        // event escalates to a full rebuild.
+        schedule_full_rebuild();
+        break;
+      }
       std::size_t dirty_size;
       {
         std::lock_guard lock(dirty_mutex_);
@@ -718,7 +747,11 @@ void SampledLayer::rebuild_tables(ThreadPool* pool) {
   // Serialize against the background worker: the maintenance side of
   // MaintainedTables allows exactly one caller at a time.
   quiesce_maintenance();
-  build_group(tables_->active_group(), pool);
+  if (tables_ != nullptr) {
+    build_group(tables_->active_group(), pool);
+  } else {
+    retriever_->rebuild(pool);
+  }
 }
 
 void SampledLayer::build_group(LshTableGroup& group, ThreadPool* pool) {
@@ -774,10 +807,16 @@ void SampledLayer::schedule_full_rebuild() {
     // Units queued so far are covered by this build (it hashes current
     // weights); drop them so the next delta pass is not redundant. Units
     // dirtied after this point re-queue via their re-armed flags.
-    thread_local std::vector<Index> discarded;
-    drain_dirty(discarded);
-    build_group(tables_->shadow_group(), nullptr);
-    tables_->publish_shadow();
+    if (dirty_flag_ != nullptr) {
+      thread_local std::vector<Index> discarded;
+      drain_dirty(discarded);
+    }
+    if (tables_ != nullptr) {
+      build_group(tables_->shadow_group(), nullptr);
+      tables_->publish_shadow();
+    } else {
+      retriever_->rebuild(nullptr);
+    }
     rebuild_count_.fetch_add(1, std::memory_order_acq_rel);
     full_pending_.store(false, std::memory_order_release);
   });
@@ -877,6 +916,7 @@ void SampledLayer::forward_inference_budgeted(
     bool exact, Rng& rng, VisitedSet& visited, Index budget_override,
     std::vector<Index>& ids_out, std::vector<float>& act_out) const {
   ids_out.clear();
+  bool scored = false;  // escalation fills act_out itself
   if (exact || !config_.hashed) {
     ids_out.resize(units_);
     std::iota(ids_out.begin(), ids_out.end(), Index{0});
@@ -888,23 +928,17 @@ void SampledLayer::forward_inference_budgeted(
                              ? budget_override
                              : config_.sampling.inference_budget;
     if (budget > 0) target = std::min(target, budget);
-    thread_local std::vector<std::uint32_t> keys;
-    keys.resize(static_cast<std::size_t>(tables_->l()));
-    if (prev_ids.empty()) {
-      tables_->query_keys_dense(prev_act.data(), keys);
-    } else {
-      tables_->query_keys_sparse(prev_ids.data(), prev_act.data(),
-                                 prev_ids.size(), keys);
-    }
-    thread_local std::vector<std::span<const Index>> buckets;
-    {
-      const MaintainedTables::Pin pin = tables_->pin();
-      pin->buckets(keys, buckets);
-      SamplingConfig sampling = config_.sampling;
-      sampling.target = target;
-      sample_neurons(sampling, buckets, visited, rng, ids_out);
-    }
-    if (config_.fill_random_to_target && ids_out.size() < target) {
+    retriever_->retrieve(prev_ids, prev_act, target, rng, visited, ids_out);
+    const Index floor =
+        std::min<Index>(config_.sampling.escalation_floor, units_);
+    if (floor > 0 && ids_out.size() < static_cast<std::size_t>(floor)) {
+      // Adaptive recall floor (SamplingConfig::escalation_floor): too few
+      // candidates to trust the sample — escalate this query to an exact
+      // scan instead of padding with random ids, and measure how much the
+      // candidate set would have missed (overlap with the exact top-k).
+      escalate_to_exact(prev_ids, prev_act, visited, ids_out, act_out);
+      scored = true;
+    } else if (config_.fill_random_to_target && ids_out.size() < target) {
       long attempts = 20L * static_cast<long>(target);
       while (ids_out.size() < target && attempts-- > 0) {
         const Index id = rng.uniform(units_);
@@ -912,16 +946,80 @@ void SampledLayer::forward_inference_budgeted(
       }
     }
   }
-  act_out.resize(ids_out.size());
-  if (bf16_inference()) {
-    for (std::size_t i = 0; i < ids_out.size(); ++i)
-      act_out[i] = activation_of_bf16(ids_out[i], prev_ids, prev_act);
-  } else {
-    for (std::size_t i = 0; i < ids_out.size(); ++i)
-      act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
+  if (!scored) {
+    act_out.resize(ids_out.size());
+    if (bf16_inference()) {
+      for (std::size_t i = 0; i < ids_out.size(); ++i)
+        act_out[i] = activation_of_bf16(ids_out[i], prev_ids, prev_act);
+    } else {
+      for (std::size_t i = 0; i < ids_out.size(); ++i)
+        act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
+    }
   }
   if (config_.activation == Activation::kReLU)
     simd::relu(act_out.data(), act_out.size());
+}
+
+void SampledLayer::escalate_to_exact(std::span<const Index> prev_ids,
+                                     std::span<const float> prev_act,
+                                     const VisitedSet& visited,
+                                     std::vector<Index>& ids_out,
+                                     std::vector<float>& act_out) const {
+  act_out.resize(units_);
+  if (bf16_inference()) {
+    for (Index u = 0; u < units_; ++u)
+      act_out[u] = activation_of_bf16(u, prev_ids, prev_act);
+  } else {
+    for (Index u = 0; u < units_; ++u)
+      act_out[u] = activation_of(u, prev_ids, prev_act);
+  }
+
+  // Recall accounting: how many of the exact top-k did the (undersized)
+  // candidate set cover? The candidates are exactly the ids stamped in
+  // `visited` this epoch (the retrieve() post-condition).
+  const Index k = std::min<Index>(10, units_);
+  thread_local std::vector<Index> order;
+  order.resize(static_cast<std::size_t>(units_));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](Index a, Index b) {
+                      return act_out[a] > act_out[b] ||
+                             (act_out[a] == act_out[b] && a < b);
+                    });
+  long overlap = 0;
+  for (Index i = 0; i < k; ++i) {
+    if (visited.contains(order[static_cast<std::size_t>(i)])) ++overlap;
+  }
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  escalation_overlap_.fetch_add(overlap, std::memory_order_relaxed);
+  escalation_oracle_.fetch_add(k, std::memory_order_relaxed);
+
+  ids_out.resize(static_cast<std::size_t>(units_));
+  std::iota(ids_out.begin(), ids_out.end(), Index{0});
+}
+
+RetrievalStats SampledLayer::retrieval_stats() const {
+  RetrievalStats s;
+  s.adaptive = config_.hashed && config_.sampling.escalation_floor > 0;
+  s.escalations = escalations_.load(std::memory_order_relaxed);
+  s.overlap = escalation_overlap_.load(std::memory_order_relaxed);
+  s.oracle = escalation_oracle_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SampledLayer::save_retriever_state(std::ostream& out) const {
+  if (retriever_ != nullptr && retriever_->has_serialized_state())
+    retriever_->save_state(out);
+}
+
+bool SampledLayer::load_retriever_state(std::istream& in,
+                                        std::uint64_t bytes) {
+  if (retriever_ == nullptr || !retriever_->has_serialized_state()) {
+    in.ignore(static_cast<std::streamsize>(bytes));
+    return false;
+  }
+  return retriever_->load_state(in);
 }
 
 double SampledLayer::average_active_fraction() const {
@@ -999,6 +1097,8 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
               "(hashed) layer");
   SLIDE_CHECK(spec.endpoints.empty() || spec.shards == 0,
               "make_layer: endpoints and shards are exclusive");
+  SLIDE_CHECK(spec.retriever == retrieval::RetrieverKind::kLsh || spec.hashed,
+              "make_layer: a non-LSH retriever requires a hashed layer");
   if (spec.hashed) {
     SampledLayer::Config cfg;
     cfg.units = spec.units;
@@ -1009,6 +1109,8 @@ std::unique_ptr<Layer> make_layer(const LayerSpec& spec, Index fan_in,
     cfg.table = spec.table;
     cfg.sampling = spec.sampling;
     cfg.rebuild = spec.rebuild;
+    cfg.retriever = spec.retriever;
+    cfg.hnsw = spec.hnsw;
     cfg.maintenance = spec.maintenance;
     cfg.fill_random_to_target = spec.fill_random_to_target;
     cfg.incremental_rehash = spec.incremental_rehash;

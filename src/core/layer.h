@@ -30,8 +30,10 @@
 #pragma once
 
 #include <atomic>
+#include <istream>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <span>
 #include <vector>
 
@@ -104,6 +106,25 @@ struct LayerMemory {
   std::size_t master_bytes = 0;     ///< fp32 weights + biases
   std::size_t mirror_bytes = 0;     ///< bf16 inference mirror (0 at fp32)
   std::size_t optimizer_bytes = 0;  ///< gradient accumulators + Adam moments
+};
+
+/// Cumulative adaptive-retrieval diagnostics of one layer (see
+/// SamplingConfig::escalation_floor). Only meaningful when the policy is
+/// on (`adaptive`); every escalated query contributes its candidate set's
+/// overlap with the exact top-k oracle, so recall() is the measured
+/// retrieval recall over escalated queries. Surfaced per-snapshot in
+/// ServeStats.
+struct RetrievalStats {
+  bool adaptive = false;  ///< escalation_floor > 0 on some hashed layer
+  long escalations = 0;   ///< inference queries escalated to an exact scan
+  long overlap = 0;       ///< sum of |candidates ∩ exact top-k|
+  long oracle = 0;        ///< sum of |exact top-k|
+
+  double recall() const noexcept {
+    return oracle > 0 ? static_cast<double>(overlap) /
+                            static_cast<double>(oracle)
+                      : 0.0;
+  }
 };
 
 /// Abstract interface of one stack layer (everything after the input-facing
@@ -244,6 +265,26 @@ class Layer {
   /// without phase timers report 0.
   virtual double sampling_seconds() const { return 0.0; }
   virtual double compute_seconds() const { return 0.0; }
+
+  // ---- Retrieval subsystem hooks (src/retrieval/) ----
+  /// Candidate-generation backend of a hashed layer (kLsh for everything
+  /// else — dense and random-sampled layers have no retriever).
+  virtual retrieval::RetrieverKind retriever_kind() const noexcept {
+    return retrieval::RetrieverKind::kLsh;
+  }
+  /// Adaptive-retrieval counters (see RetrievalStats); zeroes for layers
+  /// without the policy.
+  virtual RetrievalStats retrieval_stats() const { return {}; }
+  /// Serializes the retriever's index state (checkpoint v4 aux block).
+  /// Layers whose retriever has no serialized state write nothing.
+  virtual void save_retriever_state(std::ostream& out) const { (void)out; }
+  /// Restores an aux block written by save_retriever_state. `bytes` is the
+  /// block length; implementations must consume exactly that many bytes or
+  /// skip them. Returns true if the index is usable without a rebuild.
+  virtual bool load_retriever_state(std::istream& in, std::uint64_t bytes) {
+    in.ignore(static_cast<std::streamsize>(bytes));
+    return false;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -362,6 +403,10 @@ class SampledLayer : public Layer {
     HashTable::Config table;
     SamplingConfig sampling;
     RebuildSchedule rebuild;
+    /// Candidate-generation backend (see LayerSpec::retriever). kLsh is
+    /// bit-identical to the pre-subsystem layer.
+    retrieval::RetrieverKind retriever = retrieval::RetrieverKind::kLsh;
+    retrieval::HnswConfig hnsw;
     MaintenancePolicy maintenance = MaintenancePolicy::kSync;
     bool fill_random_to_target = true;
     bool incremental_rehash = false;
@@ -522,10 +567,22 @@ class SampledLayer : public Layer {
   std::size_t inference_weight_bytes() const noexcept override;
   LayerMemory memory() const noexcept override;
 
-  /// The layer's (double-buffered) tables; null for unhashed layers. Query
-  /// helpers and diagnostics delegate to the active group — see
-  /// MaintainedTables for what is safe under concurrent maintenance.
-  const MaintainedTables* tables() const noexcept { return tables_.get(); }
+  /// The layer's (double-buffered) tables; null for unhashed layers and
+  /// for non-LSH retrievers. Query helpers and diagnostics delegate to the
+  /// active group — see MaintainedTables for what is safe under concurrent
+  /// maintenance.
+  const MaintainedTables* tables() const noexcept { return tables_; }
+
+  /// The layer's candidate retriever; null for unhashed layers.
+  const retrieval::Retriever* retriever() const noexcept {
+    return retriever_.get();
+  }
+  retrieval::RetrieverKind retriever_kind() const noexcept override {
+    return config_.retriever;
+  }
+  RetrievalStats retrieval_stats() const override;
+  void save_retriever_state(std::ostream& out) const override;
+  bool load_retriever_state(std::istream& in, std::uint64_t bytes) override;
 
   /// Average active fraction over forwards since the last reset (diagnostic;
   /// the paper reports ~0.5% active neurons in the output layer).
@@ -548,6 +605,15 @@ class SampledLayer : public Layer {
   /// Mirror-reading twin of activation_of (bf16 inference scoring).
   float activation_of_bf16(Index unit, std::span<const Index> prev_ids,
                            std::span<const float> prev_act) const;
+  /// Adaptive-policy escalation: scores every unit into act_out (ids_out
+  /// becomes 0..units-1), and records the escaped query's candidate recall
+  /// against the exact top-k (the candidates are the ids stamped in
+  /// `visited`). See SamplingConfig::escalation_floor.
+  void escalate_to_exact(std::span<const Index> prev_ids,
+                         std::span<const float> prev_act,
+                         const VisitedSet& visited,
+                         std::vector<Index>& ids_out,
+                         std::vector<float>& act_out) const;
   bool bf16_inference() const noexcept {
     return config_.precision == Precision::kBF16 && !weights_bf16_.empty();
   }
@@ -581,7 +647,13 @@ class SampledLayer : public Layer {
 
   std::vector<ActiveSet> slots_;
 
-  std::unique_ptr<MaintainedTables> tables_;
+  /// Candidate generation (src/retrieval/): owns the index. For kLsh,
+  /// `tables_` aliases the LshRetriever's MaintainedTables so the memoized
+  /// rebuild / delta-reinsert machinery below drives them directly; for the
+  /// other backends `tables_` is null and maintenance dispatches through
+  /// the Retriever interface.
+  std::unique_ptr<retrieval::Retriever> retriever_;
+  MaintainedTables* tables_ = nullptr;
   const Simhash* simhash_ = nullptr;  // set when family is Simhash
   HugeArray projection_memo_;         // [units x K*L] when incremental
 
@@ -613,6 +685,11 @@ class SampledLayer : public Layer {
   // Diagnostics.
   std::atomic<std::uint64_t> active_sum_{0};
   std::atomic<std::uint64_t> active_events_{0};
+  // Adaptive-retrieval counters (escalation_floor > 0 only); mutable:
+  // bumped on the const inference path.
+  mutable std::atomic<long> escalations_{0};
+  mutable std::atomic<long> escalation_overlap_{0};
+  mutable std::atomic<long> escalation_oracle_{0};
   struct alignas(kCacheLineSize) PaddedDouble {
     std::atomic<double> value{0.0};
   };

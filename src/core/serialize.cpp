@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 namespace slide {
@@ -10,9 +11,9 @@ namespace slide {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x534C4944;  // "SLID"
-// Version 3 = version 2 + per-shard parameter blocks for kind-0 stack
-// layers; loaders accept 1..3 (see serialize.h's version history).
-constexpr std::uint32_t kVersion = 3;
+// Version 4 = version 3 + per-layer retriever aux blocks for kind-0 stack
+// layers; loaders accept 1..4 (see serialize.h's version history).
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kMinVersion = 1;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
@@ -21,6 +22,17 @@ void write_u32(std::ostream& out, std::uint32_t v) {
 
 std::uint32_t read_u32(std::istream& in) {
   std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+  return v;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   SLIDE_CHECK(in.good(), "load_weights: truncated stream");
   return v;
@@ -175,6 +187,16 @@ void save_weights(const Network& network, std::ostream& out) {
       write_floats(out, layer.shard_weights(s));
       write_floats(out, layer.shard_bias(s));
     }
+    // v4: retriever kind + length-prefixed aux block. Backends whose index
+    // is a pure function of the weights (LSH, exact) write an empty block
+    // — rebuilt on load like the hash tables always were; HNSW saves its
+    // graph so the loader can skip the (expensive, serial) rebuild.
+    write_u32(out, static_cast<std::uint32_t>(layer.retriever_kind()));
+    std::ostringstream aux(std::ios::binary);
+    layer.save_retriever_state(aux);
+    const std::string bytes = aux.str();
+    write_u64(out, static_cast<std::uint64_t>(bytes.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   SLIDE_CHECK(out.good(), "save_weights: write failed");
 }
@@ -208,6 +230,10 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
   read_floats(in, emb.bias_span());
   emb.refresh_inference_mirror();
   std::vector<float> scratch;  // reshard scatter buffer (rarely used)
+  // Per-layer: true once the layer's retrieval index was restored from a
+  // v4 aux block, so the trailing rebuild pass can skip it.
+  std::vector<bool> index_loaded(
+      static_cast<std::size_t>(network.stack_depth()), false);
   for (int i = 0; i < network.stack_depth(); ++i) {
     Layer& layer = network.stack(i);
     const Index units = layer.units();
@@ -244,9 +270,37 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
     SLIDE_CHECK(row == units,
                 "load_weights: shard blocks do not cover the layer");
     layer.on_weights_loaded();
+    // v4: retriever kind + aux block. The block is usable only if the
+    // target layer runs the same backend the writer did (a checkpoint is
+    // architecture-portable across retriever configs — mismatched blocks
+    // are skipped and the index rebuilds from the weights as before).
+    if (version >= 4 && kind == 0) {
+      const std::uint32_t file_retriever = read_u32(in);
+      SLIDE_CHECK(
+          file_retriever <=
+              static_cast<std::uint32_t>(retrieval::RetrieverKind::kHnsw),
+          "load_weights: unknown retriever kind");
+      const std::uint64_t aux_bytes = read_u64(in);
+      if (aux_bytes > 0 &&
+          file_retriever ==
+              static_cast<std::uint32_t>(layer.retriever_kind())) {
+        index_loaded[static_cast<std::size_t>(i)] =
+            layer.load_retriever_state(in, aux_bytes);
+      } else {
+        in.ignore(static_cast<std::streamsize>(aux_bytes));
+      }
+      SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+    }
   }
-  // Hash tables are a function of the weights: refresh them.
-  network.rebuild_all(pool);
+  // Retrieval indexes are a function of the weights: refresh the ones not
+  // restored from a v4 aux block (pre-v4 behavior: rebuild everything).
+  {
+    Network::WriteGuard rebuild_guard(network);
+    for (int i = 0; i < network.stack_depth(); ++i) {
+      if (!index_loaded[static_cast<std::size_t>(i)])
+        network.stack(i).rebuild_tables(pool);
+    }
+  }
 }
 
 void save_weights_file(const Network& network, const std::string& path) {

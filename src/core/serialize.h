@@ -8,9 +8,10 @@
 // loader go through the Layer serialize hooks, so layer policy never
 // changes the byte layout. Legacy dense-baseline checkpoints (kind 1,
 // written by the pre-unification DenseNetwork) load into a single-layer
-// unified stack unchanged. Hash tables are NOT serialized: they are a
+// unified stack unchanged. LSH hash tables are NOT serialized: they are a
 // function of the weights and are rebuilt after loading (load_weights does
-// this automatically).
+// this automatically). Retrieval indexes that are expensive to rebuild
+// (the HNSW graph) ride along as v4 aux blocks and skip the rebuild.
 //
 // Version history:
 //   1 — header {magic, version, kind, input_dim, hidden, num_layers}.
@@ -29,6 +30,15 @@
 //       including monolithic-to-sharded resharding (serve/snapshot.h,
 //       publish_clone). v1/v2 files (and kind-1 legacy dense files, which
 //       never carry shard words) load unchanged.
+//   4 — each layer appends a retriever descriptor after its parameter
+//       blocks: a u32 retriever kind (retrieval::RetrieverKind) plus a
+//       u64-sized aux payload holding backend state that is expensive to
+//       rebuild (the HNSW graph via save_retriever_state; LSH and exact
+//       write zero bytes). The loader restores the payload only when the
+//       target layer's configured kind matches the file's — otherwise the
+//       block is skipped and the layer rebuilds its index from the loaded
+//       weights, so checkpoints stay portable across retriever choices.
+//       v1–v3 files load unchanged (every layer rebuilds).
 #pragma once
 
 #include <iosfwd>

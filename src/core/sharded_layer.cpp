@@ -296,6 +296,18 @@ double ShardedSampledLayer::compute_seconds() const {
   return total;
 }
 
+RetrievalStats ShardedSampledLayer::retrieval_stats() const {
+  RetrievalStats total;
+  total.adaptive = config_.sampling.escalation_floor > 0;
+  for (const auto& shard : shards_) {
+    const RetrievalStats s = shard->retrieval_stats();
+    total.escalations += s.escalations;
+    total.overlap += s.overlap;
+    total.oracle += s.oracle;
+  }
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // Inference path
 // ---------------------------------------------------------------------------

@@ -57,7 +57,11 @@
 
 namespace slide::dist {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// Version history:
+//   1 — initial release (PR 6).
+//   2 — layer config gains retriever kind + HNSW knobs + escalation floor
+//       (appended at the end of the config block).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,

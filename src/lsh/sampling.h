@@ -39,6 +39,13 @@ struct SamplingConfig {
   /// S x target candidates per query. 0 (default) disables the cap, which
   /// preserves the historical behavior and the S = 1 bit-identity anchor.
   Index inference_budget = 0;
+  /// Adaptive recall floor for INFERENCE: when the retriever returns fewer
+  /// than this many candidates the layer escalates the query to an exact
+  /// scan (scores every unit) instead of padding with random ids, and
+  /// records the escalation + the candidate set's recall against the exact
+  /// top-k in Layer::retrieval_stats() (surfaced in ServeStats). 0
+  /// (default) disables the policy — bit-identical to the historical path.
+  Index escalation_floor = 0;
 };
 
 /// Epoch-stamped visited-set + frequency counters over a fixed id universe.

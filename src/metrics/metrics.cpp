@@ -107,4 +107,23 @@ double evaluate_p_at_1(const DenseNetwork& network, const Dataset& data,
   return static_cast<double>(hits.load()) / static_cast<double>(n);
 }
 
+double recall_at_k(std::span<const Index> retrieved,
+                   std::span<const Index> exact_topk) {
+  if (exact_topk.empty()) return 1.0;
+  // Count distinct oracle ids covered (duplicates in either span count
+  // once); sorted copies keep this O(n log n) with no hashing.
+  std::vector<Index> oracle(exact_topk.begin(), exact_topk.end());
+  std::sort(oracle.begin(), oracle.end());
+  oracle.erase(std::unique(oracle.begin(), oracle.end()), oracle.end());
+  std::vector<Index> got(retrieved.begin(), retrieved.end());
+  std::sort(got.begin(), got.end());
+  std::size_t overlap = 0;
+  std::size_t j = 0;
+  for (Index id : oracle) {
+    while (j < got.size() && got[j] < id) ++j;
+    if (j < got.size() && got[j] == id) ++overlap;
+  }
+  return static_cast<double>(overlap) / static_cast<double>(oracle.size());
+}
+
 }  // namespace slide

@@ -1,0 +1,35 @@
+// Brute-force retrieval: every live id is a candidate.
+//
+// This is the `exact = true` scan expressed as a Retriever — the oracle
+// the other backends are measured against (metrics::recall_at_k), and the
+// degenerate baseline for the standalone ANN-search workloads. There is no
+// index: retrieve() appends the whole universe (minus removed ids and
+// pre-stamped exclusions), so `budget` is documented-ignored and rebuild()
+// is a no-op.
+#pragma once
+
+#include "retrieval/retriever.h"
+
+namespace slide::retrieval {
+
+class ExactRetriever final : public Retriever {
+ public:
+  explicit ExactRetriever(RowView rows) : rows_(rows) {}
+
+  RetrieverKind kind() const noexcept override { return RetrieverKind::kExact; }
+  Index size() const noexcept override { return rows_.count; }
+
+  void retrieve(std::span<const Index> query_ids,
+                std::span<const float> query_act, Index budget, Rng& rng,
+                VisitedSet& visited, std::vector<Index>& out,
+                bool fresh_epoch = true) const override;
+
+  void rebuild(ThreadPool* pool) override { (void)pool; }
+
+  std::size_t memory_bytes() const noexcept override { return 0; }
+
+ private:
+  RowView rows_;
+};
+
+}  // namespace slide::retrieval

@@ -1,0 +1,21 @@
+#include "retrieval/retriever.h"
+
+namespace slide::retrieval {
+
+const char* to_string(RetrieverKind kind) {
+  switch (kind) {
+    case RetrieverKind::kLsh: return "lsh";
+    case RetrieverKind::kExact: return "exact";
+    case RetrieverKind::kHnsw: return "hnsw";
+  }
+  return "?";
+}
+
+RetrieverKind parse_retriever_kind(const std::string& s) {
+  if (s == "lsh") return RetrieverKind::kLsh;
+  if (s == "exact") return RetrieverKind::kExact;
+  if (s == "hnsw") return RetrieverKind::kHnsw;
+  throw Error("unknown retriever kind: " + s + " (expected lsh|exact|hnsw)");
+}
+
+}  // namespace slide::retrieval

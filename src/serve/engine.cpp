@@ -29,6 +29,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ModelStore> store,
     // worker's BatchOutput contexts.
     worker_state_[static_cast<std::size_t>(w)].out = BatchOutput(
         config_.seed + 0x9E37u * static_cast<std::uint64_t>(w + 1));
+    worker_state_[static_cast<std::size_t>(w)].page_ctx = InferenceContext(
+        1, config_.seed + 0xA11CEull * static_cast<std::uint64_t>(w + 1));
     workers_.emplace_back([this, w] { worker_main(w); });
   }
 }
@@ -37,7 +39,8 @@ InferenceEngine::~InferenceEngine() { stop(); }
 
 ServeRequest InferenceEngine::prepare_request(SparseVector features,
                                               int top_k,
-                                              std::optional<bool> exact) {
+                                              std::optional<bool> exact,
+                                              int page_offset) {
   // Validate at admission (indices are sorted, so this is one lock-free
   // comparison) — a malformed request must never reach a worker, where it
   // would corrupt or kill the whole serving process. Workers re-validate
@@ -46,10 +49,13 @@ ServeRequest InferenceEngine::prepare_request(SparseVector features,
   SLIDE_CHECK(features.min_dim() <= store_->input_dim(),
               "InferenceEngine: feature index out of range for the served "
               "model");
+  SLIDE_CHECK(page_offset >= 0,
+              "InferenceEngine: page_offset must be non-negative");
   ServeRequest request;
   request.features = std::move(features);
   request.top_k = top_k > 0 ? top_k : config_.default_top_k;
   request.exact = exact.value_or(config_.exact);
+  request.page_offset = page_offset;
   request.enqueue_time = std::chrono::steady_clock::now();
   return request;
 }
@@ -64,8 +70,10 @@ bool InferenceEngine::enqueue(ServeRequest&& request) {
 }
 
 std::optional<std::future<Prediction>> InferenceEngine::submit(
-    SparseVector features, int top_k, std::optional<bool> exact) {
-  ServeRequest request = prepare_request(std::move(features), top_k, exact);
+    SparseVector features, int top_k, std::optional<bool> exact,
+    int page_offset) {
+  ServeRequest request =
+      prepare_request(std::move(features), top_k, exact, page_offset);
   std::future<Prediction> future = request.promise.get_future();
   if (!enqueue(std::move(request))) return std::nullopt;
   return future;
@@ -73,10 +81,12 @@ std::optional<std::future<Prediction>> InferenceEngine::submit(
 
 bool InferenceEngine::submit_callback(SparseVector features,
                                       std::function<void(Prediction)> callback,
-                                      int top_k, std::optional<bool> exact) {
+                                      int top_k, std::optional<bool> exact,
+                                      int page_offset) {
   SLIDE_CHECK(callback != nullptr,
               "InferenceEngine: callback must not be empty");
-  ServeRequest request = prepare_request(std::move(features), top_k, exact);
+  ServeRequest request =
+      prepare_request(std::move(features), top_k, exact, page_offset);
   request.callback = std::move(callback);
   return enqueue(std::move(request));
 }
@@ -128,7 +138,9 @@ void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
     state.snapshot = snap;
     // The BatchOutput's context scratch is sized by the snapshot's
     // architecture; predict_batch rebuilds it automatically when the
-    // max-units signature changes, so nothing to do here.
+    // max-units signature changes. The pagination context is ours to
+    // re-target (reset keeps the worker's RNG stream).
+    state.page_ctx.reset(*snap->network);
   }
   // Batch composition is final here; count it before fulfilling any
   // promise so stats() read after a future resolves always sees the batch.
@@ -183,21 +195,37 @@ void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
   }
 
   // Dispatch the micro-batch whole: group requests that share
-  // (top_k, exact) — those parameters shape the answer — and run each
-  // group through Network::predict_batch in one call.
+  // (top_k, exact, page_offset) — those parameters shape the answer — and
+  // run each group through Network::predict_batch in one call. Paged
+  // groups (offset > 0) have no batch entry point; they run per-row
+  // through predict_topk_page on the worker's own context.
   for (std::size_t i = 0; i < n; ++i) {
     if (state.served[i]) continue;
     const int top_k = batch[i].top_k;
     const bool exact = batch[i].exact;
+    const int page_offset = batch[i].page_offset;
     state.group_features.clear();
     state.group_members.clear();
     for (std::size_t j = i; j < n; ++j) {
       if (state.served[j] || batch[j].top_k != top_k ||
-          batch[j].exact != exact)
+          batch[j].exact != exact || batch[j].page_offset != page_offset)
         continue;
       state.group_features.push_back(&batch[j].features);
       state.group_members.push_back(j);
       state.served[j] = 1;
+    }
+    if (page_offset > 0) {
+      for (std::size_t member : state.group_members) {
+        try {
+          network.predict_topk_page(batch[member].features, state.page_ctx,
+                                    top_k, page_offset, exact,
+                                    state.page_out);
+          fulfill(batch[member], state.page_out);
+        } catch (...) {
+          fail(batch[member], std::current_exception());
+        }
+      }
+      continue;
     }
     try {
       network.predict_batch(
@@ -246,9 +274,19 @@ ServeStats InferenceEngine::stats() const {
   const std::shared_ptr<const ModelSnapshot> snapshot = store_->current();
   if (snapshot != nullptr && snapshot->network != nullptr) {
     const Network& net = *snapshot->network;
+    long overlap = 0;
+    long oracle = 0;
     for (int i = 0; i < net.stack_depth(); ++i) {
+      const Layer& layer = net.stack(i);
+      const RetrievalStats rs = layer.retrieval_stats();
+      if (rs.adaptive) {
+        s.adaptive_retrieval = true;
+        s.retrieval_escalations += static_cast<std::uint64_t>(rs.escalations);
+        overlap += rs.overlap;
+        oracle += rs.oracle;
+      }
       const auto* d =
-          dynamic_cast<const dist::DistributedSampledLayer*>(&net.stack(i));
+          dynamic_cast<const dist::DistributedSampledLayer*>(&layer);
       if (d == nullptr) continue;
       s.distributed = true;
       const dist::WireCounters wc = d->wire_counters();
@@ -256,6 +294,9 @@ ServeStats InferenceEngine::stats() const {
       s.wire_bytes_received += wc.bytes_received;
       s.unhealthy_shards += d->unhealthy_shards();
     }
+    if (oracle > 0)
+      s.retrieval_recall =
+          static_cast<double>(overlap) / static_cast<double>(oracle);
   }
   return s;
 }
@@ -286,6 +327,12 @@ void InferenceEngine::print_stats(std::ostream& out) const {
                    fmt_int(static_cast<long long>(s.wire_bytes_received))});
     table.add_row({"unhealthy shards",
                    fmt_int(static_cast<long long>(s.unhealthy_shards))});
+  }
+  if (s.adaptive_retrieval) {
+    table.add_row(
+        {"retrieval escalations",
+         fmt_int(static_cast<long long>(s.retrieval_escalations))});
+    table.add_row({"retrieval recall", fmt(s.retrieval_recall, 4)});
   }
   table.print(out);
 }

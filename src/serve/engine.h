@@ -83,6 +83,15 @@ struct ServeStats {
   std::uint64_t wire_bytes_sent = 0;      // coordinator -> workers
   std::uint64_t wire_bytes_received = 0;  // workers -> coordinator
   int unhealthy_shards = 0;  // degraded-mode health flag (skipped shards)
+
+  // Per-query adaptive retrieval (all zero unless a served layer runs with
+  // sampling.escalation_floor > 0; see src/retrieval/). Escalated queries
+  // fall back to exact scoring; `retrieval_recall` is the measured
+  // recall@10 of the sampled candidate set against the exact answer on
+  // those queries — a live estimate of how much the index is missing.
+  bool adaptive_retrieval = false;
+  std::uint64_t retrieval_escalations = 0;
+  double retrieval_recall = 0.0;
 };
 
 class InferenceEngine {
@@ -97,17 +106,22 @@ class InferenceEngine {
   /// (with the result, or with the exception the worker hit serving it).
   /// nullopt = rejected by backpressure (queue full or engine stopped).
   /// Throws slide::Error at admission when a feature index exceeds the
-  /// served model's input dimension. top_k = 0 uses
-  /// config().default_top_k; exact overrides config().exact when set.
+  /// served model's input dimension or page_offset is negative. top_k = 0
+  /// uses config().default_top_k; exact overrides config().exact when set.
+  /// page_offset > 0 returns ranks [page_offset, page_offset + top_k) of
+  /// the full ranking instead of the head (pagination; see
+  /// Network::topk_iterator) — pages of one query concatenate to exactly
+  /// the one-shot top-k when served against the same snapshot version.
   std::optional<std::future<Prediction>> submit(
       SparseVector features, int top_k = 0,
-      std::optional<bool> exact = std::nullopt);
+      std::optional<bool> exact = std::nullopt, int page_offset = 0);
 
   /// Callback flavor: `callback` runs on the worker thread that served the
   /// request (keep it light). False = rejected by backpressure.
   bool submit_callback(SparseVector features,
                        std::function<void(Prediction)> callback, int top_k = 0,
-                       std::optional<bool> exact = std::nullopt);
+                       std::optional<bool> exact = std::nullopt,
+                       int page_offset = 0);
 
   /// Drain control: paused workers finish their in-flight batch, then hold;
   /// admission stays open (the queue absorbs up to queue_capacity).
@@ -131,7 +145,7 @@ class InferenceEngine {
   /// Shared admission path: validates features (throws slide::Error on an
   /// out-of-range index) and stamps defaults + enqueue time.
   ServeRequest prepare_request(SparseVector features, int top_k,
-                               std::optional<bool> exact);
+                               std::optional<bool> exact, int page_offset);
   /// Pushes or rejects (backpressure), keeping the counters in step.
   bool enqueue(ServeRequest&& request);
 
@@ -149,10 +163,14 @@ class InferenceEngine {
   struct WorkerState {
     std::shared_ptr<const ModelSnapshot> snapshot;
     BatchOutput out;  // predict_batch result + reused context scratch
-    // Dispatch-group scratch (requests sharing top_k/exact).
+    // Dispatch-group scratch (requests sharing top_k/exact/page_offset).
     std::vector<const SparseVector*> group_features;
     std::vector<std::size_t> group_members;
     std::vector<char> served;
+    // Pagination path (page_offset > 0): single-sample context + result
+    // scratch, re-targeted on snapshot swaps.
+    InferenceContext page_ctx{1};
+    std::vector<Index> page_out;
   };
   std::vector<WorkerState> worker_state_;
 

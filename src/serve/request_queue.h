@@ -41,6 +41,10 @@ struct ServeRequest {
   SparseVector features;
   int top_k = 1;
   bool exact = false;
+  /// Results [page_offset, page_offset + top_k) of the full ranking — the
+  /// pagination surface over Network::topk_iterator. 0 = first page (the
+  /// ordinary batched top-k path).
+  int page_offset = 0;
   std::chrono::steady_clock::time_point enqueue_time;
   std::promise<Prediction> promise;
   std::function<void(Prediction)> callback;  // empty -> promise path

@@ -35,6 +35,10 @@
 #include "metrics/table_printer.h"     // IWYU pragma: export
 #include "optim/adam.h"                // IWYU pragma: export
 #include "optim/sgd.h"                 // IWYU pragma: export
+#include "retrieval/exact_retriever.h"  // IWYU pragma: export
+#include "retrieval/hnsw_retriever.h"   // IWYU pragma: export
+#include "retrieval/lsh_retriever.h"    // IWYU pragma: export
+#include "retrieval/retriever.h"        // IWYU pragma: export
 #include "serve/engine.h"              // IWYU pragma: export
 #include "serve/request_queue.h"       // IWYU pragma: export
 #include "serve/snapshot.h"            // IWYU pragma: export
