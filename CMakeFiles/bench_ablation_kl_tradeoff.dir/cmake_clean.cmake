@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kl_tradeoff.dir/bench/ablation_kl_tradeoff.cpp.o"
+  "CMakeFiles/bench_ablation_kl_tradeoff.dir/bench/ablation_kl_tradeoff.cpp.o.d"
+  "bench/ablation_kl_tradeoff"
+  "bench/ablation_kl_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kl_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

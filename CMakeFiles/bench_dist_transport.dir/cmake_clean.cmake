@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_transport.dir/bench/dist_transport.cpp.o"
+  "CMakeFiles/bench_dist_transport.dir/bench/dist_transport.cpp.o.d"
+  "bench/dist_transport"
+  "bench/dist_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_optimizations.dir/bench/fig10_optimizations.cpp.o"
+  "CMakeFiles/bench_fig10_optimizations.dir/bench/fig10_optimizations.cpp.o.d"
+  "bench/fig10_optimizations"
+  "bench/fig10_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_threshold_theory.dir/bench/fig11_threshold_theory.cpp.o"
+  "CMakeFiles/bench_fig11_threshold_theory.dir/bench/fig11_threshold_theory.cpp.o.d"
+  "bench/fig11_threshold_theory"
+  "bench/fig11_threshold_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_threshold_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sampling_strategies.dir/bench/fig4_sampling_strategies.cpp.o"
+  "CMakeFiles/bench_fig4_sampling_strategies.dir/bench/fig4_sampling_strategies.cpp.o.d"
+  "bench/fig4_sampling_strategies"
+  "bench/fig4_sampling_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sampling_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_time_vs_accuracy.dir/bench/fig5_time_vs_accuracy.cpp.o"
+  "CMakeFiles/bench_fig5_time_vs_accuracy.dir/bench/fig5_time_vs_accuracy.cpp.o.d"
+  "bench/fig5_time_vs_accuracy"
+  "bench/fig5_time_vs_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_time_vs_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

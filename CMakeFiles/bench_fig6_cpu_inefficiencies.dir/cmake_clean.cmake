@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cpu_inefficiencies.dir/bench/fig6_cpu_inefficiencies.cpp.o"
+  "CMakeFiles/bench_fig6_cpu_inefficiencies.dir/bench/fig6_cpu_inefficiencies.cpp.o.d"
+  "bench/fig6_cpu_inefficiencies"
+  "bench/fig6_cpu_inefficiencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cpu_inefficiencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sampled_softmax.dir/bench/fig7_sampled_softmax.cpp.o"
+  "CMakeFiles/bench_fig7_sampled_softmax.dir/bench/fig7_sampled_softmax.cpp.o.d"
+  "bench/fig7_sampled_softmax"
+  "bench/fig7_sampled_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sampled_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_sampled_softmax.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_batch_size.dir/bench/fig8_batch_size.cpp.o"
+  "CMakeFiles/bench_fig8_batch_size.dir/bench/fig8_batch_size.cpp.o.d"
+  "bench/fig8_batch_size"
+  "bench/fig8_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maintenance_overhead.dir/bench/maintenance_overhead.cpp.o"
+  "CMakeFiles/bench_maintenance_overhead.dir/bench/maintenance_overhead.cpp.o.d"
+  "bench/maintenance_overhead"
+  "bench/maintenance_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maintenance_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_backend.dir/bench/micro_backend.cpp.o"
+  "CMakeFiles/bench_micro_backend.dir/bench/micro_backend.cpp.o.d"
+  "bench/micro_backend"
+  "bench/micro_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

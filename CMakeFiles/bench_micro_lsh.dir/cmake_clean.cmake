@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lsh.dir/bench/micro_lsh.cpp.o"
+  "CMakeFiles/bench_micro_lsh.dir/bench/micro_lsh.cpp.o.d"
+  "bench/micro_lsh"
+  "bench/micro_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retrieval_backends.dir/bench/retrieval_backends.cpp.o"
+  "CMakeFiles/bench_retrieval_backends.dir/bench/retrieval_backends.cpp.o.d"
+  "bench/retrieval_backends"
+  "bench/retrieval_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shard_scaling.dir/bench/shard_scaling.cpp.o"
+  "CMakeFiles/bench_shard_scaling.dir/bench/shard_scaling.cpp.o.d"
+  "bench/shard_scaling"
+  "bench/shard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

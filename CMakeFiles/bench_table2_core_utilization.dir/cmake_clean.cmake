@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_core_utilization.dir/bench/table2_core_utilization.cpp.o"
+  "CMakeFiles/bench_table2_core_utilization.dir/bench/table2_core_utilization.cpp.o.d"
+  "bench/table2_core_utilization"
+  "bench/table2_core_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_core_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

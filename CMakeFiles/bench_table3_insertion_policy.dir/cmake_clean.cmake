@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_insertion_policy.dir/bench/table3_insertion_policy.cpp.o"
+  "CMakeFiles/bench_table3_insertion_policy.dir/bench/table3_insertion_policy.cpp.o.d"
+  "bench/table3_insertion_policy"
+  "bench/table3_insertion_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_insertion_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hugepages.dir/bench/table4_hugepages.cpp.o"
+  "CMakeFiles/bench_table4_hugepages.dir/bench/table4_hugepages.cpp.o.d"
+  "bench/table4_hugepages"
+  "bench/table4_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

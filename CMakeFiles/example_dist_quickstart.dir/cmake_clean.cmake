@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dist_quickstart.dir/examples/dist_quickstart.cpp.o"
+  "CMakeFiles/example_dist_quickstart.dir/examples/dist_quickstart.cpp.o.d"
+  "examples/dist_quickstart"
+  "examples/dist_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dist_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

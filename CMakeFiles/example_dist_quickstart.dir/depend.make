@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dist_quickstart.
+# This may be replaced when dependencies are built.

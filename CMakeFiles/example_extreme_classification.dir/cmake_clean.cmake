@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_extreme_classification.dir/examples/extreme_classification.cpp.o"
+  "CMakeFiles/example_extreme_classification.dir/examples/extreme_classification.cpp.o.d"
+  "examples/extreme_classification"
+  "examples/extreme_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_extreme_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lsh_topk_search.dir/examples/lsh_topk_search.cpp.o"
+  "CMakeFiles/example_lsh_topk_search.dir/examples/lsh_topk_search.cpp.o.d"
+  "examples/lsh_topk_search"
+  "examples/lsh_topk_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lsh_topk_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recommendation.dir/examples/recommendation.cpp.o"
+  "CMakeFiles/example_recommendation.dir/examples/recommendation.cpp.o.d"
+  "examples/recommendation"
+  "examples/recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

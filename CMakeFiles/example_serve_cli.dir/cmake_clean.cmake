@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serve_cli.dir/examples/serve_cli.cpp.o"
+  "CMakeFiles/example_serve_cli.dir/examples/serve_cli.cpp.o.d"
+  "examples/serve_cli"
+  "examples/serve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xc_train_cli.dir/examples/xc_train_cli.cpp.o"
+  "CMakeFiles/example_xc_train_cli.dir/examples/xc_train_cli.cpp.o.d"
+  "examples/xc_train_cli"
+  "examples/xc_train_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xc_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

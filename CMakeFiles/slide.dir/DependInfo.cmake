@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dense_network.cpp" "CMakeFiles/slide.dir/src/baseline/dense_network.cpp.o" "gcc" "CMakeFiles/slide.dir/src/baseline/dense_network.cpp.o.d"
+  "/root/repo/src/baseline/sampled_softmax.cpp" "CMakeFiles/slide.dir/src/baseline/sampled_softmax.cpp.o" "gcc" "CMakeFiles/slide.dir/src/baseline/sampled_softmax.cpp.o.d"
+  "/root/repo/src/core/activation.cpp" "CMakeFiles/slide.dir/src/core/activation.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/activation.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "CMakeFiles/slide.dir/src/core/builder.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/builder.cpp.o.d"
+  "/root/repo/src/core/layer.cpp" "CMakeFiles/slide.dir/src/core/layer.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/layer.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "CMakeFiles/slide.dir/src/core/network.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/network.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "CMakeFiles/slide.dir/src/core/serialize.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/serialize.cpp.o.d"
+  "/root/repo/src/core/sharded_layer.cpp" "CMakeFiles/slide.dir/src/core/sharded_layer.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/sharded_layer.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/slide.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/slide.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/data/batching.cpp" "CMakeFiles/slide.dir/src/data/batching.cpp.o" "gcc" "CMakeFiles/slide.dir/src/data/batching.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/slide.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/slide.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/sparse_vector.cpp" "CMakeFiles/slide.dir/src/data/sparse_vector.cpp.o" "gcc" "CMakeFiles/slide.dir/src/data/sparse_vector.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/slide.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/slide.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/xc_reader.cpp" "CMakeFiles/slide.dir/src/data/xc_reader.cpp.o" "gcc" "CMakeFiles/slide.dir/src/data/xc_reader.cpp.o.d"
+  "/root/repo/src/dist/client.cpp" "CMakeFiles/slide.dir/src/dist/client.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/client.cpp.o.d"
+  "/root/repo/src/dist/distributed_layer.cpp" "CMakeFiles/slide.dir/src/dist/distributed_layer.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/distributed_layer.cpp.o.d"
+  "/root/repo/src/dist/frame.cpp" "CMakeFiles/slide.dir/src/dist/frame.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/frame.cpp.o.d"
+  "/root/repo/src/dist/protocol.cpp" "CMakeFiles/slide.dir/src/dist/protocol.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/protocol.cpp.o.d"
+  "/root/repo/src/dist/shm_ring.cpp" "CMakeFiles/slide.dir/src/dist/shm_ring.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/shm_ring.cpp.o.d"
+  "/root/repo/src/dist/transport.cpp" "CMakeFiles/slide.dir/src/dist/transport.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/transport.cpp.o.d"
+  "/root/repo/src/dist/worker.cpp" "CMakeFiles/slide.dir/src/dist/worker.cpp.o" "gcc" "CMakeFiles/slide.dir/src/dist/worker.cpp.o.d"
+  "/root/repo/src/lsh/collision.cpp" "CMakeFiles/slide.dir/src/lsh/collision.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/collision.cpp.o.d"
+  "/root/repo/src/lsh/doph.cpp" "CMakeFiles/slide.dir/src/lsh/doph.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/doph.cpp.o.d"
+  "/root/repo/src/lsh/dwta.cpp" "CMakeFiles/slide.dir/src/lsh/dwta.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/dwta.cpp.o.d"
+  "/root/repo/src/lsh/hash_table.cpp" "CMakeFiles/slide.dir/src/lsh/hash_table.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/hash_table.cpp.o.d"
+  "/root/repo/src/lsh/mips.cpp" "CMakeFiles/slide.dir/src/lsh/mips.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/mips.cpp.o.d"
+  "/root/repo/src/lsh/sampling.cpp" "CMakeFiles/slide.dir/src/lsh/sampling.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/sampling.cpp.o.d"
+  "/root/repo/src/lsh/simhash.cpp" "CMakeFiles/slide.dir/src/lsh/simhash.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/simhash.cpp.o.d"
+  "/root/repo/src/lsh/table_group.cpp" "CMakeFiles/slide.dir/src/lsh/table_group.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/table_group.cpp.o.d"
+  "/root/repo/src/lsh/wta.cpp" "CMakeFiles/slide.dir/src/lsh/wta.cpp.o" "gcc" "CMakeFiles/slide.dir/src/lsh/wta.cpp.o.d"
+  "/root/repo/src/metrics/convergence.cpp" "CMakeFiles/slide.dir/src/metrics/convergence.cpp.o" "gcc" "CMakeFiles/slide.dir/src/metrics/convergence.cpp.o.d"
+  "/root/repo/src/metrics/instrumentation.cpp" "CMakeFiles/slide.dir/src/metrics/instrumentation.cpp.o" "gcc" "CMakeFiles/slide.dir/src/metrics/instrumentation.cpp.o.d"
+  "/root/repo/src/metrics/latency.cpp" "CMakeFiles/slide.dir/src/metrics/latency.cpp.o" "gcc" "CMakeFiles/slide.dir/src/metrics/latency.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "CMakeFiles/slide.dir/src/metrics/metrics.cpp.o" "gcc" "CMakeFiles/slide.dir/src/metrics/metrics.cpp.o.d"
+  "/root/repo/src/metrics/table_printer.cpp" "CMakeFiles/slide.dir/src/metrics/table_printer.cpp.o" "gcc" "CMakeFiles/slide.dir/src/metrics/table_printer.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "CMakeFiles/slide.dir/src/optim/adam.cpp.o" "gcc" "CMakeFiles/slide.dir/src/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "CMakeFiles/slide.dir/src/optim/sgd.cpp.o" "gcc" "CMakeFiles/slide.dir/src/optim/sgd.cpp.o.d"
+  "/root/repo/src/retrieval/exact_retriever.cpp" "CMakeFiles/slide.dir/src/retrieval/exact_retriever.cpp.o" "gcc" "CMakeFiles/slide.dir/src/retrieval/exact_retriever.cpp.o.d"
+  "/root/repo/src/retrieval/hnsw_retriever.cpp" "CMakeFiles/slide.dir/src/retrieval/hnsw_retriever.cpp.o" "gcc" "CMakeFiles/slide.dir/src/retrieval/hnsw_retriever.cpp.o.d"
+  "/root/repo/src/retrieval/lsh_retriever.cpp" "CMakeFiles/slide.dir/src/retrieval/lsh_retriever.cpp.o" "gcc" "CMakeFiles/slide.dir/src/retrieval/lsh_retriever.cpp.o.d"
+  "/root/repo/src/retrieval/retriever.cpp" "CMakeFiles/slide.dir/src/retrieval/retriever.cpp.o" "gcc" "CMakeFiles/slide.dir/src/retrieval/retriever.cpp.o.d"
+  "/root/repo/src/serve/engine.cpp" "CMakeFiles/slide.dir/src/serve/engine.cpp.o" "gcc" "CMakeFiles/slide.dir/src/serve/engine.cpp.o.d"
+  "/root/repo/src/serve/request_queue.cpp" "CMakeFiles/slide.dir/src/serve/request_queue.cpp.o" "gcc" "CMakeFiles/slide.dir/src/serve/request_queue.cpp.o.d"
+  "/root/repo/src/serve/snapshot.cpp" "CMakeFiles/slide.dir/src/serve/snapshot.cpp.o" "gcc" "CMakeFiles/slide.dir/src/serve/snapshot.cpp.o.d"
+  "/root/repo/src/simd/backend.cpp" "CMakeFiles/slide.dir/src/simd/backend.cpp.o" "gcc" "CMakeFiles/slide.dir/src/simd/backend.cpp.o.d"
+  "/root/repo/src/simd/kernels.cpp" "CMakeFiles/slide.dir/src/simd/kernels.cpp.o" "gcc" "CMakeFiles/slide.dir/src/simd/kernels.cpp.o.d"
+  "/root/repo/src/simd/kernels_avx2.cpp" "CMakeFiles/slide.dir/src/simd/kernels_avx2.cpp.o" "gcc" "CMakeFiles/slide.dir/src/simd/kernels_avx2.cpp.o.d"
+  "/root/repo/src/simd/kernels_avx512.cpp" "CMakeFiles/slide.dir/src/simd/kernels_avx512.cpp.o" "gcc" "CMakeFiles/slide.dir/src/simd/kernels_avx512.cpp.o.d"
+  "/root/repo/src/simd/kernels_scalar.cpp" "CMakeFiles/slide.dir/src/simd/kernels_scalar.cpp.o" "gcc" "CMakeFiles/slide.dir/src/simd/kernels_scalar.cpp.o.d"
+  "/root/repo/src/sys/cpu_features.cpp" "CMakeFiles/slide.dir/src/sys/cpu_features.cpp.o" "gcc" "CMakeFiles/slide.dir/src/sys/cpu_features.cpp.o.d"
+  "/root/repo/src/sys/hugepages.cpp" "CMakeFiles/slide.dir/src/sys/hugepages.cpp.o" "gcc" "CMakeFiles/slide.dir/src/sys/hugepages.cpp.o.d"
+  "/root/repo/src/sys/perf_counters.cpp" "CMakeFiles/slide.dir/src/sys/perf_counters.cpp.o" "gcc" "CMakeFiles/slide.dir/src/sys/perf_counters.cpp.o.d"
+  "/root/repo/src/sys/thread_pool.cpp" "CMakeFiles/slide.dir/src/sys/thread_pool.cpp.o" "gcc" "CMakeFiles/slide.dir/src/sys/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

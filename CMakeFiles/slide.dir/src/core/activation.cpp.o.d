@@ -1,0 +1,3 @@
+CMakeFiles/slide.dir/src/core/activation.cpp.o: \
+ /root/repo/src/core/activation.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/activation.h

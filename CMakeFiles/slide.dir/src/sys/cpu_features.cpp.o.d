@@ -1,0 +1,3 @@
+CMakeFiles/slide.dir/src/sys/cpu_features.cpp.o: \
+ /root/repo/src/sys/cpu_features.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sys/cpu_features.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slide_worker.dir/tools/slide_worker.cpp.o"
+  "CMakeFiles/slide_worker.dir/tools/slide_worker.cpp.o.d"
+  "tools/slide_worker"
+  "tools/slide_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slide_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer.dir/tests/test_layer.cpp.o"
+  "CMakeFiles/test_layer.dir/tests/test_layer.cpp.o.d"
+  "test_layer"
+  "test_layer.pdb"
+  "test_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh_hashes.dir/tests/test_lsh_hashes.cpp.o"
+  "CMakeFiles/test_lsh_hashes.dir/tests/test_lsh_hashes.cpp.o.d"
+  "test_lsh_hashes"
+  "test_lsh_hashes.pdb"
+  "test_lsh_hashes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

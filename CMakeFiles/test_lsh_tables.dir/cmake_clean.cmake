@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh_tables.dir/tests/test_lsh_tables.cpp.o"
+  "CMakeFiles/test_lsh_tables.dir/tests/test_lsh_tables.cpp.o.d"
+  "test_lsh_tables"
+  "test_lsh_tables.pdb"
+  "test_lsh_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maintenance.dir/tests/test_maintenance.cpp.o"
+  "CMakeFiles/test_maintenance.dir/tests/test_maintenance.cpp.o.d"
+  "test_maintenance"
+  "test_maintenance.pdb"
+  "test_maintenance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mips.dir/tests/test_mips.cpp.o"
+  "CMakeFiles/test_mips.dir/tests/test_mips.cpp.o.d"
+  "test_mips"
+  "test_mips.pdb"
+  "test_mips[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrieval.dir/tests/test_retrieval.cpp.o"
+  "CMakeFiles/test_retrieval.dir/tests/test_retrieval.cpp.o.d"
+  "test_retrieval"
+  "test_retrieval.pdb"
+  "test_retrieval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

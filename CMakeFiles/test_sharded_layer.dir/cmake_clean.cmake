@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_layer.dir/tests/test_sharded_layer.cpp.o"
+  "CMakeFiles/test_sharded_layer.dir/tests/test_sharded_layer.cpp.o.d"
+  "test_sharded_layer"
+  "test_sharded_layer.pdb"
+  "test_sharded_layer[1]_tests.cmake"
+  "test_sharded_layer[2]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/test_baseline[1]_include.cmake")
+include("/root/repo/test_builder[1]_include.cmake")
+include("/root/repo/test_data[1]_include.cmake")
+include("/root/repo/test_dist[1]_include.cmake")
+include("/root/repo/test_inference[1]_include.cmake")
+include("/root/repo/test_integration[1]_include.cmake")
+include("/root/repo/test_layer[1]_include.cmake")
+include("/root/repo/test_lsh_hashes[1]_include.cmake")
+include("/root/repo/test_lsh_tables[1]_include.cmake")
+include("/root/repo/test_maintenance[1]_include.cmake")
+include("/root/repo/test_metrics[1]_include.cmake")
+include("/root/repo/test_mips[1]_include.cmake")
+include("/root/repo/test_network[1]_include.cmake")
+include("/root/repo/test_optim[1]_include.cmake")
+include("/root/repo/test_precision[1]_include.cmake")
+include("/root/repo/test_retrieval[1]_include.cmake")
+include("/root/repo/test_sampling[1]_include.cmake")
+include("/root/repo/test_serialize[1]_include.cmake")
+include("/root/repo/test_serve[1]_include.cmake")
+include("/root/repo/test_sharded_layer[1]_include.cmake")
+include("/root/repo/test_sharded_layer[2]_include.cmake")
+include("/root/repo/test_simd[1]_include.cmake")
+include("/root/repo/test_simd[2]_include.cmake")
+include("/root/repo/test_stress[1]_include.cmake")
+include("/root/repo/test_sys[1]_include.cmake")
+include("/root/repo/test_trainer[1]_include.cmake")
