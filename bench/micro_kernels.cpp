@@ -24,7 +24,8 @@ std::vector<float> vec(std::size_t n, std::uint64_t seed) {
 
 void BM_Dot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  simd::set_simd_enabled(state.range(1) != 0);
+  simd::set_simd_level(state.range(1) != 0 ? simd::detected_level()
+                                           : simd::SimdLevel::kScalar);
   const auto a = vec(n, 1), b = vec(n, 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(simd::dot(a.data(), b.data(), n));
@@ -32,13 +33,14 @@ void BM_Dot(benchmark::State& state) {
   state.SetLabel(simd::to_string(simd::active_level()));
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
                           2 * sizeof(float));
-  simd::set_simd_enabled(true);
+  simd::set_simd_level(simd::detected_level());
 }
 BENCHMARK(BM_Dot)->Args({128, 1})->Args({128, 0})->Args({4096, 1})->Args({4096, 0});
 
 void BM_Axpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  simd::set_simd_enabled(state.range(1) != 0);
+  simd::set_simd_level(state.range(1) != 0 ? simd::detected_level()
+                                           : simd::SimdLevel::kScalar);
   const auto x = vec(n, 3);
   auto y = vec(n, 4);
   for (auto _ : state) {
@@ -46,13 +48,14 @@ void BM_Axpy(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetLabel(simd::to_string(simd::active_level()));
-  simd::set_simd_enabled(true);
+  simd::set_simd_level(simd::detected_level());
 }
 BENCHMARK(BM_Axpy)->Args({128, 1})->Args({128, 0})->Args({4096, 1})->Args({4096, 0});
 
 void BM_SparseDotGather(benchmark::State& state) {
   const auto nnz = static_cast<std::size_t>(state.range(0));
-  simd::set_simd_enabled(state.range(1) != 0);
+  simd::set_simd_level(state.range(1) != 0 ? simd::detected_level()
+                                           : simd::SimdLevel::kScalar);
   const auto dense = vec(100'000, 5);
   Rng rng(6);
   std::vector<Index> idx(nnz);
@@ -66,7 +69,7 @@ void BM_SparseDotGather(benchmark::State& state) {
         simd::sparse_dot(idx.data(), val.data(), nnz, dense.data()));
   }
   state.SetLabel(simd::to_string(simd::active_level()));
-  simd::set_simd_enabled(true);
+  simd::set_simd_level(simd::detected_level());
 }
 BENCHMARK(BM_SparseDotGather)->Args({75, 1})->Args({75, 0});
 
@@ -84,7 +87,8 @@ BENCHMARK(BM_Softmax)->Arg(1000)->Arg(16'000);
 
 void BM_AdamStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  simd::set_simd_enabled(state.range(1) != 0);
+  simd::set_simd_level(state.range(1) != 0 ? simd::detected_level()
+                                           : simd::SimdLevel::kScalar);
   auto w = vec(n, 8), m = vec(n, 9), v = vec(n, 10);
   for (auto& x : v) x = x * x;  // second moment must be non-negative
   const auto g = vec(n, 11);
@@ -94,7 +98,7 @@ void BM_AdamStep(benchmark::State& state) {
     benchmark::DoNotOptimize(w.data());
   }
   state.SetLabel(simd::to_string(simd::active_level()));
-  simd::set_simd_enabled(true);
+  simd::set_simd_level(simd::detected_level());
 }
 BENCHMARK(BM_AdamStep)->Args({128, 1})->Args({128, 0});
 

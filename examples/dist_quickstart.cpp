@@ -179,7 +179,7 @@ int main(int argc, char** argv) {
     serve_cfg.num_workers = 1;  // ordered RPC stream: one engine worker
     serve_cfg.exact = true;
     InferenceEngine engine(store, serve_cfg);
-    auto f = engine.submit(probe, /*top_k=*/3);
+    auto f = engine.submit(probe, {.top_k = 3});
     if (!f.has_value() || f->get().labels.empty()) {
       std::fprintf(stderr, "FAIL: serving through distributed layer\n");
       return 1;

@@ -120,7 +120,7 @@ int main() {
   std::vector<std::future<Prediction>> futures;
   for (std::size_t i = 0; i < 8; ++i) {
     // nullopt = backpressure (queue full); real clients retry or shed.
-    auto future = engine.submit(data.test[i].features, /*top_k=*/3);
+    auto future = engine.submit(data.test[i].features, {.top_k = 3});
     if (future.has_value()) futures.push_back(std::move(*future));
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {

@@ -20,6 +20,13 @@
 //                     boots a DistributedSampledLayer that pushes the
 //                     checkpoint weights to the workers, and the stats
 //                     table grows bytes-on-wire + shard-health rows
+//     --metrics-port P  serve Prometheus text-format metrics on
+//                     http://127.0.0.1:P/metrics while load runs (P = 0
+//                     picks an ephemeral port; the bound port is printed)
+//     --metrics-dump  print the Prometheus scrape body to stdout at exit
+//
+// Clients rotate through the priority lanes (interactive/default/batch),
+// so the per-lane serving metrics are live in the scrape.
 //
 // The driver trains a SLIDE model on a synthetic Delicious-like XC
 // dataset (SLIDE_BENCH_SCALE widens it), checkpoints it, boots a
@@ -54,6 +61,8 @@ struct Options {
   bool exact = false;
   Precision precision = Precision::kFP32;
   int dist = 0;
+  int metrics_port = -1;  // -1 = no metrics listener
+  bool metrics_dump = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -75,6 +84,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--exact") opt.exact = true;
     else if (arg == "--precision") opt.precision = parse_precision(next().c_str());
     else if (arg == "--dist") opt.dist = std::stoi(next());
+    else if (arg == "--metrics-port") opt.metrics_port = std::stoi(next());
+    else if (arg == "--metrics-dump") opt.metrics_dump = true;
     else throw Error("unknown option: " + arg);
   }
   SLIDE_CHECK(opt.workers > 0, "--workers must be positive");
@@ -86,6 +97,8 @@ Options parse(int argc, char** argv) {
   SLIDE_CHECK(opt.seconds > 0, "--seconds must be positive");
   SLIDE_CHECK(opt.iters >= 0, "--iters must be non-negative");
   SLIDE_CHECK(opt.dist >= 0, "--dist must be non-negative");
+  SLIDE_CHECK(opt.metrics_port >= -1 && opt.metrics_port <= 65535,
+              "--metrics-port must be a port number (0 = ephemeral)");
   return opt;
 }
 
@@ -95,6 +108,7 @@ Options parse(int argc, char** argv) {
 struct LoadResult {
   std::uint64_t completed = 0;
   std::uint64_t retried = 0;  // backpressure rejections (resubmitted)
+  std::uint64_t shed = 0;     // typed ShedError resolutions (lane eviction)
   std::uint64_t invalid = 0;  // empty/out-of-range results (must stay 0)
   double wall_seconds = 0.0;
 };
@@ -102,22 +116,31 @@ struct LoadResult {
 LoadResult run_load(InferenceEngine& engine, const Dataset& queries,
                     int clients, double seconds, int topk, Index output_dim) {
   std::atomic<bool> running{true};
-  std::atomic<std::uint64_t> completed{0}, retried{0}, invalid{0};
+  std::atomic<std::uint64_t> completed{0}, retried{0}, shed{0}, invalid{0};
   std::vector<std::thread> threads;
   WallTimer timer;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       std::size_t i = static_cast<std::size_t>(c);
+      // Rotate lanes across clients so per-lane metrics carry real traffic.
+      const Priority lane = static_cast<Priority>(c % kNumLanes);
       while (running.load(std::memory_order_relaxed)) {
-        auto f = engine.submit(queries[i % queries.size()].features, topk);
+        auto f = engine.submit(queries[i % queries.size()].features,
+                               {.top_k = topk, .priority = lane});
         ++i;
         if (!f.has_value()) {
           retried.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        const Prediction p = f->get();
-        const bool ok = !p.labels.empty() && p.labels[0] < output_dim;
-        (ok ? completed : invalid).fetch_add(1, std::memory_order_relaxed);
+        try {
+          const Prediction p = f->get();
+          const bool ok = !p.labels.empty() && p.labels[0] < output_dim;
+          (ok ? completed : invalid).fetch_add(1, std::memory_order_relaxed);
+        } catch (const ShedError&) {
+          // Policy, not failure: a tiny --queue with mixed lanes evicts
+          // lower-priority requests. Count it and resubmit.
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -125,7 +148,8 @@ LoadResult run_load(InferenceEngine& engine, const Dataset& queries,
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   running.store(false);
   for (auto& t : threads) t.join();
-  return {completed.load(), retried.load(), invalid.load(), timer.seconds()};
+  return {completed.load(), retried.load(), shed.load(), invalid.load(),
+          timer.seconds()};
 }
 
 }  // namespace
@@ -234,14 +258,24 @@ int main(int argc, char** argv) {
   serve_cfg.exact = opt.exact;
   InferenceEngine engine(store, serve_cfg);
 
+  // Optional Prometheus scrape endpoint, alive for the whole load run.
+  std::unique_ptr<MetricsServer> metrics;
+  if (opt.metrics_port >= 0) {
+    metrics = std::make_unique<MetricsServer>(
+        opt.metrics_port, [&engine] { return render_prometheus(engine.stats()); });
+    std::printf("[metrics] http://127.0.0.1:%d/metrics\n", metrics->port());
+  }
+
   // 3. Phase 1: steady-state closed-loop load.
   std::printf("\n[phase 1] %d clients, %.1fs steady-state load\n",
               opt.clients, opt.seconds);
   LoadResult steady = run_load(engine, data.test, opt.clients, opt.seconds,
                                opt.topk, network.output_dim());
-  std::printf("  %.0f qps, %llu retried (backpressure), %llu invalid\n",
+  std::printf("  %.0f qps, %llu retried (backpressure), %llu shed, "
+              "%llu invalid\n",
               static_cast<double>(steady.completed) / steady.wall_seconds,
               static_cast<unsigned long long>(steady.retried),
+              static_cast<unsigned long long>(steady.shed),
               static_cast<unsigned long long>(steady.invalid));
 
   // 4. Phase 2: the same load with a train-and-serve hot-swap in the
@@ -266,14 +300,21 @@ int main(int argc, char** argv) {
   LoadResult swapped = run_load(engine, data.test, opt.clients, opt.seconds,
                                 opt.topk, network.output_dim());
   swapper.join();
-  std::printf("  %.0f qps, %llu retried, %llu invalid (must be 0)\n",
+  std::printf("  %.0f qps, %llu retried, %llu shed, "
+              "%llu invalid (must be 0)\n",
               static_cast<double>(swapped.completed) / swapped.wall_seconds,
               static_cast<unsigned long long>(swapped.retried),
+              static_cast<unsigned long long>(swapped.shed),
               static_cast<unsigned long long>(swapped.invalid));
 
   // 5. Report.
   std::printf("\n== engine stats ==\n");
   engine.print_stats(std::cout);
+  if (opt.metrics_dump) {
+    std::printf("\n== prometheus scrape ==\n%s",
+                render_prometheus(engine.stats()).c_str());
+  }
+  metrics.reset();  // stop the listener before the engine it reads
   engine.stop();
   std::filesystem::remove(checkpoint);
   return swapped.invalid == 0 && steady.invalid == 0 ? 0 : 1;

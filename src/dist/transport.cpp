@@ -167,6 +167,51 @@ void TcpTransport::read_exact(std::uint8_t* dst, std::size_t n,
   }
 }
 
+std::size_t TcpTransport::recv_raw(void* dst, std::size_t cap,
+                                   int timeout_ms) {
+  SLIDE_CHECK(cap > 0, "tcp recv_raw: zero-capacity buffer");
+  const auto start = Clock::now();
+  while (true) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) throw TransportClosed("tcp recv_raw: transport closed");
+    pollfd pfd{fd, POLLIN, 0};
+    const int wait = remaining_ms(start, timeout_ms, "tcp recv_raw");
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("tcp poll");
+    }
+    if (pr == 0) continue;  // loop re-checks the deadline
+    const ssize_t r = ::recv(fd, dst, cap, 0);
+    if (r == 0) throw TransportClosed("tcp recv_raw: peer closed");
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (errno == ECONNRESET || errno == EBADF)
+        throw TransportClosed("tcp recv_raw: peer reset");
+      throw_errno("tcp recv_raw");
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
+void TcpTransport::send_raw(const void* data, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) throw TransportClosed("tcp send_raw: transport closed");
+    const ssize_t w = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET || errno == EBADF)
+        throw TransportClosed("tcp send_raw: peer closed");
+      throw_errno("tcp send_raw");
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+}
+
 Frame TcpTransport::recv(int timeout_ms) {
   std::uint8_t header[kFrameHeaderBytes];
   read_exact(header, kFrameHeaderBytes, timeout_ms);

@@ -133,6 +133,15 @@ class TcpTransport final : public Transport {
   void close() override;
   const char* kind() const noexcept override { return "tcp"; }
 
+  /// Raw-byte side door for non-frame protocols on a TCP socket (the
+  /// metrics HTTP listener). Receives whatever is available, up to `cap`
+  /// bytes; always returns >= 1 or throws (TransportTimeout on expiry,
+  /// TransportClosed on peer shutdown). Raw bytes are not added to the
+  /// frame wire counters — those meter the dist RPC protocol only.
+  std::size_t recv_raw(void* dst, std::size_t cap, int timeout_ms);
+  /// Blocking raw send of exactly `n` bytes. Throws TransportClosed/-Error.
+  void send_raw(const void* data, std::size_t n);
+
  private:
   /// Reads exactly n bytes honoring the deadline accumulated so far.
   void read_exact(std::uint8_t* dst, std::size_t n, int timeout_ms);

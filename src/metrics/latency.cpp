@@ -97,6 +97,20 @@ void LatencyHistogram::reset() noexcept {
   max_us_.store(0.0, std::memory_order_relaxed);
 }
 
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count();
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double LatencyHistogram::bucket_upper_bound_us(int bucket) noexcept {
+  return bucket_upper_us(bucket);
+}
+
 LatencyHistogram::Summary LatencyHistogram::summary() const {
   Summary s;
   s.count = count();

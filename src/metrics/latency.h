@@ -8,6 +8,7 @@
 // the tails never read outside the observed range.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -50,6 +51,24 @@ class LatencyHistogram {
   static constexpr int kSubBuckets = 4;
   static constexpr int kOctaves = 30;
   static constexpr int kNumBuckets = kSubBuckets * kOctaves;
+
+  /// One near-consistent read of every bucket, for exporters that need the
+  /// full distribution (the Prometheus renderer). `count` and `sum_us` are
+  /// read alongside the buckets but not atomically with them; exporters
+  /// that need internal consistency (Prometheus histogram `_count` must
+  /// equal the +Inf bucket) should re-derive the count by summing
+  /// `counts`.
+  struct Snapshot {
+    std::array<std::uint64_t, kNumBuckets> counts{};
+    std::uint64_t count = 0;
+    double sum_us = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Exclusive upper bound of `bucket`, in microseconds. Exposed so
+  /// exporters can emit the bucket boundaries without duplicating the
+  /// geometric layout.
+  static double bucket_upper_bound_us(int bucket) noexcept;
 
  private:
   static int bucket_of(double us) noexcept;

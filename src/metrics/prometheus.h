@@ -1,0 +1,108 @@
+// Prometheus text exposition (format 0.0.4) for the serving tier.
+//
+// Three pieces:
+//
+//   PromWriter           — low-level escaping/formatting writer producing
+//                          well-formed families, samples, and histograms.
+//   render_prometheus()  — the serve engine's metric surface: one call
+//                          renders a ServeStats reading (lane counters,
+//                          shed/deadline-miss counters, latency histograms,
+//                          PR 6 wire counters, PR 7 retrieval stats) as a
+//                          complete scrape body. Pure function of its
+//                          input, so tests can assert on the text without
+//                          a socket.
+//   MetricsServer        — a minimal blocking HTTP/1.0 listener (reusing
+//                          the src/dist tcp plumbing) that answers every
+//                          GET with the renderer's current output. One
+//                          connection at a time, Connection: close — a
+//                          scrape endpoint, not a web server.
+//
+// Histogram mapping: LatencyHistogram's 4-per-octave geometric buckets
+// collapse to octave boundaries on export (le = 2us, 4us, ... in seconds,
+// then +Inf) — 31 export buckets instead of 121 keeps scrape size and
+// Prometheus cardinality sane while preserving the <~2x relative error an
+// octave bound implies. `_count` is derived from the summed bucket counts
+// (not the histogram's separate total counter) so a scrape is always
+// internally consistent under concurrent record() traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "metrics/latency.h"
+
+namespace slide {
+
+struct ServeStats;
+
+class PromWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Starts a metric family: emits the # HELP and # TYPE header lines.
+  /// `type` is one of "counter", "gauge", "histogram", "untyped".
+  void family(const std::string& name, const std::string& help,
+              const std::string& type);
+
+  /// Emits one sample line `name{labels} value`.
+  void sample(const std::string& name, const Labels& labels, double value);
+
+  /// Emits a full histogram (cumulative `le` bucket series + `_sum` +
+  /// `_count`) from a LatencyHistogram snapshot, converting microseconds
+  /// to base-unit seconds and collapsing to octave bucket boundaries.
+  void histogram_us(const std::string& name, const Labels& labels,
+                    const LatencyHistogram::Snapshot& snapshot);
+
+  const std::string& str() const noexcept { return out_; }
+
+  /// Escapes a label value per the exposition format: backslash, double
+  /// quote, and newline.
+  static std::string escape_label_value(const std::string& value);
+  /// Escapes HELP text: backslash and newline (quotes are legal there).
+  static std::string escape_help(const std::string& text);
+  /// Shortest round-trip decimal for a sample value; integral values
+  /// render without an exponent or trailing zeros.
+  static std::string format_value(double value);
+
+ private:
+  std::string out_;
+};
+
+/// Renders one ServeStats reading as a complete Prometheus scrape body.
+std::string render_prometheus(const ServeStats& stats);
+
+/// Minimal blocking HTTP listener for `serve_cli --metrics-port`: answers
+/// every GET on the port with `renderer()` as text/plain; version=0.0.4.
+/// Runs a single background thread; stop() (or destruction) closes the
+/// listener and joins.
+class MetricsServer {
+ public:
+  /// Binds immediately (port 0 = ephemeral; see port()). Throws
+  /// slide::dist::TransportError when the port is taken.
+  MetricsServer(int port, std::function<std::string()> renderer);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound port (kernel-assigned when constructed with 0).
+  int port() const noexcept { return port_; }
+
+  /// Closes the listener and joins the serving thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  std::function<std::string()> renderer_;
+  std::unique_ptr<class MetricsServerImpl> impl_;  // owns the dist listener
+  std::thread thread_;
+  int port_ = 0;
+};
+
+}  // namespace slide

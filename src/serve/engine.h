@@ -1,19 +1,19 @@
 // Concurrent inference engine: bounded admission, adaptive micro-batching,
-// hot-swappable snapshots.
+// hot-swappable snapshots, SLO-aware shedding.
 //
 // Shape of the system (cf. "Accelerating SLIDE Deep Learning on Modern
 // CPUs", 2021 — on CPUs, batching and memory placement decide serving
 // throughput):
 //
-//   clients --> try_push --> [bounded RequestQueue] --> N workers
-//                  |                                     |  drain up to
-//                  v (full)                              |  max_batch, or
-//               rejected                                 |  until the oldest
-//                                                        |  waits max_wait_us
-//                                                        v
-//                                            snapshot = store->current()
-//                                            predict_topk per request
-//                                            fulfill future / callback
+//   clients --> submit --> [3-lane RequestQueue] --> N workers
+//                 |          interactive>default>batch  |  drain up to
+//                 |  (full)        |                    |  max_batch, or
+//                 +--> rejected    | (deadline passed   |  until the oldest
+//                 |  (hopeless     |  while queued)     |  waits max_wait_us
+//                 |   deadline)    v                    v
+//                 +--> shed      shed       snapshot = store->current()
+//                                           predict_topk per request
+//                                           fulfill future / callback
 //
 // Adaptive micro-batching: a worker takes one request (blocking), then
 // keeps draining until either `max_batch` requests are in hand or
@@ -28,12 +28,23 @@
 // the per-worker BatchOutput scratch is reused across batches (its
 // contexts are rebuilt only when a swap changes the architecture).
 //
+// SLO awareness: every request may carry an absolute deadline and a
+// priority lane (ServeOptions). The queue pops strict-priority; a full
+// queue evicts batch work to admit interactive work. Requests whose
+// deadline cannot be met are shed — at admission (deadline already past,
+// or the EWMA of recent per-request service times says the queue wait
+// alone exceeds it) or at pop time (deadline expired while queued). A
+// shed request's future resolves with the typed ShedError (never hangs),
+// distinct from a serving failure; sheds are counted per lane and reason,
+// never as errors.
+//
 // Thread-safety contract with the model: predict_batch is safe for any
 // number of concurrent readers while no writer is active (see
 // core/network.h); snapshots are immutable by construction, so workers
 // need no locks on the model at all.
 #pragma once
 
+#include <chrono>
 #include <exception>
 #include <iosfwd>
 #include <memory>
@@ -62,6 +73,55 @@ struct ServeConfig {
   bool exact = false;
   /// Seeds the per-worker RNGs driving sampled inference.
   std::uint64_t seed = 0x51CE;
+  /// Smoothing of the per-request service-time EWMA behind deadline
+  /// admission control (higher = more reactive to the latest batch).
+  double service_ewma_alpha = 0.2;
+};
+
+/// Per-request serving options — everything submit() accepts beyond the
+/// feature vector. Designated initializers read best at call sites:
+///   engine.submit(x, {.top_k = 3, .priority = Priority::kInteractive});
+/// the fluent with_* setters exist for call sites built incrementally.
+struct ServeOptions {
+  /// 0 = ServeConfig::default_top_k.
+  int top_k = 0;
+  /// Overrides ServeConfig::exact when set.
+  std::optional<bool> exact = std::nullopt;
+  /// Ranks [page_offset, page_offset + top_k) of the full ranking instead
+  /// of the head (pagination; see Network::topk_iterator).
+  int page_offset = 0;
+  /// Priority lane (strict: interactive > default > batch).
+  Priority priority = Priority::kDefault;
+  /// Absolute SLO deadline; kNoDeadline = serve no matter how long it
+  /// takes. A request that cannot meet its deadline is shed with the typed
+  /// ShedError instead of served late.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+
+  ServeOptions& with_top_k(int k) {
+    top_k = k;
+    return *this;
+  }
+  ServeOptions& with_exact(bool e) {
+    exact = e;
+    return *this;
+  }
+  ServeOptions& with_page_offset(int offset) {
+    page_offset = offset;
+    return *this;
+  }
+  ServeOptions& with_priority(Priority p) {
+    priority = p;
+    return *this;
+  }
+  ServeOptions& with_deadline(std::chrono::steady_clock::time_point d) {
+    deadline = d;
+    return *this;
+  }
+  /// Deadline relative to now — the common client idiom.
+  ServeOptions& with_deadline_in(std::chrono::microseconds budget) {
+    deadline = std::chrono::steady_clock::now() + budget;
+    return *this;
+  }
 };
 
 /// Point-in-time counters (monotonic since engine construction).
@@ -76,6 +136,32 @@ struct ServeStats {
   std::uint64_t snapshot_version = 0;  // store version at reading time
   std::uint64_t swaps_observed = 0;    // version changes seen by workers
   LatencyHistogram::Summary latency;   // end-to-end, microseconds
+  LatencyHistogram::Snapshot latency_buckets;  // full distribution
+
+  /// Per-lane SLO accounting. Indexed by lane_index(Priority).
+  struct LaneStats {
+    std::size_t queue_depth = 0;
+    std::uint64_t completed = 0;
+    /// Shed at admission: deadline already past, or the EWMA queue-wait
+    /// estimate said it could not be met. Never enqueued, never counted
+    /// as submitted.
+    std::uint64_t shed_admission = 0;
+    /// Evicted from the full queue by a higher-priority admission.
+    std::uint64_t shed_evicted = 0;
+    /// Deadline expired while queued; dropped at pop time.
+    std::uint64_t shed_expired = 0;
+    /// Served to completion, but past the deadline (the SLO leak the
+    /// admission estimate did not catch).
+    std::uint64_t deadline_misses = 0;
+    LatencyHistogram::Summary latency;
+    LatencyHistogram::Snapshot buckets;
+  };
+  LaneStats lanes[kNumLanes];
+  std::uint64_t shed_total = 0;      // all lanes, all reasons
+  std::uint64_t deadline_misses = 0; // all lanes
+  /// EWMA of per-request service time feeding admission control; 0 until
+  /// the first batch completes.
+  double ewma_service_us = 0.0;
 
   // Distributed model parallelism (all zero unless the served network has a
   // DistributedSampledLayer; see src/dist/).
@@ -103,23 +189,33 @@ class InferenceEngine {
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Submits a request; the future resolves when a worker completes it
-  /// (with the result, or with the exception the worker hit serving it).
-  /// nullopt = rejected by backpressure (queue full or engine stopped).
-  /// Throws slide::Error at admission when a feature index exceeds the
-  /// served model's input dimension or page_offset is negative. top_k = 0
-  /// uses config().default_top_k; exact overrides config().exact when set.
-  /// page_offset > 0 returns ranks [page_offset, page_offset + top_k) of
-  /// the full ranking instead of the head (pagination; see
-  /// Network::topk_iterator) — pages of one query concatenate to exactly
-  /// the one-shot top-k when served against the same snapshot version.
+  /// (with the result, or with the exception the worker hit serving it,
+  /// or — when the request is shed by deadline/overload policy — with a
+  /// slide::ShedError carrying the shed reason; shed futures never hang).
+  /// nullopt = rejected by backpressure (queue full of same-or-higher
+  /// priority work, or engine stopped). Throws slide::Error at admission
+  /// when a feature index exceeds the served model's input dimension or
+  /// page_offset is negative.
   std::optional<std::future<Prediction>> submit(
-      SparseVector features, int top_k = 0,
-      std::optional<bool> exact = std::nullopt, int page_offset = 0);
+      SparseVector features, const ServeOptions& options = {});
 
   /// Callback flavor: `callback` runs on the worker thread that served the
-  /// request (keep it light). False = rejected by backpressure.
+  /// request (keep it light). False = not served: rejected by backpressure
+  /// OR shed at admission (stats() distinguishes). A shed callback request
+  /// never invokes the callback.
   bool submit_callback(SparseVector features,
-                       std::function<void(Prediction)> callback, int top_k = 0,
+                       std::function<void(Prediction)> callback,
+                       const ServeOptions& options = {});
+
+  /// Pre-ServeOptions positional signatures, kept as thin shims.
+  [[deprecated("use submit(features, ServeOptions{.top_k = ...})")]]
+  std::optional<std::future<Prediction>> submit(
+      SparseVector features, int top_k,
+      std::optional<bool> exact = std::nullopt, int page_offset = 0);
+  [[deprecated(
+      "use submit_callback(features, callback, ServeOptions{.top_k = ...})")]]
+  bool submit_callback(SparseVector features,
+                       std::function<void(Prediction)> callback, int top_k,
                        std::optional<bool> exact = std::nullopt,
                        int page_offset = 0);
 
@@ -144,15 +240,25 @@ class InferenceEngine {
  private:
   /// Shared admission path: validates features (throws slide::Error on an
   /// out-of-range index) and stamps defaults + enqueue time.
-  ServeRequest prepare_request(SparseVector features, int top_k,
-                               std::optional<bool> exact, int page_offset);
-  /// Pushes or rejects (backpressure), keeping the counters in step.
+  ServeRequest prepare_request(SparseVector features,
+                               const ServeOptions& options);
+  /// Deadline admission control: true when the request should be shed
+  /// before enqueueing (deadline already past, or EWMA queue-wait estimate
+  /// exceeds the remaining budget).
+  bool should_shed_at_admission(const ServeRequest& request) const;
+  /// Pushes or rejects (backpressure), keeping the counters in step and
+  /// shedding any lower-priority request the push evicted.
   bool enqueue(ServeRequest&& request);
+  /// Resolves a shed request's future with ShedError and counts it per
+  /// lane/reason. Sheds are policy, not failure: errors_ is untouched.
+  void shed(ServeRequest& request, ShedReason reason) noexcept;
 
   void worker_main(int worker_id);
   void serve_batch(std::vector<ServeRequest>& batch, int worker_id);
   /// Routes an error into the request's future and counts it.
   void fail(ServeRequest& request, std::exception_ptr error) noexcept;
+  /// Folds one batch's per-request service time into the admission EWMA.
+  void update_service_ewma(double per_request_us) noexcept;
 
   ServeConfig config_;
   std::shared_ptr<ModelStore> store_;
@@ -174,7 +280,18 @@ class InferenceEngine {
   };
   std::vector<WorkerState> worker_state_;
 
+  struct LaneCounters {
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> shed_admission{0};
+    std::atomic<std::uint64_t> shed_evicted{0};
+    std::atomic<std::uint64_t> shed_expired{0};
+    std::atomic<std::uint64_t> deadline_misses{0};
+  };
+
   LatencyHistogram latency_;
+  LatencyHistogram lane_latency_[kNumLanes];
+  LaneCounters lane_counters_[kNumLanes];
+  std::atomic<double> ewma_service_us_{0.0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};

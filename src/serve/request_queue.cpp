@@ -2,28 +2,85 @@
 
 namespace slide {
 
+const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kDefault:
+      return "default";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* to_string(ShedReason r) noexcept {
+  switch (r) {
+    case ShedReason::kAdmission:
+      return "admission";
+    case ShedReason::kQueueEvicted:
+      return "evicted";
+    case ShedReason::kDeadlineExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   SLIDE_CHECK(capacity > 0, "RequestQueue: capacity must be positive");
 }
 
-bool RequestQueue::try_push(ServeRequest&& request) {
+RequestQueue::PushOutcome RequestQueue::try_push(ServeRequest&& request) {
+  PushOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(request));
+    if (closed_) return outcome;
+    if (size_ >= capacity_) {
+      // Full. A higher-priority arrival may still be admitted by bumping
+      // the *youngest* request of the *lowest*-priority occupied lane:
+      // youngest because it has the least sunk queue time, lowest lane
+      // because strict priority would serve it last anyway.
+      int victim = -1;
+      for (int lane = kNumLanes - 1; lane > lane_index(request.priority);
+           --lane) {
+        if (!lanes_[lane].empty()) {
+          victim = lane;
+          break;
+        }
+      }
+      if (victim < 0) return outcome;  // backpressure
+      outcome.evicted.emplace(std::move(lanes_[victim].back()));
+      lanes_[victim].pop_back();
+      --size_;
+    }
+    lanes_[lane_index(request.priority)].push_back(std::move(request));
+    ++size_;
+    outcome.admitted = true;
   }
   not_empty_.notify_one();
-  return true;
+  return outcome;
+}
+
+ServeRequest RequestQueue::pop_front_locked() {
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    if (!lanes_[lane].empty()) {
+      ServeRequest item = std::move(lanes_[lane].front());
+      lanes_[lane].pop_front();
+      --size_;
+      return item;
+    }
+  }
+  SLIDE_CHECK(false, "RequestQueue: pop from empty queue");
+  return {};  // unreachable
 }
 
 bool RequestQueue::pop(ServeRequest& out) {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [&] { return poppable_locked() || closed_; });
-  // On close, remaining items still drain (even through a pause — close
-  // overrides pause so shutdown cannot deadlock).
-  if (items_.empty()) return false;
-  out = std::move(items_.front());
-  items_.pop_front();
+  // On close, remaining items still drain (close() clears pause so
+  // shutdown cannot deadlock behind a paused queue).
+  if (size_ == 0 || paused_) return false;
+  out = pop_front_locked();
   return true;
 }
 
@@ -32,9 +89,8 @@ bool RequestQueue::pop_until(ServeRequest& out,
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait_until(lock, deadline,
                         [&] { return poppable_locked() || closed_; });
-  if ((paused_ && !closed_) || items_.empty()) return false;
-  out = std::move(items_.front());
-  items_.pop_front();
+  if (paused_ || size_ == 0) return false;  // timed out, paused, or drained
+  out = pop_front_locked();
   return true;
 }
 
@@ -42,6 +98,8 @@ void RequestQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    // A paused close would strand queued items: unpause so they drain.
+    paused_ = false;
   }
   not_empty_.notify_all();
 }
@@ -54,6 +112,7 @@ bool RequestQueue::closed() const {
 void RequestQueue::set_paused(bool paused) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // close overrides pause, permanently
     paused_ = paused;
   }
   if (!paused) not_empty_.notify_all();
@@ -61,7 +120,21 @@ void RequestQueue::set_paused(bool paused) {
 
 std::size_t RequestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return size_;
+}
+
+std::size_t RequestQueue::lane_depth(Priority lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_[lane_index(lane)].size();
+}
+
+std::size_t RequestQueue::depth_ahead_of(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ahead = 0;
+  for (int lane = 0; lane <= lane_index(priority); ++lane) {
+    ahead += lanes_[lane].size();
+  }
+  return ahead;
 }
 
 }  // namespace slide

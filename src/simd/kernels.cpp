@@ -7,6 +7,9 @@
 namespace slide::simd {
 
 // ---- deprecated compile-time-era shims ------------------------------------
+// Defining the [[deprecated]] trio must not warn on itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 bool compiled_with_avx2() noexcept {
   return level_compiled(SimdLevel::kAVX2);
@@ -21,6 +24,8 @@ void set_simd_enabled(bool enabled) noexcept {
 bool simd_enabled() noexcept {
   return active_level() != SimdLevel::kScalar;
 }
+
+#pragma GCC diagnostic pop
 
 // ---- dispatchers ----------------------------------------------------------
 

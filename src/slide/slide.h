@@ -32,6 +32,7 @@
 #include "metrics/instrumentation.h"   // IWYU pragma: export
 #include "metrics/latency.h"           // IWYU pragma: export
 #include "metrics/metrics.h"           // IWYU pragma: export
+#include "metrics/prometheus.h"        // IWYU pragma: export
 #include "metrics/table_printer.h"     // IWYU pragma: export
 #include "optim/adam.h"                // IWYU pragma: export
 #include "optim/sgd.h"                 // IWYU pragma: export

@@ -887,7 +887,7 @@ TEST(DistCheckpoint, ShardFilesBootFreshWorkersBitExact) {
     serve_cfg.num_workers = 1;
     serve_cfg.exact = true;
     InferenceEngine engine(store, serve_cfg);
-    auto f = engine.submit(probe, /*top_k=*/3);
+    auto f = engine.submit(probe, {.top_k = 3});
     ASSERT_TRUE(f.has_value());
     EXPECT_FALSE(f->get().labels.empty());
     const ServeStats stats = engine.stats();

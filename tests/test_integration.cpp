@@ -181,7 +181,8 @@ TEST(Integration, HugepagesToggleDoesNotChangeResults) {
 TEST(Integration, SimdToggleKeepsTrainingCorrect) {
   const auto data = planted(113, 300, 50);
   auto run = [&](bool simd_on) {
-    simd::set_simd_enabled(simd_on);
+    simd::set_simd_level(simd_on ? simd::detected_level()
+                                 : simd::SimdLevel::kScalar);
     NetworkConfig cfg = slide_config(data, 16);
     Network net(cfg, 2);
     TrainerConfig tc;
@@ -192,7 +193,7 @@ TEST(Integration, SimdToggleKeepsTrainingCorrect) {
     trainer.train(data.train, 100);
     const double acc =
         evaluate_p_at_1(net, data.test, trainer.pool(), {.exact = true});
-    simd::set_simd_enabled(true);
+    simd::set_simd_level(simd::detected_level());
     return acc;
   };
   EXPECT_GT(run(true), 0.25);

@@ -554,9 +554,9 @@ TEST(Retrieval, ServePaginationMatchesOneShot) {
   for (std::size_t i = 0; i < 5; ++i) {
     const auto full =
         network->predict_topk(data.test[i].features, ctx, 10, true);
-    auto first = engine.submit(data.test[i].features, 5);
-    auto second = engine.submit(data.test[i].features, 5, std::nullopt,
-                                /*page_offset=*/5);
+    auto first = engine.submit(data.test[i].features, {.top_k = 5});
+    auto second = engine.submit(data.test[i].features,
+                                {.top_k = 5, .page_offset = 5});
     ASSERT_TRUE(first.has_value() && second.has_value());
     const Prediction head = first->get();
     const Prediction tail = second->get();
@@ -565,7 +565,8 @@ TEST(Retrieval, ServePaginationMatchesOneShot) {
     ASSERT_EQ(stitched.size(), full.size());
     EXPECT_EQ(stitched, full);
   }
-  EXPECT_THROW(engine.submit(data.test[0].features, 5, std::nullopt, -1),
+  EXPECT_THROW(engine.submit(data.test[0].features,
+                             {.top_k = 5, .page_offset = -1}),
                Error);
   engine.stop();
 }
@@ -622,7 +623,7 @@ TEST(Retrieval, EscalationStatsSurfaceInServeStats) {
   InferenceEngine engine(store, cfg);
   std::vector<std::future<Prediction>> futures;
   for (std::size_t i = 0; i < 10; ++i) {
-    auto f = engine.submit(data.test[i].features, 5);
+    auto f = engine.submit(data.test[i].features, {.top_k = 5});
     ASSERT_TRUE(f.has_value());
     futures.push_back(std::move(*f));
   }

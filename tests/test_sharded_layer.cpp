@@ -600,7 +600,7 @@ TEST(ShardedLayer, HotSwapShardedSnapshotUnderLoadZeroFailures) {
     clients.emplace_back([&, c] {
       std::size_t i = static_cast<std::size_t>(c);
       while (running.load()) {
-        auto f = engine.submit(data.test[i % data.test.size()].features, 3);
+        auto f = engine.submit(data.test[i % data.test.size()].features, {.top_k = 3});
         ++i;
         if (!f.has_value()) continue;  // backpressure: retry
         Prediction p = f->get();

@@ -431,6 +431,10 @@ TEST_F(DispatchLevels, ParseRoundTripsAndRejectsGarbage) {
   EXPECT_THROW(simd::parse_simd_level(nullptr), Error);
 }
 
+// The shims are [[deprecated]] but must keep working until removed —
+// this is intentional coverage of the deprecated surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST_F(DispatchLevels, DeprecatedShimMapsOntoDispatch) {
   EXPECT_EQ(simd::compiled_with_avx2(),
             simd::level_compiled(SimdLevel::kAVX2));
@@ -446,6 +450,7 @@ TEST_F(DispatchLevels, DeprecatedShimMapsOntoDispatch) {
   std::vector<float> a = {1, 2, 3}, b = {4, 5, 6};
   EXPECT_FLOAT_EQ(simd::dot(a.data(), b.data(), 3), 32.0f);
 }
+#pragma GCC diagnostic pop
 
 TEST(Softmax, StableUnderLargeLogits) {
   std::vector<float> x = {1000.0f, 1000.0f, 999.0f};
