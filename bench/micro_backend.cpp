@@ -1,7 +1,12 @@
 // Micro-benchmarks for the runtime-dispatched compute backend: the hot
-// kernels (dot / axpy / adam_step) and their bf16 mixed-precision variants
-// at EVERY dispatch level this host supports, at the fan-in sizes the
-// engine actually uses (128 = hidden width; 4096 = wide strips).
+// kernels (dot / axpy / adam_step) and their quantized-precision variants
+// (bf16 / fp16 / int8) at EVERY dispatch level this host supports, at the
+// fan-in sizes the engine actually uses (128 = hidden width; 4096 = wide
+// strips). Row names carry the scoring precision (dot_fp32, dot_bf16,
+// dot_i8, ...) and the int8/fp16 rows additionally carry the instruction
+// path the level's table bound (vnni / maddubs-512 / f16c-256 / scalar
+// ...), so a BENCH_backend.json from a VNNI host is distinguishable from
+// the graceful-downgrade path on one without.
 //
 // Unlike bench/micro_kernels (which A/Bs the deprecated on/off shim for
 // Figure-10 continuity), this bench pins an explicit SimdLevel per
@@ -105,25 +110,128 @@ void bm_quantize(benchmark::State& state, SimdLevel level, std::size_t n) {
   }
 }
 
+std::vector<simd::Fp16> f16_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<simd::Fp16> v(n);
+  for (auto& x : v) x = simd::float_to_fp16(rng.normal());
+  return v;
+}
+
+std::vector<simd::I8> i8_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<simd::I8> v(n);
+  for (auto& x : v)
+    x = static_cast<simd::I8>(static_cast<int>(rng.uniform(255)) - 127);
+  return v;
+}
+
+std::vector<simd::U8> u8_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<simd::U8> v(n);
+  for (auto& x : v) x = static_cast<simd::U8>(rng.uniform(128));
+  return v;
+}
+
+void bm_dot_f16(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto w = f16_vec(n, 14);
+  const auto x = vec(n, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.dot_f16(w.data(), x.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (sizeof(simd::Fp16) + sizeof(float)));
+}
+
+void bm_axpy_f16(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto x = f16_vec(n, 16);
+  auto y = vec(n, 17);
+  for (auto _ : state) {
+    be.axpy_f16(0.37f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bm_quantize_f16(benchmark::State& state, SimdLevel level,
+                     std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto src = vec(n, 18);
+  std::vector<simd::Fp16> dst(n);
+  for (auto _ : state) {
+    be.quantize_f16(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+
+void bm_dot_i8(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto w = i8_vec(n, 19);
+  const auto x = u8_vec(n, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.dot_i8(w.data(), x.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2);
+}
+
+void bm_axpy_i8(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto x = i8_vec(n, 21);
+  auto y = vec(n, 22);
+  for (auto _ : state) {
+    be.axpy_i8(0.013f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bm_quantize_i8(benchmark::State& state, SimdLevel level, std::size_t n) {
+  const simd::Backend& be = *simd::backend_for(level);
+  const auto src = vec(n, 23);
+  std::vector<simd::I8> dst(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.quantize_i8(src.data(), dst.data(), n));
+  }
+}
+
 void register_all() {
   using Fn = void (*)(benchmark::State&, SimdLevel, std::size_t);
+  // Every row name carries its scoring precision; int8/fp16 dot/axpy rows
+  // are additionally tagged with the instruction path the level's bound
+  // table scores through (resolved from the table at registration time).
+  enum class PathTag { kNone, kI8, kF16 };
   struct Kernel {
     const char* name;
     Fn fn;
+    PathTag path = PathTag::kNone;
   };
   const Kernel kernels[] = {
-      {"dot", bm_dot},           {"axpy", bm_axpy},
-      {"adam_step", bm_adam},    {"dot_bf16", bm_dot_bf16},
-      {"axpy_bf16", bm_axpy_bf16}, {"quantize_bf16", bm_quantize},
+      {"dot_fp32", bm_dot},
+      {"axpy_fp32", bm_axpy},
+      {"adam_step_fp32", bm_adam},
+      {"dot_bf16", bm_dot_bf16},
+      {"axpy_bf16", bm_axpy_bf16},
+      {"quantize_bf16", bm_quantize},
+      {"dot_f16", bm_dot_f16, PathTag::kF16},
+      {"axpy_f16", bm_axpy_f16, PathTag::kF16},
+      {"quantize_f16", bm_quantize_f16},
+      {"dot_i8", bm_dot_i8, PathTag::kI8},
+      {"axpy_i8", bm_axpy_i8, PathTag::kI8},
+      {"quantize_i8", bm_quantize_i8},
   };
   for (SimdLevel level :
        {SimdLevel::kScalar, SimdLevel::kAVX2, SimdLevel::kAVX512}) {
     if (!simd::level_supported(level)) continue;
+    const simd::Backend& table = *simd::backend_for(level);
     for (const Kernel& kernel : kernels) {
       for (std::size_t n : {std::size_t{128}, std::size_t{4096}}) {
-        const std::string name = std::string("BM_backend/") + kernel.name +
-                                 "/" + std::to_string(n) + "/" +
-                                 simd::to_string(level);
+        std::string name = std::string("BM_backend/") + kernel.name + "/" +
+                           std::to_string(n) + "/" +
+                           simd::to_string(level);
+        if (kernel.path == PathTag::kI8)
+          name += std::string("/") + table.i8_path;
+        else if (kernel.path == PathTag::kF16)
+          name += std::string("/") + table.f16_path;
         benchmark::RegisterBenchmark(
             name.c_str(),
             [fn = kernel.fn, level, n](benchmark::State& state) {

@@ -100,5 +100,60 @@ int main() {
       "time delta.\nTHP speedup here: %.2fx (paper: ~1.3x at 200K-670K-"
       "class scale; grows with footprint).\n",
       without.seconds / with.seconds);
+
+  // The quantized inference mirrors share the hugepage allocator: report
+  // how many mirror bytes THP actually backs per precision tier (the
+  // all-or-nothing madvise verdict surfaced through memory_footprint).
+  std::printf("\nInference-mirror THP adoption:\n");
+  bench::Json json;
+  json.begin_object();
+  json.key("bench").string("table4_hugepages");
+  json.key("thp_mode").string(thp_mode().c_str());
+  json.key("madvise_available").number(
+      static_cast<long long>(hugepages_supported() ? 1 : 0));
+  json.key("iterations").number(static_cast<long long>(iterations));
+  json.key("threads").number(static_cast<long long>(threads));
+  auto emit_run = [&json](const char* name, const RunResult& r) {
+    json.key(name).begin_object();
+    json.key("train_seconds").number(r.seconds);
+    json.key("anon_huge_bytes").number(
+        static_cast<long long>(r.anon_huge_bytes));
+    json.key("resident_set_bytes").number(
+        static_cast<long long>(r.delta.resident_set_bytes));
+    json.key("minor_page_faults").number(
+        static_cast<long long>(r.delta.minor_page_faults));
+    json.key("major_page_faults").number(
+        static_cast<long long>(r.delta.major_page_faults));
+    json.key("user_cpu_seconds").number(r.delta.user_cpu_seconds);
+    json.key("system_cpu_seconds").number(r.delta.system_cpu_seconds);
+    json.end_object();
+  };
+  emit_run("without_thp", without);
+  emit_run("with_thp", with);
+  json.key("thp_speedup").number(without.seconds /
+                                 std::max(with.seconds, 1e-9));
+  json.key("mirrors").begin_array();
+  for (const Precision p :
+       {Precision::kBF16, Precision::kFP16, Precision::kInt8}) {
+    NetworkConfig cfg =
+        bench::slide_config_for(data.train, HashFamilyKind::kSimhash);
+    cfg.precision = p;
+    Network net(cfg, threads);
+    const MemoryFootprint f = net.memory_footprint();
+    std::printf("  %s: %.1f MB mirrors, %.1f MB THP-backed\n", to_string(p),
+                static_cast<double>(f.mirror_bytes) / (1 << 20),
+                static_cast<double>(f.mirror_hugepage_bytes) / (1 << 20));
+    json.begin_object();
+    json.key("precision").string(to_string(p));
+    json.key("mirror_bytes").number(static_cast<long long>(f.mirror_bytes));
+    json.key("mirror_hugepage_bytes")
+        .number(static_cast<long long>(f.mirror_hugepage_bytes));
+    json.key("inference_weight_bytes")
+        .number(static_cast<long long>(f.inference_weight_bytes));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.write_file(bench::json_path("BENCH_hugepages.json"));
   return 0;
 }

@@ -10,11 +10,15 @@
 //     --seconds S     seconds of load per phase        (default 3)
 //     --iters N       pre-serve training iterations    (default 300)
 //     --exact         exact (all-class) scoring instead of LSH sampling
-//     --precision P   serving precision: fp32 | bf16   (default fp32)
-//                     bf16 boots the snapshot with bfloat16 weight mirrors:
-//                     the scoring path reads half the weight bytes (the
-//                     footprint report below shows the exact numbers)
-//                     while training/checkpoints stay fp32
+//     --precision P   serving precision: fp32 | bf16 | fp16 | int8
+//                     (default fp32). Quantized tiers boot the snapshot
+//                     with weight mirrors — bf16/fp16 read half the weight
+//                     bytes, int8 roughly a quarter (the footprint report
+//                     below shows the exact numbers) — while
+//                     training/checkpoints stay fp32. int8 scores through
+//                     AVX-512 VNNI when the CPU has it (the banner shows
+//                     the active kernel path) and downgrades gracefully
+//                     to vpmaddubsw / scalar otherwise.
 //     --dist N        serve the wide output layer from N shard worker
 //                     threads over loopback TCP (src/dist/): the snapshot
 //                     boots a DistributedSampledLayer that pushes the
@@ -44,6 +48,7 @@
 #include <vector>
 
 #include "slide/slide.h"
+#include "sys/cpu_features.h"
 
 using namespace slide;
 
@@ -230,20 +235,31 @@ int main(int argc, char** argv) {
               to_string(opt.precision),
               simd::to_string(simd::active_level()));
   {
+    const CpuFeatures& cpu = cpu_features();
+    std::printf(
+        "[simd] cpu: avx2=%d avx512f=%d avx512vnni=%d f16c=%d | kernel "
+        "paths: int8=%s fp16=%s\n",
+        cpu.avx2 ? 1 : 0, cpu.avx512f ? 1 : 0, cpu.avx512vnni ? 1 : 0,
+        cpu.f16c ? 1 : 0, simd::backend().i8_path, simd::backend().f16_path);
+  }
+  {
     const MemoryFootprint f =
         store->current()->network->memory_footprint();
     const double mb = 1.0 / (1 << 20);
     std::printf(
         "[store] snapshot footprint: scoring path reads %.2f MB of weights "
-        "(fp32 masters %.2f MB, bf16 mirrors %.2f MB, optimizer state "
-        "%.2f MB)\n",
+        "(fp32 masters %.2f MB, %s mirrors %.2f MB [%.2f MB hugepage-"
+        "backed], optimizer state %.2f MB)\n",
         static_cast<double>(f.inference_weight_bytes) * mb,
         static_cast<double>(f.master_weight_bytes) * mb,
+        to_string(opt.precision),
         static_cast<double>(f.mirror_bytes) * mb,
+        static_cast<double>(f.mirror_hugepage_bytes) * mb,
         static_cast<double>(f.optimizer_bytes) * mb);
-    if (opt.precision == Precision::kBF16) {
+    if (opt.precision != Precision::kFP32) {
       std::printf(
-          "[store] bf16 serving reads %.0f%% of the fp32 scoring bytes\n",
+          "[store] %s serving reads %.0f%% of the fp32 scoring bytes\n",
+          to_string(opt.precision),
           100.0 * static_cast<double>(f.inference_weight_bytes) /
               static_cast<double>(f.master_weight_bytes));
     }

@@ -245,6 +245,10 @@ const char* to_string(Precision precision) {
       return "fp32";
     case Precision::kBF16:
       return "bf16";
+    case Precision::kFP16:
+      return "fp16";
+    case Precision::kInt8:
+      return "int8";
   }
   return "?";
 }
@@ -253,8 +257,10 @@ Precision parse_precision(const char* name) {
   const std::string_view s(name == nullptr ? "" : name);
   if (s == "fp32") return Precision::kFP32;
   if (s == "bf16") return Precision::kBF16;
+  if (s == "fp16") return Precision::kFP16;
+  if (s == "int8") return Precision::kInt8;
   throw Error("unknown precision: " + std::string(s) +
-              " (expected fp32 | bf16)");
+              " (expected fp32 | bf16 | fp16 | int8)");
 }
 
 // ---------------------------------------------------------------------------

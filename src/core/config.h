@@ -58,10 +58,20 @@ MaintenancePolicy parse_maintenance_policy(const char* name);
 ///           the mirror is re-quantized at the publish points — network
 ///           construction, checkpoint load, and an explicit
 ///           Network::refresh_inference_mirrors().
-enum class Precision { kFP32, kBF16 };
+///   kFP16 — binary16 mirror (same bytes as bf16, 3 extra mantissa bits at
+///           the cost of range); scored via F16C/AVX-512 `vcvtph2ps`
+///           load-convert kernels where the CPU has them.
+///   kInt8 — signed 8-bit mirror with a per-row symmetric fp32 scale
+///           (quarter the weight bytes; see simd/int8.h for the format);
+///           scored via AVX-512 VNNI `vpdpbusd` / AVX2 `vpmaddubsw` /
+///           scalar, picked at dispatch-bind time from cpuid.
+/// All quantized tiers share the bf16 mirror lifecycle above. Enumerator
+/// order is a serialization contract (checkpoint + wire precision tags):
+/// append only.
+enum class Precision { kFP32, kBF16, kFP16, kInt8 };
 
 const char* to_string(Precision precision);
-/// Parses "fp32" | "bf16" (slide::Error otherwise).
+/// Parses "fp32" | "bf16" | "fp16" | "int8" (slide::Error otherwise).
 Precision parse_precision(const char* name);
 
 /// One layer after the first hidden layer (see EmbeddingLayer for the

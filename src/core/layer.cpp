@@ -76,6 +76,61 @@ void embedding_forward(const AlignedVector<float>& bias, const W* weights,
   simd::relu(out, units);
 }
 
+// Fp16 and Bf16 share the storage type (std::uint16_t), so the fp16 mirror
+// cannot ride the axpy_any overload set — it gets an explicit twin.
+void embedding_forward_f16(const AlignedVector<float>& bias,
+                           const simd::Fp16* weights, Index units,
+                           const SparseVector& x, float* out,
+                           [[maybe_unused]] Index input_dim) {
+  std::copy(bias.begin(), bias.end(), out);
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    SLIDE_ASSERT(idx[i] < input_dim);
+    if (i + kPrefetchDistance < idx.size()) {
+      prefetch_read(weights + static_cast<std::size_t>(
+                                  idx[i + kPrefetchDistance]) *
+                                  units);
+    }
+    simd::axpy_f16(val[i], weights + static_cast<std::size_t>(idx[i]) * units,
+                   out, units);
+  }
+  simd::relu(out, units);
+}
+
+/// Int8 embedding forward: each active input feature contributes one
+/// s8 row; its per-row scale folds into the axpy alpha together with the
+/// feature value, so accumulation stays fp32.
+void embedding_forward_i8(const AlignedVector<float>& bias,
+                          const simd::I8* weights, const float* row_scales,
+                          Index units, const SparseVector& x, float* out,
+                          [[maybe_unused]] Index input_dim) {
+  std::copy(bias.begin(), bias.end(), out);
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    SLIDE_ASSERT(idx[i] < input_dim);
+    if (i + kPrefetchDistance < idx.size()) {
+      prefetch_read(weights + static_cast<std::size_t>(
+                                  idx[i + kPrefetchDistance]) *
+                                  units);
+    }
+    const float alpha = val[i] * row_scales[idx[i]];
+    if (alpha == 0.0f) continue;  // zero row (scale 0) or zero feature
+    simd::axpy_i8(alpha, weights + static_cast<std::size_t>(idx[i]) * units,
+                  out, units);
+  }
+  simd::relu(out, units);
+}
+
+/// Bytes of one quantized mirror actually backed by THP (all-or-nothing
+/// per allocation: HugeBuffer records whether the kernel accepted the
+/// madvise for the whole range).
+template <typename T>
+std::size_t thp_bytes(const HugeArrayT<T>& mirror) noexcept {
+  return mirror.uses_thp() ? mirror.size() * sizeof(T) : 0;
+}
+
 /// One unit's pre-activation against the previous layer's active set,
 /// generic over the weight element type (fp32 masters / bf16 mirror).
 template <typename W>
@@ -187,29 +242,70 @@ EmbeddingLayer::EmbeddingLayer(Index input_dim, Index units,
   touched_lists_.resize(static_cast<std::size_t>(max_threads));
 
   // Allocate the quantized mirror up front so later refreshes are noexcept
-  // (re-quantize in place, no reallocation).
-  if (precision_ == Precision::kBF16) {
-    weights_bf16_.resize(weights_.size());
-    refresh_inference_mirror();
+  // (re-quantize in place, no reallocation). Exactly one mirror exists,
+  // matching the precision; all are hugepage-backed (HugeArrayT).
+  switch (precision_) {
+    case Precision::kFP32:
+      break;
+    case Precision::kBF16:
+      weights_bf16_.resize(weights_.size());
+      break;
+    case Precision::kFP16:
+      weights_f16_.resize(weights_.size());
+      break;
+    case Precision::kInt8:
+      weights_i8_.resize(weights_.size());
+      i8_scales_.assign(static_cast<std::size_t>(input_dim_), 0.0f);
+      break;
   }
+  refresh_inference_mirror();
 }
 
 void EmbeddingLayer::refresh_inference_mirror() noexcept {
-  if (precision_ != Precision::kBF16) return;
-  simd::quantize_bf16(weights_.data(), weights_bf16_.data(), weights_.size());
+  switch (precision_) {
+    case Precision::kFP32:
+      return;
+    case Precision::kBF16:
+      simd::quantize_bf16(weights_.data(), weights_bf16_.data(),
+                          weights_.size());
+      return;
+    case Precision::kFP16:
+      simd::quantize_f16(weights_.data(), weights_f16_.data(),
+                         weights_.size());
+      return;
+    case Precision::kInt8:
+      // Per-input-row symmetric quantization (rows are units_-long here:
+      // the layout is input-major).
+      for (Index r = 0; r < input_dim_; ++r) {
+        const std::size_t off = static_cast<std::size_t>(r) * units_;
+        i8_scales_[r] = simd::quantize_i8(weights_.data() + off,
+                                          weights_i8_.data() + off, units_);
+      }
+      return;
+  }
 }
 
 std::size_t EmbeddingLayer::inference_weight_bytes() const noexcept {
   const std::size_t bias_bytes = bias_.size() * sizeof(float);
   if (bf16_inference())
     return weights_bf16_.size() * sizeof(simd::Bf16) + bias_bytes;
+  if (f16_inference())
+    return weights_f16_.size() * sizeof(simd::Fp16) + bias_bytes;
+  if (i8_inference())
+    return weights_i8_.size() * sizeof(simd::I8) +
+           i8_scales_.size() * sizeof(float) + bias_bytes;
   return weights_.size() * sizeof(float) + bias_bytes;
 }
 
 LayerMemory EmbeddingLayer::memory() const noexcept {
   LayerMemory m;
   m.master_bytes = (weights_.size() + bias_.size()) * sizeof(float);
-  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16);
+  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16) +
+                   weights_f16_.size() * sizeof(simd::Fp16) +
+                   weights_i8_.size() * sizeof(simd::I8) +
+                   i8_scales_.size() * sizeof(float);
+  m.mirror_hugepage_bytes = thp_bytes(weights_bf16_) + thp_bytes(weights_f16_) +
+                            thp_bytes(weights_i8_);
   m.optimizer_bytes = (grads_.size() + bias_grad_.size()) * sizeof(float) +
                       2 * adam_.num_params() * sizeof(float);
   return m;
@@ -231,6 +327,12 @@ void EmbeddingLayer::forward_inference(const SparseVector& x,
   if (bf16_inference()) {
     embedding_forward(bias_, weights_bf16_.data(), units_, x, out,
                       input_dim_);
+  } else if (f16_inference()) {
+    embedding_forward_f16(bias_, weights_f16_.data(), units_, x, out,
+                          input_dim_);
+  } else if (i8_inference()) {
+    embedding_forward_i8(bias_, weights_i8_.data(), i8_scales_.data(), units_,
+                         x, out, input_dim_);
   } else {
     forward_master(x, out);
   }
@@ -392,28 +494,71 @@ SampledLayer::SampledLayer(const Config& config, int batch_slots,
 
   // Allocate the quantized mirror up front so later refreshes are noexcept
   // (re-quantize in place, no reallocation).
-  if (config_.precision == Precision::kBF16) {
-    weights_bf16_.resize(weights_.size());
-    refresh_inference_mirror();
+  switch (config_.precision) {
+    case Precision::kFP32:
+      break;
+    case Precision::kBF16:
+      weights_bf16_.resize(weights_.size());
+      break;
+    case Precision::kFP16:
+      weights_f16_.resize(weights_.size());
+      break;
+    case Precision::kInt8:
+      weights_i8_.resize(weights_.size());
+      i8_scales_.assign(static_cast<std::size_t>(units_), 0.0f);
+      break;
   }
+  refresh_inference_mirror();
 }
 
 void SampledLayer::refresh_inference_mirror() noexcept {
-  if (config_.precision != Precision::kBF16) return;
-  simd::quantize_bf16(weights_.data(), weights_bf16_.data(), weights_.size());
+  switch (config_.precision) {
+    case Precision::kFP32:
+      return;
+    case Precision::kBF16:
+      simd::quantize_bf16(weights_.data(), weights_bf16_.data(),
+                          weights_.size());
+      return;
+    case Precision::kFP16:
+      simd::quantize_f16(weights_.data(), weights_f16_.data(),
+                         weights_.size());
+      return;
+    case Precision::kInt8:
+      // Per-neuron-row symmetric quantization (rows are fan_in_-long;
+      // neuron-major layout). Row-local and deterministic, so reloading the
+      // same masters under any shard partition reproduces identical scales.
+      for (Index u = 0; u < units_; ++u) {
+        const std::size_t off =
+            static_cast<std::size_t>(u) * static_cast<std::size_t>(fan_in_);
+        i8_scales_[u] = simd::quantize_i8(weights_.data() + off,
+                                          weights_i8_.data() + off,
+                                          static_cast<std::size_t>(fan_in_));
+      }
+      return;
+  }
 }
 
 std::size_t SampledLayer::inference_weight_bytes() const noexcept {
   const std::size_t bias_bytes = bias_.size() * sizeof(float);
   if (bf16_inference())
     return weights_bf16_.size() * sizeof(simd::Bf16) + bias_bytes;
+  if (f16_inference())
+    return weights_f16_.size() * sizeof(simd::Fp16) + bias_bytes;
+  if (i8_inference())
+    return weights_i8_.size() * sizeof(simd::I8) +
+           i8_scales_.size() * sizeof(float) + bias_bytes;
   return weights_.size() * sizeof(float) + bias_bytes;
 }
 
 LayerMemory SampledLayer::memory() const noexcept {
   LayerMemory m;
   m.master_bytes = (weights_.size() + bias_.size()) * sizeof(float);
-  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16);
+  m.mirror_bytes = weights_bf16_.size() * sizeof(simd::Bf16) +
+                   weights_f16_.size() * sizeof(simd::Fp16) +
+                   weights_i8_.size() * sizeof(simd::I8) +
+                   i8_scales_.size() * sizeof(float);
+  m.mirror_hugepage_bytes = thp_bytes(weights_bf16_) + thp_bytes(weights_f16_) +
+                            thp_bytes(weights_i8_);
   m.optimizer_bytes = (grads_.size() + bias_grad_.size()) * sizeof(float) +
                       2 * adam_.num_params() * sizeof(float);
   return m;
@@ -427,10 +572,94 @@ float SampledLayer::activation_of_bf16(
   return score_unit(bias_[unit], w, prev_ids, prev_act);
 }
 
+float SampledLayer::activation_of_f16(
+    Index unit, std::span<const Index> prev_ids,
+    std::span<const float> prev_act) const {
+  // Fp16 shares Bf16's storage type (std::uint16_t), so score_unit's
+  // overload set cannot dispatch on it — call the f16 kernels directly.
+  const simd::Fp16* w =
+      weights_f16_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  if (prev_ids.empty())
+    return bias_[unit] + simd::dot_f16(w, prev_act.data(), prev_act.size());
+  return bias_[unit] + simd::sparse_dot_f16(prev_ids.data(), prev_act.data(),
+                                            prev_ids.size(), w);
+}
+
+float SampledLayer::activation_of_i8(Index unit,
+                                     std::span<const Index> prev_ids,
+                                     std::span<const float> prev_act,
+                                     const simd::U8* qx,
+                                     float act_scale) const {
+  const simd::I8* w =
+      weights_i8_.data() + static_cast<std::size_t>(unit) * fan_in_;
+  const float sw = i8_scales_[unit];
+  if (sw == 0.0f) return bias_[unit];  // all-zero weight row
+  if (prev_ids.empty()) {
+    // Dense prev: integer dot against the caller's u8-quantized
+    // activations, score recovered as sw * sx * dot (simd/int8.h).
+    if (act_scale == 0.0f) return bias_[unit];  // all-zero activations
+    return bias_[unit] +
+           sw * act_scale *
+               static_cast<float>(simd::dot_i8(w, qx, prev_act.size()));
+  }
+  // Sparse prev: fp32 values against widened s8 weights (a byte gather has
+  // no SIMD win at SLIDE's active-set sparsity).
+  return bias_[unit] + sw * simd::sparse_dot_i8(prev_ids.data(),
+                                                prev_act.data(),
+                                                prev_ids.size(), w);
+}
+
 float SampledLayer::activation_of(Index unit,
                                   std::span<const Index> prev_ids,
                                   std::span<const float> prev_act) const {
   return score_unit(bias_[unit], weight_row(unit), prev_ids, prev_act);
+}
+
+void SampledLayer::score_rows(std::span<const Index> ids,
+                              std::span<const Index> prev_ids,
+                              std::span<const float> prev_act,
+                              float* out) const {
+  const std::size_t n = ids.size();
+  if (i8_inference()) {
+    const simd::U8* qx = nullptr;
+    float sx = 0.0f;
+    if (prev_ids.empty()) {
+      // One activation quantization per query, amortized over every
+      // candidate row scored below.
+      thread_local std::vector<simd::U8> qx_scratch;
+      qx_scratch.resize(prev_act.size());
+      sx = simd::quantize_act_u8(prev_act.data(), qx_scratch.data(),
+                                 prev_act.size());
+      qx = qx_scratch.data();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n)
+        prefetch_read(inference_row(ids[i + kPrefetchDistance]));
+      out[i] = activation_of_i8(ids[i], prev_ids, prev_act, qx, sx);
+    }
+    return;
+  }
+  if (f16_inference()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n)
+        prefetch_read(inference_row(ids[i + kPrefetchDistance]));
+      out[i] = activation_of_f16(ids[i], prev_ids, prev_act);
+    }
+    return;
+  }
+  if (bf16_inference()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n)
+        prefetch_read(inference_row(ids[i + kPrefetchDistance]));
+      out[i] = activation_of_bf16(ids[i], prev_ids, prev_act);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n)
+      prefetch_read(inference_row(ids[i + kPrefetchDistance]));
+    out[i] = activation_of(ids[i], prev_ids, prev_act);
+  }
 }
 
 void SampledLayer::select_active(int slot, const ActiveSet& prev,
@@ -948,13 +1177,7 @@ void SampledLayer::forward_inference_budgeted(
   }
   if (!scored) {
     act_out.resize(ids_out.size());
-    if (bf16_inference()) {
-      for (std::size_t i = 0; i < ids_out.size(); ++i)
-        act_out[i] = activation_of_bf16(ids_out[i], prev_ids, prev_act);
-    } else {
-      for (std::size_t i = 0; i < ids_out.size(); ++i)
-        act_out[i] = activation_of(ids_out[i], prev_ids, prev_act);
-    }
+    score_rows(ids_out, prev_ids, prev_act, act_out.data());
   }
   if (config_.activation == Activation::kReLU)
     simd::relu(act_out.data(), act_out.size());
@@ -965,14 +1188,10 @@ void SampledLayer::escalate_to_exact(std::span<const Index> prev_ids,
                                      const VisitedSet& visited,
                                      std::vector<Index>& ids_out,
                                      std::vector<float>& act_out) const {
+  ids_out.resize(static_cast<std::size_t>(units_));
+  std::iota(ids_out.begin(), ids_out.end(), Index{0});
   act_out.resize(units_);
-  if (bf16_inference()) {
-    for (Index u = 0; u < units_; ++u)
-      act_out[u] = activation_of_bf16(u, prev_ids, prev_act);
-  } else {
-    for (Index u = 0; u < units_; ++u)
-      act_out[u] = activation_of(u, prev_ids, prev_act);
-  }
+  score_rows(ids_out, prev_ids, prev_act, act_out.data());
 
   // Recall accounting: how many of the exact top-k did the (undersized)
   // candidate set cover? The candidates are exactly the ids stamped in
@@ -994,9 +1213,6 @@ void SampledLayer::escalate_to_exact(std::span<const Index> prev_ids,
   escalations_.fetch_add(1, std::memory_order_relaxed);
   escalation_overlap_.fetch_add(overlap, std::memory_order_relaxed);
   escalation_oracle_.fetch_add(k, std::memory_order_relaxed);
-
-  ids_out.resize(static_cast<std::size_t>(units_));
-  std::iota(ids_out.begin(), ids_out.end(), Index{0});
 }
 
 RetrievalStats SampledLayer::retrieval_stats() const {

@@ -43,6 +43,8 @@
 #include "lsh/table_group.h"
 #include "optim/adam.h"
 #include "simd/bf16.h"
+#include "simd/f16.h"
+#include "simd/int8.h"
 #include "sys/aligned.h"
 #include "sys/hugepages.h"
 #include "sys/rng.h"
@@ -104,8 +106,12 @@ struct TopKScratch {
 /// serve-side footprint report).
 struct LayerMemory {
   std::size_t master_bytes = 0;     ///< fp32 weights + biases
-  std::size_t mirror_bytes = 0;     ///< bf16 inference mirror (0 at fp32)
+  std::size_t mirror_bytes = 0;     ///< quantized inference mirror (0 at fp32)
   std::size_t optimizer_bytes = 0;  ///< gradient accumulators + Adam moments
+  /// Mirror bytes whose backing pages the kernel accepted THP advice for
+  /// (<= mirror_bytes; 0 when THP is unavailable or disabled). Observability
+  /// for the hugepage-backed mirror adoption — Table 4 of the paper.
+  std::size_t mirror_hugepage_bytes = 0;
 };
 
 /// Cumulative adaptive-retrieval diagnostics of one layer (see
@@ -367,6 +373,12 @@ class EmbeddingLayer {
   bool bf16_inference() const noexcept {
     return precision_ == Precision::kBF16 && !weights_bf16_.empty();
   }
+  bool f16_inference() const noexcept {
+    return precision_ == Precision::kFP16 && !weights_f16_.empty();
+  }
+  bool i8_inference() const noexcept {
+    return precision_ == Precision::kInt8 && !weights_i8_.empty();
+  }
 
   Index input_dim_;
   Index units_;
@@ -376,7 +388,14 @@ class EmbeddingLayer {
   HugeArray grads_;
   AlignedVector<float> bias_;
   AlignedVector<float> bias_grad_;
-  AlignedVector<simd::Bf16> weights_bf16_;  // mirror, same layout; bf16 only
+  // Quantized inference mirrors, same input-major layout as weights_; only
+  // the one matching precision_ is ever allocated. Hugepage-backed: the
+  // serving path streams these rows, the TLB-bound pattern of paper
+  // Table 4. i8_scales_ holds the per-input-row symmetric scale.
+  HugeArrayT<simd::Bf16> weights_bf16_;
+  HugeArrayT<simd::Fp16> weights_f16_;
+  HugeArrayT<simd::I8> weights_i8_;
+  AlignedVector<float> i8_scales_;  // [input_dim]
   Adam adam_;  // layout: weights then bias
 
   std::vector<ActiveSet> slots_;
@@ -602,9 +621,24 @@ class SampledLayer : public Layer {
   void compute_activations(ActiveSet& set, const ActiveSet& prev) const;
   float activation_of(Index unit, std::span<const Index> prev_ids,
                       std::span<const float> prev_act) const;
-  /// Mirror-reading twin of activation_of (bf16 inference scoring).
+  /// Mirror-reading twins of activation_of (quantized inference scoring).
   float activation_of_bf16(Index unit, std::span<const Index> prev_ids,
                            std::span<const float> prev_act) const;
+  float activation_of_f16(Index unit, std::span<const Index> prev_ids,
+                          std::span<const float> prev_act) const;
+  /// Int8 scoring: against a dense prev the caller provides the u8-quantized
+  /// activations (qx, one quantize_act_u8 per query) and their scale;
+  /// against a sparse prev qx is unused (fp32 values x widened s8 weights).
+  float activation_of_i8(Index unit, std::span<const Index> prev_ids,
+                         std::span<const float> prev_act, const simd::U8* qx,
+                         float act_scale) const;
+  /// Scores `ids` against the previous active set into out[0..ids.size())
+  /// through whichever precision tier is active, prefetching the candidate
+  /// rows kPrefetchDistance ahead (the rows are LSH-sampled, i.e. scattered
+  /// — exactly the access pattern the software prefetch pays for). Shared
+  /// by forward_inference_budgeted and escalate_to_exact.
+  void score_rows(std::span<const Index> ids, std::span<const Index> prev_ids,
+                  std::span<const float> prev_act, float* out) const;
   /// Adaptive-policy escalation: scores every unit into act_out (ids_out
   /// becomes 0..units-1), and records the escaped query's candidate recall
   /// against the exact top-k (the candidates are the ids stamped in
@@ -616,6 +650,21 @@ class SampledLayer : public Layer {
                          std::vector<float>& act_out) const;
   bool bf16_inference() const noexcept {
     return config_.precision == Precision::kBF16 && !weights_bf16_.empty();
+  }
+  bool f16_inference() const noexcept {
+    return config_.precision == Precision::kFP16 && !weights_f16_.empty();
+  }
+  bool i8_inference() const noexcept {
+    return config_.precision == Precision::kInt8 && !weights_i8_.empty();
+  }
+  /// Row base pointer of whichever storage the inference path reads —
+  /// feeds the candidate-row software prefetch in the scoring loop.
+  const void* inference_row(Index unit) const noexcept {
+    const std::size_t off = static_cast<std::size_t>(unit) * fan_in_;
+    if (i8_inference()) return weights_i8_.data() + off;
+    if (f16_inference()) return weights_f16_.data() + off;
+    if (bf16_inference()) return weights_bf16_.data() + off;
+    return weights_.data() + off;
   }
 
   /// Clears `group` and re-hashes every neuron into it (memoized Simhash
@@ -642,7 +691,13 @@ class SampledLayer : public Layer {
   HugeArray grads_;
   AlignedVector<float> bias_;
   AlignedVector<float> bias_grad_;
-  AlignedVector<simd::Bf16> weights_bf16_;  // mirror, same layout; bf16 only
+  // Quantized inference mirrors, same neuron-major layout as weights_;
+  // only the one matching config_.precision is ever allocated (hugepage-
+  // backed — see EmbeddingLayer). i8_scales_ is the per-neuron-row scale.
+  HugeArrayT<simd::Bf16> weights_bf16_;
+  HugeArrayT<simd::Fp16> weights_f16_;
+  HugeArrayT<simd::I8> weights_i8_;
+  AlignedVector<float> i8_scales_;  // [units]
   Adam adam_;  // layout: weights then bias
 
   std::vector<ActiveSet> slots_;

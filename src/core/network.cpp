@@ -43,6 +43,7 @@ MemoryFootprint Network::memory_footprint() const noexcept {
     f.mirror_bytes += m.mirror_bytes;
     f.optimizer_bytes += m.optimizer_bytes;
     f.inference_weight_bytes += inference_bytes;
+    f.mirror_hugepage_bytes += m.mirror_hugepage_bytes;
   };
   add(embedding_->memory(), embedding_->inference_weight_bytes());
   for (const auto& layer : layers_)

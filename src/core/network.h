@@ -27,9 +27,12 @@ class Network;
 /// contract is asserted on.
 struct MemoryFootprint {
   std::size_t master_weight_bytes = 0;  ///< fp32 weights + biases
-  std::size_t mirror_bytes = 0;         ///< bf16 inference mirrors
+  std::size_t mirror_bytes = 0;  ///< quantized inference mirrors (any tier)
   std::size_t optimizer_bytes = 0;      ///< grad accumulators + Adam moments
   std::size_t inference_weight_bytes = 0;
+  /// Mirror bytes actually backed by transparent hugepages (<= mirror_bytes;
+  /// 0 when THP is off or unsupported). The Table 4 observability hook.
+  std::size_t mirror_hugepage_bytes = 0;
 };
 
 /// Scratch buffers for single-sample inference; create one per thread.

@@ -127,7 +127,7 @@ std::uint32_t read_version(std::istream& in) {
 Precision read_precision_tag(std::istream& in, std::uint32_t version) {
   if (version < 2) return Precision::kFP32;
   const std::uint32_t tag = read_u32(in);
-  SLIDE_CHECK(tag <= static_cast<std::uint32_t>(Precision::kBF16),
+  SLIDE_CHECK(tag <= static_cast<std::uint32_t>(Precision::kInt8),
               "load_weights: unknown precision tag");
   return static_cast<Precision>(tag);
 }

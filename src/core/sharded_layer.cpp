@@ -409,6 +409,7 @@ LayerMemory ShardedSampledLayer::memory() const noexcept {
     m.master_bytes += sm.master_bytes;
     m.mirror_bytes += sm.mirror_bytes;
     m.optimizer_bytes += sm.optimizer_bytes;
+    m.mirror_hugepage_bytes += sm.mirror_hugepage_bytes;
   }
   return m;
 }

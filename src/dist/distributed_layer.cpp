@@ -412,8 +412,17 @@ std::size_t DistributedSampledLayer::inference_weight_bytes() const noexcept {
   const std::size_t weight_count = static_cast<std::size_t>(units_) * fan_in_;
   const std::size_t bias_bytes = static_cast<std::size_t>(units_) *
                                  sizeof(float);
-  if (config_.precision == Precision::kBF16)
-    return weight_count * 2 + bias_bytes;
+  switch (config_.precision) {
+    case Precision::kBF16:
+    case Precision::kFP16:
+      return weight_count * 2 + bias_bytes;
+    case Precision::kInt8:
+      // s8 weights + one fp32 scale per neuron row (simd/int8.h).
+      return weight_count +
+             static_cast<std::size_t>(units_) * sizeof(float) + bias_bytes;
+    case Precision::kFP32:
+      break;
+  }
   return weight_count * sizeof(float) + bias_bytes;
 }
 

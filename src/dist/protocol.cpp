@@ -171,7 +171,7 @@ SampledLayer::Config read_layer_config(PayloadReader& r) {
   c.adam.beta2 = r.f32();
   c.adam.epsilon = r.f32();
   c.precision = read_enum<Precision>(
-      r, static_cast<std::uint8_t>(Precision::kBF16), "precision");
+      r, static_cast<std::uint8_t>(Precision::kInt8), "precision");
   c.seed = r.u64();
   c.retriever = read_enum<retrieval::RetrieverKind>(
       r, static_cast<std::uint8_t>(retrieval::RetrieverKind::kHnsw),

@@ -22,13 +22,22 @@ namespace {
 std::atomic<const Backend*> g_active{nullptr};
 
 const Backend* table_for(SimdLevel level) noexcept {
+  // Each vector level has a sub-feature variant pair (backend_registry.h):
+  // the optional extensions (F16C, AVX512-VNNI) are not implied by the
+  // level's baseline cpuid bits, so the variant is picked here, at bind
+  // time, from the live feature flags. Both variants of a level are
+  // compiled (or neither), hence one null check per pair.
   switch (level) {
     case SimdLevel::kScalar:
       return &detail::kScalarBackend;
     case SimdLevel::kAVX2:
-      return detail::kAvx2Backend;
+      if (detail::kAvx2Backend == nullptr) return nullptr;
+      return cpu_features().f16c ? detail::kAvx2Backend
+                                 : detail::kAvx2BackendNoF16c;
     case SimdLevel::kAVX512:
-      return detail::kAvx512Backend;
+      if (detail::kAvx512Backend == nullptr) return nullptr;
+      return cpu_features().avx512vnni ? detail::kAvx512Backend
+                                       : detail::kAvx512BackendNoVnni;
   }
   return nullptr;
 }

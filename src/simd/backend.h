@@ -31,6 +31,8 @@
 #include <cstddef>
 
 #include "simd/bf16.h"
+#include "simd/f16.h"
+#include "simd/int8.h"
 #include "sys/common.h"
 
 namespace slide::simd {
@@ -71,6 +73,40 @@ struct Backend {
   // Quantization runs on the publish path (cold); scalar in every table.
   void (*quantize_bf16)(const float*, Bf16*, std::size_t) noexcept = nullptr;
   void (*dequantize_bf16)(const Bf16*, float*, std::size_t) noexcept = nullptr;
+
+  // Int8 tier: s8 weights (per-row symmetric scale) x u8 activations in
+  // [0,127]; see simd/int8.h for the full contract. dot_i8 returns the raw
+  // int32 MAC — identical across all paths by construction, so parity is
+  // exact. The AVX-512 table uses VNNI `vpdpbusd` when cpuid reports it
+  // (kAvx512BackendNoVnni otherwise); AVX2 uses `vpmaddubsw`. The active
+  // path's name is recorded in i8_path for benches/banners.
+  std::int32_t (*dot_i8)(const I8*, const U8*, std::size_t) noexcept = nullptr;
+  float (*sparse_dot_i8)(const Index*, const float*, std::size_t,
+                         const I8*) noexcept = nullptr;
+  void (*axpy_i8)(float, const I8*, float*, std::size_t) noexcept = nullptr;
+  /// Quantizes one row; returns its scale (0 for an all-zero row). Publish
+  /// path (cold): scalar in every table.
+  float (*quantize_i8)(const float*, I8*, std::size_t) noexcept = nullptr;
+  /// Quantizes a (non-negative) activation vector to u8 in [0,127];
+  /// returns the per-query scale. Once per query (cold-ish): scalar.
+  float (*quantize_act_u8)(const float*, U8*, std::size_t) noexcept = nullptr;
+
+  // FP16 tier: binary16 weights x fp32 activations, load-converted via
+  // F16C `vcvtph2ps` where available (kAvx2BackendNoF16c falls back to
+  // scalar conversion). Same shape as the bf16 slots.
+  float (*dot_f16)(const Fp16*, const float*, std::size_t) noexcept = nullptr;
+  float (*sparse_dot_f16)(const Index*, const float*, std::size_t,
+                          const Fp16*) noexcept = nullptr;
+  void (*axpy_f16)(float, const Fp16*, float*, std::size_t) noexcept = nullptr;
+  void (*quantize_f16)(const float*, Fp16*, std::size_t) noexcept = nullptr;
+  void (*dequantize_f16)(const Fp16*, float*, std::size_t) noexcept = nullptr;
+
+  // Human-readable names of the int8/fp16 code paths this table binds
+  // ("vnni", "maddubs-512", "maddubs-256", "f16c-256", "scalar", ...).
+  // BENCH_backend.json rows carry these so baselines compare like-for-like
+  // across machines with and without the optional ISA extensions.
+  const char* i8_path = "scalar";
+  const char* f16_path = "scalar";
 };
 
 /// True when this binary contains a kernel table for `level` (a build-time

@@ -1,0 +1,92 @@
+// IEEE 754 binary16 ("fp16") storage type + scalar conversions.
+//
+// The FP16 inference tier stores weight mirrors as binary16 (1 sign, 5
+// exponent, 10 mantissa bits) and converts to fp32 on load inside the dot
+// kernels — on F16C hardware with a single `vcvtph2ps`, otherwise with the
+// scalar routines below. Unlike bf16 (bf16.h), fp16 keeps 3 extra mantissa
+// bits at the price of range: |x| > 65504 overflows to infinity and
+// |x| < 2^-14 goes subnormal. Trained SLIDE weights live comfortably inside
+// that range, so fp16 mirrors track fp32 tighter than bf16 ones.
+//
+// Conversion contract (must match the hardware instructions bit-for-bit so
+// the scalar oracle and the F16C kernels agree exactly):
+//   float_to_fp16: round-to-nearest-even, like vcvtps2ph with imm8=0.
+//                  Overflow saturates to +/-inf; NaN becomes the canonical
+//                  quiet NaN (sign | 0x7E00).
+//   fp16_to_float: exact (every binary16 value is representable in fp32),
+//                  like vcvtph2ps; NaN payloads shift left by 13.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace slide::simd {
+
+/// Storage type for binary16 weights. A plain integer, not _Float16: the
+/// portable TUs must compile on toolchains without native half support,
+/// and all arithmetic happens in fp32 anyway.
+using Fp16 = std::uint16_t;
+
+namespace f16_detail {
+inline std::uint32_t bits_of(float f) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+inline float float_of(std::uint32_t u) noexcept {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+}  // namespace f16_detail
+
+/// fp32 -> fp16 with round-to-nearest-even (vcvtps2ph semantics).
+inline Fp16 float_to_fp16(float f) noexcept {
+  const std::uint32_t u = f16_detail::bits_of(f);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::uint32_t abs = u & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf or NaN
+    if (abs > 0x7F800000u) return static_cast<Fp16>(sign | 0x7E00u);
+    return static_cast<Fp16>(sign | 0x7C00u);
+  }
+  if (abs >= 0x38800000u) {  // normal half range: |x| >= 2^-14
+    // Re-bias the exponent by subtracting (127-15)<<23, then round the
+    // 13 dropped mantissa bits to nearest-even. A mantissa carry that
+    // overflows into the exponent is exactly the right rounding (e.g.
+    // 65520 -> +inf); values >= 0x7C00 after rounding saturate to inf.
+    const std::uint32_t adjusted = abs - 0x38000000u;
+    const std::uint32_t rounded =
+        (adjusted + 0xFFFu + ((adjusted >> 13) & 1u)) >> 13;
+    return static_cast<Fp16>(sign | (rounded >= 0x7C00u ? 0x7C00u : rounded));
+  }
+  if (abs <= 0x33000000u) {  // |x| <= 2^-25: underflows to signed zero
+    return static_cast<Fp16>(sign);
+  }
+  // Subnormal half: value = mant * 2^-24 with mant in [1, 1023].
+  const std::uint32_t shift = 126u - (abs >> 23);  // 14..24 dropped bits
+  const std::uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+  std::uint32_t half = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t half_bit = 1u << (shift - 1u);
+  if (rem > half_bit || (rem == half_bit && (half & 1u) != 0)) ++half;
+  // A carry out of mant>>shift lands on 0x0400 = the smallest normal:
+  // exactly the right encoding, no special case needed.
+  return static_cast<Fp16>(sign | half);
+}
+
+/// fp16 -> fp32, exact (vcvtph2ps semantics).
+inline float fp16_to_float(Fp16 h) noexcept {
+  const std::uint32_t sign32 = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t em = h & 0x7FFFu;
+  if (em >= 0x7C00u) {  // inf or NaN; payload shifts left by 13 like the ISA
+    return f16_detail::float_of(sign32 | 0x7F800000u | ((em & 0x3FFu) << 13));
+  }
+  if (em >= 0x0400u) {  // normal: re-bias exponent (15 -> 127)
+    return f16_detail::float_of(sign32 | ((em + 0x1C000u) << 13));
+  }
+  if (em == 0) return f16_detail::float_of(sign32);  // signed zero
+  const float v = static_cast<float>(em) * 0x1p-24f;  // subnormal
+  return sign32 != 0 ? -v : v;
+}
+
+}  // namespace slide::simd

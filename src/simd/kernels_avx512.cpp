@@ -210,6 +210,100 @@ void axpy_bf16(float alpha, const Bf16* x, float* y, std::size_t n) noexcept {
   for (; i < n; ++i) y[i] += alpha * bf16_to_float(x[i]);
 }
 
+// ---- int8 ----------------------------------------------------------------
+
+/// BW-baseline int8 dot: vpmaddubsw pairs u8 x s8 into int16 (exact — the
+/// [0,127] activation cap rules out saturation), vpmaddwd widens to int32.
+std::int32_t dot_i8_maddubs(const I8* w, const U8* x, std::size_t n) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  const __m512i ones = _mm512_set1_epi16(1);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vw = _mm512_loadu_si512(w + i);
+    const __m512i pairs = _mm512_maddubs_epi16(vx, vw);
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(pairs, ones));
+  }
+  std::int32_t s = _mm512_reduce_add_epi32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<std::int32_t>(w[i]) * static_cast<std::int32_t>(x[i]);
+  }
+  return s;
+}
+
+// AVX512-VNNI is not implied by F+BW, so the vpdpbusd kernel carries its
+// own target attribute and lands only in the full kAvx512Table — the
+// NoVnni variant binds dot_i8_maddubs and no VNNI instruction ever runs on
+// a host without the cpuid bit. Clang and GCC >= 8 both compile the
+// intrinsic under a target attribute; older GCC falls back to maddubs
+// everywhere.
+#if defined(__clang__) || (defined(__GNUC__) && __GNUC__ >= 8)
+#define SLIDE_HAVE_VNNI_COMPILE 1
+__attribute__((target("avx512f,avx512bw,avx512vnni")))
+std::int32_t dot_i8_vnni(const I8* w, const U8* x, std::size_t n) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vw = _mm512_loadu_si512(w + i);
+    acc = _mm512_dpbusd_epi32(acc, vx, vw);  // u8 x s8 -> int32, one op
+  }
+  std::int32_t s = _mm512_reduce_add_epi32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<std::int32_t>(w[i]) * static_cast<std::int32_t>(x[i]);
+  }
+  return s;
+}
+#else
+#define SLIDE_HAVE_VNNI_COMPILE 0
+#endif
+
+void axpy_i8(float alpha, const I8* x, float* y, std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m512 vx = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(raw));
+    __m512 vy = _mm512_loadu_ps(y + i);
+    vy = _mm512_fmadd_ps(va, vx, vy);
+    _mm512_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * static_cast<float>(x[i]);
+}
+
+// ---- fp16 ----------------------------------------------------------------
+// EVEX vcvtph2ps on zmm is plain AVX512F — no extra cpuid bit or target
+// attribute needed at this level (unlike F16C at AVX2).
+
+/// Widens 16 fp16 values (256-bit load) to 16 fp32 lanes.
+inline __m512 load_f16x16(const Fp16* p) noexcept {
+  return _mm512_cvtph_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+float dot_f16(const Fp16* w, const float* x, std::size_t n) noexcept {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_fmadd_ps(load_f16x16(w + i), _mm512_loadu_ps(x + i), acc);
+  }
+  float s = _mm512_reduce_add_ps(acc);
+  for (; i < n; ++i) s += fp16_to_float(w[i]) * x[i];
+  return s;
+}
+
+void axpy_f16(float alpha, const Fp16* x, float* y, std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 vy = _mm512_loadu_ps(y + i);
+    vy = _mm512_fmadd_ps(va, load_f16x16(x + i), vy);
+    _mm512_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * fp16_to_float(x[i]);
+}
+
 }  // namespace avx512
 
 namespace {
@@ -234,17 +328,73 @@ constexpr Backend kAvx512Table = {
     .axpy_bf16 = avx512::axpy_bf16,
     .quantize_bf16 = scalar::quantize_bf16,
     .dequantize_bf16 = scalar::dequantize_bf16,
+#if SLIDE_HAVE_VNNI_COMPILE
+    .dot_i8 = avx512::dot_i8_vnni,
+#else
+    .dot_i8 = avx512::dot_i8_maddubs,
+#endif
+    .sparse_dot_i8 = scalar::sparse_dot_i8,
+    .axpy_i8 = avx512::axpy_i8,
+    .quantize_i8 = scalar::quantize_i8,
+    .quantize_act_u8 = scalar::quantize_act_u8,
+    .dot_f16 = avx512::dot_f16,
+    .sparse_dot_f16 = scalar::sparse_dot_f16,
+    .axpy_f16 = avx512::axpy_f16,
+    .quantize_f16 = scalar::quantize_f16,
+    .dequantize_f16 = scalar::dequantize_f16,
+#if SLIDE_HAVE_VNNI_COMPILE
+    .i8_path = "vnni",
+#else
+    .i8_path = "maddubs-512",
+#endif
+    .f16_path = "cvtph2ps-512",
+};
+
+// Variant bound when cpuid lacks AVX512-VNNI: same table with the int8
+// dot on the BW-baseline vpmaddubsw path.
+constexpr Backend kAvx512TableNoVnni = {
+    .level = SimdLevel::kAVX512,
+    .name = "avx512",
+    .dot = avx512::dot,
+    .axpy = avx512::axpy,
+    .scale = avx512::scale,
+    .sum = avx512::sum,
+    .max = avx512::max,
+    .relu = avx512::relu,
+    .sparse_dot = avx512::sparse_dot,
+    .sparse_axpy = scalar::sparse_axpy,
+    .softmax_inplace = avx512::softmax_inplace,
+    .adam_step = avx512::adam_step,
+    .dot_bf16 = avx512::dot_bf16,
+    .sparse_dot_bf16 = scalar::sparse_dot_bf16,
+    .axpy_bf16 = avx512::axpy_bf16,
+    .quantize_bf16 = scalar::quantize_bf16,
+    .dequantize_bf16 = scalar::dequantize_bf16,
+    .dot_i8 = avx512::dot_i8_maddubs,
+    .sparse_dot_i8 = scalar::sparse_dot_i8,
+    .axpy_i8 = avx512::axpy_i8,
+    .quantize_i8 = scalar::quantize_i8,
+    .quantize_act_u8 = scalar::quantize_act_u8,
+    .dot_f16 = avx512::dot_f16,
+    .sparse_dot_f16 = scalar::sparse_dot_f16,
+    .axpy_f16 = avx512::axpy_f16,
+    .quantize_f16 = scalar::quantize_f16,
+    .dequantize_f16 = scalar::dequantize_f16,
+    .i8_path = "maddubs-512",
+    .f16_path = "cvtph2ps-512",
 };
 }  // namespace
 
 namespace detail {
 const Backend* const kAvx512Backend = &kAvx512Table;
+const Backend* const kAvx512BackendNoVnni = &kAvx512TableNoVnni;
 }  // namespace detail
 
 #else  // !SLIDE_HAVE_AVX512_TU
 
 namespace detail {
 const Backend* const kAvx512Backend = nullptr;
+const Backend* const kAvx512BackendNoVnni = nullptr;
 }  // namespace detail
 
 #endif  // SLIDE_HAVE_AVX512_TU

@@ -108,6 +108,96 @@ void dequantize_bf16(const Bf16* src, float* dst, std::size_t n) noexcept {
   for (std::size_t i = 0; i < n; ++i) dst[i] = bf16_to_float(src[i]);
 }
 
+std::int32_t dot_i8(const I8* w, const U8* x, std::size_t n) noexcept {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(w[i]) * static_cast<std::int32_t>(x[i]);
+  }
+  return acc;
+}
+
+float sparse_dot_i8(const Index* idx, const float* val, std::size_t nnz,
+                    const I8* dense) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    acc += val[i] * static_cast<float>(dense[idx[i]]);
+  }
+  return acc;
+}
+
+void axpy_i8(float alpha, const I8* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * static_cast<float>(x[i]);
+}
+
+float quantize_i8(const float* src, I8* dst, std::size_t n) noexcept {
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    if (a > amax) amax = a;
+  }
+  if (!(amax > 0.0f)) {  // all-zero row: scale 0 so callers skip the rescale
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Ties round to even (nearbyint under the default FE_TONEAREST mode);
+    // the clamp guards the one-ULP overshoot src[i]*inv can produce when
+    // |src[i]| == amax and inv rounded up.
+    float q = std::nearbyintf(src[i] * inv);
+    if (q > 127.0f) q = 127.0f;
+    if (q < -127.0f) q = -127.0f;
+    dst[i] = static_cast<I8>(q);
+  }
+  return amax / 127.0f;
+}
+
+float quantize_act_u8(const float* src, U8* dst, std::size_t n) noexcept {
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src[i] > amax) amax = src[i];
+  }
+  if (!(amax > 0.0f)) {  // nothing positive to score against
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = src[i] > 0.0f ? src[i] : 0.0f;  // post-ReLU contract
+    float q = std::nearbyintf(v * inv);
+    if (q > 127.0f) q = 127.0f;
+    dst[i] = static_cast<U8>(q);
+  }
+  return amax / 127.0f;
+}
+
+float dot_f16(const Fp16* w, const float* x, std::size_t n) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += fp16_to_float(w[i]) * x[i];
+  return acc;
+}
+
+float sparse_dot_f16(const Index* idx, const float* val, std::size_t nnz,
+                     const Fp16* dense) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    acc += val[i] * fp16_to_float(dense[idx[i]]);
+  }
+  return acc;
+}
+
+void axpy_f16(float alpha, const Fp16* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * fp16_to_float(x[i]);
+}
+
+void quantize_f16(const float* src, Fp16* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_fp16(src[i]);
+}
+
+void dequantize_f16(const Fp16* src, float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fp16_to_float(src[i]);
+}
+
 }  // namespace scalar
 
 namespace detail {
@@ -130,6 +220,18 @@ const Backend kScalarBackend = {
     .axpy_bf16 = scalar::axpy_bf16,
     .quantize_bf16 = scalar::quantize_bf16,
     .dequantize_bf16 = scalar::dequantize_bf16,
+    .dot_i8 = scalar::dot_i8,
+    .sparse_dot_i8 = scalar::sparse_dot_i8,
+    .axpy_i8 = scalar::axpy_i8,
+    .quantize_i8 = scalar::quantize_i8,
+    .quantize_act_u8 = scalar::quantize_act_u8,
+    .dot_f16 = scalar::dot_f16,
+    .sparse_dot_f16 = scalar::sparse_dot_f16,
+    .axpy_f16 = scalar::axpy_f16,
+    .quantize_f16 = scalar::quantize_f16,
+    .dequantize_f16 = scalar::dequantize_f16,
+    .i8_path = "scalar",
+    .f16_path = "scalar",
 };
 
 }  // namespace detail

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <type_traits>
 
 #include "sys/common.h"
 
@@ -55,26 +56,42 @@ class HugeBuffer {
   bool thp_ = false;
 };
 
-/// A fixed-size float array in (optionally) hugepage-backed storage. This is
-/// the storage type for layer weight matrices and optimizer state.
-class HugeArray {
- public:
-  HugeArray() = default;
-  explicit HugeArray(std::size_t count)
-      : buffer_(count * sizeof(float)), count_(count) {}
+/// A fixed-size array of trivially-copyable T in (optionally)
+/// hugepage-backed storage. This is the storage type for layer weight
+/// matrices, optimizer state, and every quantized inference weight mirror
+/// (fp32 / bf16 / fp16 / int8) — the serving hot path streams these rows,
+/// which is exactly the TLB-bound access pattern Table 4 measures.
+template <typename T>
+class HugeArrayT {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "HugeArrayT holds raw, kernel-zeroed storage");
 
-  float* data() noexcept { return static_cast<float*>(buffer_.data()); }
-  const float* data() const noexcept {
-    return static_cast<const float*>(buffer_.data());
+ public:
+  HugeArrayT() = default;
+  explicit HugeArrayT(std::size_t count)
+      : buffer_(count * sizeof(T)), count_(count) {}
+
+  T* data() noexcept { return static_cast<T*>(buffer_.data()); }
+  const T* data() const noexcept {
+    return static_cast<const T*>(buffer_.data());
   }
   std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
   bool uses_thp() const noexcept { return buffer_.uses_thp(); }
 
-  float& operator[](std::size_t i) noexcept {
+  /// Replaces the storage with a fresh zeroed allocation of `count`
+  /// elements (does NOT preserve contents — mirrors only ever grow from
+  /// empty to their final size and are then overwritten in full).
+  void resize(std::size_t count) {
+    buffer_ = HugeBuffer(count * sizeof(T));
+    count_ = count;
+  }
+
+  T& operator[](std::size_t i) noexcept {
     SLIDE_ASSERT(i < count_);
     return data()[i];
   }
-  float operator[](std::size_t i) const noexcept {
+  T operator[](std::size_t i) const noexcept {
     SLIDE_ASSERT(i < count_);
     return data()[i];
   }
@@ -83,5 +100,8 @@ class HugeArray {
   HugeBuffer buffer_;
   std::size_t count_ = 0;
 };
+
+/// The fp32 master-weight storage type (the original, pre-template name).
+using HugeArray = HugeArrayT<float>;
 
 }  // namespace slide

@@ -61,8 +61,12 @@ TEST(Precision, BuilderAndParseRoundTrip) {
   EXPECT_EQ(net_config(data, Precision::kBF16).precision, Precision::kBF16);
   EXPECT_EQ(parse_precision("fp32"), Precision::kFP32);
   EXPECT_EQ(parse_precision("bf16"), Precision::kBF16);
+  EXPECT_EQ(parse_precision("fp16"), Precision::kFP16);
+  EXPECT_EQ(parse_precision("int8"), Precision::kInt8);
   EXPECT_STREQ(to_string(Precision::kBF16), "bf16");
-  EXPECT_THROW(parse_precision("fp16"), Error);
+  EXPECT_STREQ(to_string(Precision::kFP16), "fp16");
+  EXPECT_STREQ(to_string(Precision::kInt8), "int8");
+  EXPECT_THROW(parse_precision("int4"), Error);
 }
 
 TEST(Precision, Bf16NetworkHalvesInferenceWeightBytes) {
@@ -81,6 +85,47 @@ TEST(Precision, Bf16NetworkHalvesInferenceWeightBytes) {
             f32.inference_weight_bytes / 2 + f32.inference_weight_bytes / 20);
   EXPECT_GE(f16.inference_weight_bytes, f32.inference_weight_bytes / 2);
   EXPECT_EQ(bf16.precision(), Precision::kBF16);
+}
+
+TEST(Precision, Fp16NetworkHalvesInferenceWeightBytes) {
+  const auto data = tiny_data();
+  Network fp32(net_config(data), 2);
+  Network fp16(net_config(data, Precision::kFP16), 2);
+
+  const MemoryFootprint f32 = fp32.memory_footprint();
+  const MemoryFootprint f16 = fp16.memory_footprint();
+  EXPECT_GT(f16.mirror_bytes, 0u);
+  EXPECT_EQ(f32.master_weight_bytes, f16.master_weight_bytes);
+  EXPECT_LT(f16.inference_weight_bytes,
+            f32.inference_weight_bytes / 2 + f32.inference_weight_bytes / 20);
+  EXPECT_GE(f16.inference_weight_bytes, f32.inference_weight_bytes / 2);
+  EXPECT_EQ(fp16.precision(), Precision::kFP16);
+}
+
+TEST(Precision, Int8NetworkQuartersInferenceWeightBytes) {
+  // Wider rows than the tiny fixture: the per-row fp32 scale amortizes over
+  // the row length, so the quarter-bytes contract needs realistic (not
+  // 8-wide) rows to be meaningful.
+  const auto data = tiny_data();
+  auto wide_config = [&](Precision p) {
+    NetworkConfig cfg = net_config(data, p);
+    cfg.hidden_units = 64;
+    return cfg;
+  };
+  Network fp32(wide_config(Precision::kFP32), 2);
+  Network int8(wide_config(Precision::kInt8), 2);
+
+  const MemoryFootprint f32 = fp32.memory_footprint();
+  const MemoryFootprint i8 = int8.memory_footprint();
+  EXPECT_GT(i8.mirror_bytes, 0u);
+  EXPECT_EQ(f32.master_weight_bytes, i8.master_weight_bytes);
+  // s8 weights are a quarter of fp32; the per-row fp32 scales and biases
+  // add a small per-unit overhead on top (same slack shape as bf16's bias
+  // term above).
+  EXPECT_LT(i8.inference_weight_bytes,
+            f32.inference_weight_bytes / 4 + f32.inference_weight_bytes / 20);
+  EXPECT_GE(i8.inference_weight_bytes, f32.inference_weight_bytes / 4);
+  EXPECT_EQ(int8.precision(), Precision::kInt8);
 }
 
 TEST(Precision, Bf16PredictionsAgreeWithFp32) {
@@ -107,6 +152,81 @@ TEST(Precision, Bf16PredictionsAgreeWithFp32) {
   }
   // Acceptance bar: >= 99% top-1 agreement on the fixture net.
   EXPECT_GE(agree, (total * 99) / 100) << agree << "/" << total;
+}
+
+// Shared body for the quantized-tier agreement bar: train fp32, reload the
+// checkpoint at `precision`, and require >= 99% top-1 agreement (the
+// acceptance bound of every tier in the precision table).
+void expect_top1_agreement(Precision precision) {
+  const auto data = tiny_data();
+  Network trained(net_config(data), 2);
+  train_a_bit(trained, data.train);
+  std::stringstream buffer;
+  save_weights(trained, buffer);
+
+  Network fp32(net_config(data, Precision::kFP32, 999), 2);
+  buffer.seekg(0);
+  load_weights(fp32, buffer);
+  Network quant(net_config(data, precision, 555), 2);
+  buffer.seekg(0);
+  load_weights(quant, buffer);
+
+  InferenceContext ctx_a(fp32), ctx_b(quant);
+  int agree = 0, total = 0;
+  for (const Sample& s : data.test.samples()) {
+    const Index a = fp32.predict_top1(s.features, ctx_a, /*exact=*/true);
+    const Index b = quant.predict_top1(s.features, ctx_b, /*exact=*/true);
+    agree += a == b;
+    ++total;
+  }
+  EXPECT_GE(agree, (total * 99) / 100)
+      << to_string(precision) << ": " << agree << "/" << total;
+
+  // The sampled (LSH) serving path must run through the same tier without
+  // incident — smoke the non-exact scoring loop too.
+  for (int i = 0; i < 20; ++i) {
+    const Sample& s = data.test.samples()[static_cast<std::size_t>(i)];
+    (void)quant.predict_top1(s.features, ctx_b, /*exact=*/false);
+  }
+}
+
+TEST(Precision, Fp16PredictionsAgreeWithFp32) {
+  expect_top1_agreement(Precision::kFP16);
+}
+
+TEST(Precision, Int8PredictionsAgreeWithFp32) {
+  expect_top1_agreement(Precision::kInt8);
+}
+
+TEST(Precision, Int8ScalesRederiveBitExactAcrossShardCounts) {
+  // Per-row scales are never serialized: checkpoints carry fp32 masters and
+  // the precision tag, and every load re-derives the mirror. Quantization
+  // is row-local and deterministic, so the same checkpoint loaded under any
+  // shard partition must serve identical predictions — if any row's scale
+  // differed by even one ulp between partitions, scores (and orderings)
+  // would drift.
+  const auto data = tiny_data();
+  Network trained(net_config(data), 2);
+  train_a_bit(trained, data.train);
+  std::stringstream buffer;
+  save_weights(trained, buffer);
+
+  std::vector<std::vector<std::vector<Index>>> per_shard_topk;
+  for (const int shards : {0, 1, 4}) {
+    NetworkConfig cfg = net_config(data, Precision::kInt8, 77);
+    cfg.layers[0].shards = shards;
+    Network net(cfg, 2);
+    buffer.clear();
+    buffer.seekg(0);
+    load_weights(net, buffer);
+    InferenceContext ctx(net);
+    std::vector<std::vector<Index>> topk;
+    for (const Sample& s : data.test.samples())
+      topk.push_back(net.predict_topk(s.features, ctx, 5, /*exact=*/true));
+    per_shard_topk.push_back(std::move(topk));
+  }
+  EXPECT_EQ(per_shard_topk[0], per_shard_topk[1]);
+  EXPECT_EQ(per_shard_topk[0], per_shard_topk[2]);
 }
 
 TEST(Precision, RefreshMirrorsTracksTrainedWeights) {
@@ -153,6 +273,19 @@ TEST(Precision, CheckpointCarriesPrecisionTag) {
   save_weights(fp32, buffer2);
   buffer2.seekg(0);
   EXPECT_EQ(peek_checkpoint_info(buffer2).precision, Precision::kFP32);
+
+  // The two new tiers tag and reload the same way (mirror re-derived on
+  // load, never serialized).
+  for (const Precision p : {Precision::kFP16, Precision::kInt8}) {
+    Network net(net_config(data, p, 41), 2);
+    std::stringstream buf;
+    save_weights(net, buf);
+    buf.seekg(0);
+    EXPECT_EQ(peek_checkpoint_info(buf).precision, p);
+    Network reloaded(net_config(data, p, 43), 2);
+    load_weights(reloaded, buf);
+    EXPECT_GT(reloaded.memory_footprint().mirror_bytes, 0u);
+  }
 }
 
 // Byte-level writer for the pre-tag (version 1) format, replicating the

@@ -322,6 +322,174 @@ TEST_P(KernelParity, QuantizeDequantizeRoundTrip) {
   }
 }
 
+// ---- int8 tier kernels ----------------------------------------------------
+
+std::vector<simd::I8> random_i8(std::size_t n, Rng& rng) {
+  std::vector<simd::I8> v(n);
+  // Full signed range including the +/-127 saturation edges.
+  for (auto& x : v)
+    x = static_cast<simd::I8>(static_cast<int>(rng.uniform(255)) - 127);
+  return v;
+}
+
+std::vector<simd::U8> random_u8(std::size_t n, Rng& rng) {
+  std::vector<simd::U8> v(n);
+  for (auto& x : v) x = static_cast<simd::U8>(rng.uniform(128));
+  return v;
+}
+
+TEST_P(KernelParity, DotI8) {
+  Rng rng(31);
+  for (std::size_t n : parity_sizes()) {
+    auto w = random_i8(n + kMaxOffset, rng);
+    auto x = random_u8(n + kMaxOffset, rng);
+    if (n >= 2) {
+      // Pin the extreme product 127*127 into the accumulation: proves the
+      // vpmaddubsw pair sum (2 * 127 * 127 < INT16_MAX) never saturates.
+      w[kMaxOffset] = 127;
+      x[kMaxOffset] = 127;
+      w[kMaxOffset + 1] = -127;
+      x[kMaxOffset + 1] = 127;
+    }
+    for (std::size_t off : kOffsets) {
+      const std::int32_t ref =
+          simd::scalar::dot_i8(w.data() + off, x.data() + off, n);
+      const std::int32_t got = simd::dot_i8(w.data() + off, x.data() + off, n);
+      // Integer math is exact at every level — bitwise equality, not NEAR.
+      ASSERT_EQ(got, ref) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, SparseDotI8) {
+  Rng rng(32);
+  const std::size_t dim = 3000;
+  const auto dense = random_i8(dim, rng);
+  for (std::size_t nnz : parity_sizes()) {
+    std::vector<Index> idx(nnz);
+    std::vector<float> val(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      idx[i] = rng.uniform(static_cast<std::uint32_t>(dim));
+      val[i] = rng.uniform_float();
+    }
+    const float ref = simd::scalar::sparse_dot_i8(idx.data(), val.data(), nnz,
+                                                  dense.data());
+    const float got =
+        simd::sparse_dot_i8(idx.data(), val.data(), nnz, dense.data());
+    ASSERT_NEAR(got, ref, 1e-2f * (1.0f + std::fabs(ref))) << "nnz=" << nnz;
+  }
+}
+
+TEST_P(KernelParity, AxpyI8) {
+  Rng rng(33);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_i8(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      auto y1 = random_vec(n + kMaxOffset, rng);
+      auto y2 = y1;
+      simd::scalar::axpy_i8(0.013f, x.data() + off, y1.data() + off, n);
+      simd::axpy_i8(0.013f, x.data() + off, y2.data() + off, n);
+      for (std::size_t i = 0; i < y1.size(); ++i)
+        ASSERT_NEAR(y1[i], y2[i], 1e-4f) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, QuantizeI8MatchesScalar) {
+  Rng rng(34);
+  for (std::size_t n : parity_sizes()) {
+    const auto src = random_vec(n, rng, 5.0f);
+    std::vector<simd::I8> q(n, 99), q_ref(n, 99);
+    const float s = simd::quantize_i8(src.data(), q.data(), n);
+    const float s_ref = simd::scalar::quantize_i8(src.data(), q_ref.data(), n);
+    ASSERT_EQ(s, s_ref) << "n=" << n;
+    ASSERT_EQ(q, q_ref) << "n=" << n;
+
+    std::vector<simd::U8> u(n, 99), u_ref(n, 99);
+    const float a = simd::quantize_act_u8(src.data(), u.data(), n);
+    const float a_ref =
+        simd::scalar::quantize_act_u8(src.data(), u_ref.data(), n);
+    ASSERT_EQ(a, a_ref) << "n=" << n;
+    ASSERT_EQ(u, u_ref) << "n=" << n;
+  }
+}
+
+// ---- fp16 tier kernels ----------------------------------------------------
+
+std::vector<simd::Fp16> random_f16(std::size_t n, Rng& rng,
+                                   float scale = 1.0f) {
+  std::vector<simd::Fp16> v(n);
+  for (auto& x : v)
+    x = simd::float_to_fp16(scale * (rng.uniform_float() * 2.0f - 1.0f));
+  return v;
+}
+
+TEST_P(KernelParity, DotF16) {
+  Rng rng(41);
+  for (std::size_t n : parity_sizes()) {
+    const auto w = random_f16(n + kMaxOffset, rng);
+    const auto x = random_vec(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      const float ref =
+          simd::scalar::dot_f16(w.data() + off, x.data() + off, n);
+      const float got = simd::dot_f16(w.data() + off, x.data() + off, n);
+      ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref)))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, AxpyF16) {
+  Rng rng(42);
+  for (std::size_t n : parity_sizes()) {
+    const auto x = random_f16(n + kMaxOffset, rng);
+    for (std::size_t off : kOffsets) {
+      auto y1 = random_vec(n + kMaxOffset, rng);
+      auto y2 = y1;
+      simd::scalar::axpy_f16(0.29f, x.data() + off, y1.data() + off, n);
+      simd::axpy_f16(0.29f, x.data() + off, y2.data() + off, n);
+      for (std::size_t i = 0; i < y1.size(); ++i)
+        ASSERT_NEAR(y1[i], y2[i], 1e-5f) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParity, SparseDotF16) {
+  Rng rng(43);
+  const std::size_t dim = 3000;
+  const auto dense = random_f16(dim, rng);
+  for (std::size_t nnz : parity_sizes()) {
+    std::vector<Index> idx(nnz);
+    std::vector<float> val(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      idx[i] = rng.uniform(static_cast<std::uint32_t>(dim));
+      val[i] = rng.uniform_float();
+    }
+    const float ref = simd::scalar::sparse_dot_f16(idx.data(), val.data(), nnz,
+                                                   dense.data());
+    const float got =
+        simd::sparse_dot_f16(idx.data(), val.data(), nnz, dense.data());
+    ASSERT_NEAR(got, ref, 1e-4f * (1.0f + std::fabs(ref))) << "nnz=" << nnz;
+  }
+}
+
+TEST_P(KernelParity, QuantizeDequantizeF16RoundTrip) {
+  Rng rng(44);
+  for (std::size_t n : parity_sizes()) {
+    const auto src = random_vec(n, rng, 10.0f);
+    std::vector<simd::Fp16> q(n), q_ref(n);
+    simd::quantize_f16(src.data(), q.data(), n);
+    simd::scalar::quantize_f16(src.data(), q_ref.data(), n);
+    ASSERT_EQ(q, q_ref) << "n=" << n;
+    std::vector<float> back(n);
+    simd::dequantize_f16(q.data(), back.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // 11-bit significand, round-to-nearest: relative error <= 2^-12.
+      ASSERT_NEAR(back[i], src[i], std::fabs(src[i]) / 2048.0f + 1e-30f);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Levels, KernelParity,
                          ::testing::ValuesIn(supported_levels()),
                          [](const auto& info) {
@@ -378,6 +546,150 @@ TEST(Bf16, MixedDotTracksFp32WithinQuantizationError) {
   EXPECT_NEAR(bf16, fp32, magnitude / 256.0f + 1e-5f);
 }
 
+// ---- fp16 scalar semantics -------------------------------------------------
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (float f : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 128.0f, -0.375f,
+                  65504.0f,     // largest finite fp16
+                  6.103515625e-5f,  // smallest normal (2^-14)
+                  5.9604644775390625e-8f}) {  // smallest subnormal (2^-24)
+    EXPECT_EQ(simd::fp16_to_float(simd::float_to_fp16(f)), f) << f;
+  }
+  // Signed zero is preserved.
+  EXPECT_TRUE(std::signbit(simd::fp16_to_float(simd::float_to_fp16(-0.0f))));
+}
+
+TEST(Fp16, RoundsToNearestEven) {
+  // 1 + 2^-11 sits exactly between fp16(1.0) = 0x3C00 and 0x3C01: the tie
+  // goes to the even mantissa (0x3C00).
+  const float tie_low = std::bit_cast<float>(0x3F801000u);
+  EXPECT_EQ(simd::float_to_fp16(tie_low), 0x3C00u);
+  // 1 + 2^-10 + 2^-11 is the tie between 0x3C01 and 0x3C02 -> even.
+  const float tie_high = std::bit_cast<float>(0x3F803000u);
+  EXPECT_EQ(simd::float_to_fp16(tie_high), 0x3C02u);
+  // Just above a tie rounds up.
+  const float above = std::bit_cast<float>(0x3F801001u);
+  EXPECT_EQ(simd::float_to_fp16(above), 0x3C01u);
+}
+
+TEST(Fp16, SubnormalRounding) {
+  // 2^-25 is the exact tie between 0 and the smallest subnormal 2^-24:
+  // round-to-even picks 0.
+  EXPECT_EQ(simd::float_to_fp16(std::ldexp(1.0f, -25)), 0x0000u);
+  // 1.5 * 2^-24 is the tie between 0x0001 and 0x0002 -> even (0x0002).
+  EXPECT_EQ(simd::float_to_fp16(1.5f * std::ldexp(1.0f, -24)), 0x0002u);
+  // Anything above the tie rounds to the smallest subnormal.
+  EXPECT_EQ(simd::float_to_fp16(0.6f * std::ldexp(1.0f, -24)), 0x0001u);
+}
+
+TEST(Fp16, SpecialValuesAndOverflow) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(simd::fp16_to_float(simd::float_to_fp16(inf)), inf);
+  EXPECT_EQ(simd::fp16_to_float(simd::float_to_fp16(-inf)), -inf);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(simd::fp16_to_float(simd::float_to_fp16(nan))));
+  // 65520 is the exact midpoint between 65504 (max finite) and 2^16: the
+  // vcvtps2ph convention rounds it up, overflowing to +inf.
+  EXPECT_EQ(simd::float_to_fp16(65520.0f), 0x7C00u);
+  EXPECT_EQ(simd::float_to_fp16(-65520.0f), 0xFC00u);
+  // Just below the midpoint stays the largest finite value.
+  EXPECT_EQ(simd::float_to_fp16(65519.0f), 0x7BFFu);
+  // Any fp32 far beyond fp16 range saturates to inf, not garbage.
+  EXPECT_EQ(simd::float_to_fp16(3.4e38f), 0x7C00u);
+}
+
+// ---- int8 quantizer semantics ----------------------------------------------
+
+TEST(Int8, QuantizeSaturatesAtPlusMinus127) {
+  const float src[] = {2.0f, -2.0f, 1.0f, -1.0f, 0.0f};
+  simd::I8 q[5];
+  const float scale = simd::scalar::quantize_i8(src, q, 5);
+  EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+  EXPECT_EQ(q[0], 127);   // |amax| row entries land exactly on the edge
+  EXPECT_EQ(q[1], -127);
+  EXPECT_EQ(q[2], 64);    // 63.5 ties to even -> 64
+  EXPECT_EQ(q[3], -64);
+  EXPECT_EQ(q[4], 0);
+}
+
+TEST(Int8, QuantizeZeroRowYieldsScaleZero) {
+  const float src[] = {0.0f, -0.0f, 0.0f};
+  simd::I8 q[] = {5, 5, 5};
+  EXPECT_EQ(simd::scalar::quantize_i8(src, q, 3), 0.0f);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 0);
+  EXPECT_EQ(q[2], 0);
+}
+
+TEST(Int8, QuantizeTiesRoundToEven) {
+  // amax = 127 makes inv = 1, so the sources are quantized verbatim:
+  // x.5 ties must go to the even neighbor (nearbyint under the default
+  // rounding mode), matching what a future vcvtps2dq vector path does.
+  const float src[] = {127.0f, 0.5f, 1.5f, 2.5f, -0.5f, -1.5f};
+  simd::I8 q[6];
+  (void)simd::scalar::quantize_i8(src, q, 6);
+  EXPECT_EQ(q[1], 0);
+  EXPECT_EQ(q[2], 2);
+  EXPECT_EQ(q[3], 2);
+  EXPECT_EQ(q[4], 0);
+  EXPECT_EQ(q[5], -2);
+}
+
+TEST(Int8, QuantizeRoundTripWithinHalfStep) {
+  Rng rng(51);
+  const std::size_t n = 512;
+  const auto src = random_vec(n, rng, 3.0f);
+  std::vector<simd::I8> q(n);
+  const float scale = simd::scalar::quantize_i8(src.data(), q.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(scale * static_cast<float>(q[i]), src[i], scale * 0.5f + 1e-7f)
+        << i;
+  }
+}
+
+TEST(Int8, ActivationQuantizeClampsNegativesToZero) {
+  const float src[] = {-3.0f, 0.0f, 1.0f, 2.0f, -0.5f};
+  simd::U8 q[5];
+  const float scale = simd::scalar::quantize_act_u8(src, q, 5);
+  EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+  EXPECT_EQ(q[0], 0u);  // negative inputs clamp (post-ReLU contract)
+  EXPECT_EQ(q[1], 0u);
+  EXPECT_EQ(q[2], 64u);  // 63.5 -> even
+  EXPECT_EQ(q[3], 127u);
+  EXPECT_EQ(q[4], 0u);
+
+  // All-nonpositive input: scale 0, everything zero.
+  const float neg[] = {-1.0f, -2.0f};
+  simd::U8 qn[] = {9, 9};
+  EXPECT_EQ(simd::scalar::quantize_act_u8(neg, qn, 2), 0.0f);
+  EXPECT_EQ(qn[0], 0u);
+  EXPECT_EQ(qn[1], 0u);
+}
+
+TEST(Int8, MixedDotRecoversFp32Score) {
+  // End-to-end score recovery: bias + sw * sx * dot_i8 must track the fp32
+  // dot within the combined quantization error bound.
+  Rng rng(52);
+  const std::size_t n = 256;
+  const auto w = random_vec(n, rng);
+  auto x = random_vec(n, rng);
+  for (auto& v : x) v = std::max(v, 0.0f);  // post-ReLU activations
+  std::vector<simd::I8> qw(n);
+  std::vector<simd::U8> qx(n);
+  const float sw = simd::scalar::quantize_i8(w.data(), qw.data(), n);
+  const float sx = simd::scalar::quantize_act_u8(x.data(), qx.data(), n);
+  const float fp32 = simd::scalar::dot(w.data(), x.data(), n);
+  const float i8 = sw * sx *
+                   static_cast<float>(simd::scalar::dot_i8(
+                       qw.data(), qx.data(), n));
+  // Each term errs by <= (sw/2)|x_i| + (sx/2)|w_i| + sw*sx/4.
+  float bound = 0.0f;
+  for (std::size_t i = 0; i < n; ++i)
+    bound += 0.5f * sw * std::fabs(x[i]) + 0.5f * sx * std::fabs(w[i]) +
+             0.25f * sw * sx;
+  EXPECT_NEAR(i8, fp32, bound + 1e-5f);
+}
+
 // ---- dispatch machinery ----------------------------------------------------
 
 class DispatchLevels : public ::testing::Test {
@@ -410,6 +722,35 @@ TEST_F(DispatchLevels, BackendForReturnsFixedTables) {
     const simd::Backend* table = simd::backend_for(level);
     ASSERT_NE(table, nullptr);
     EXPECT_EQ(table->level, level);
+  }
+}
+
+TEST_F(DispatchLevels, KernelPathNamesAreRecorded) {
+  // Every binding names the int8/fp16 paths it scores through (these land
+  // in BENCH_backend.json rows and the serve_cli banner). Scalar is always
+  // "scalar"; vector levels report whichever instruction path cpuid
+  // selected at bind time — the graceful-downgrade contract is that the
+  // slot is always callable, never that a specific ISA was picked.
+  for (SimdLevel level : supported_levels()) {
+    simd::set_simd_level(level);
+    const simd::Backend& b = simd::backend();
+    ASSERT_NE(b.i8_path, nullptr);
+    ASSERT_NE(b.f16_path, nullptr);
+    if (level == SimdLevel::kScalar) {
+      EXPECT_STREQ(b.i8_path, "scalar");
+      EXPECT_STREQ(b.f16_path, "scalar");
+    }
+    // All ten tier slots must be bound at every level.
+    EXPECT_NE(b.dot_i8, nullptr);
+    EXPECT_NE(b.sparse_dot_i8, nullptr);
+    EXPECT_NE(b.axpy_i8, nullptr);
+    EXPECT_NE(b.quantize_i8, nullptr);
+    EXPECT_NE(b.quantize_act_u8, nullptr);
+    EXPECT_NE(b.dot_f16, nullptr);
+    EXPECT_NE(b.sparse_dot_f16, nullptr);
+    EXPECT_NE(b.axpy_f16, nullptr);
+    EXPECT_NE(b.quantize_f16, nullptr);
+    EXPECT_NE(b.dequantize_f16, nullptr);
   }
 }
 

@@ -249,6 +249,47 @@ TEST(Hugepages, HugeArrayIndexing) {
   EXPECT_EQ(a[999], 3.5f);
 }
 
+TEST(Hugepages, HugeArrayTHoldsNonFloatElements) {
+  // The quantized weight mirrors instantiate the template at 1- and 2-byte
+  // element types; the element count (not the byte count) is the size.
+  HugeArrayT<std::uint16_t> h(300);
+  EXPECT_EQ(h.size(), 300u);
+  EXPECT_FALSE(h.empty());
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_EQ(h[i], 0u);
+  h[0] = 0x3C00;
+  h[299] = 0xFFFF;
+  EXPECT_EQ(h[0], 0x3C00u);
+  EXPECT_EQ(h[299], 0xFFFFu);
+
+  HugeArrayT<std::int8_t> b(64);
+  b[63] = -127;
+  EXPECT_EQ(b[63], -127);
+}
+
+TEST(Hugepages, HugeArrayTEmptyAndResize) {
+  HugeArrayT<std::int8_t> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  h.resize(128);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.size(), 128u);
+  // resize is a fresh zeroed allocation (documented non-preserving).
+  h[5] = 9;
+  h.resize(256);
+  EXPECT_EQ(h[5], 0);
+}
+
+TEST(Hugepages, HugeArrayTFallsBackWhenThpDisabled) {
+  const bool was = hugepages_enabled();
+  set_hugepages_enabled(false);
+  HugeArrayT<std::int8_t> h(4096);
+  EXPECT_FALSE(h.uses_thp());
+  // Still fully usable on ordinary pages.
+  h[4095] = 1;
+  EXPECT_EQ(h[4095], 1);
+  set_hugepages_enabled(was);
+}
+
 // ---------------------------------------------------------------------------
 // Perf counters
 // ---------------------------------------------------------------------------
