@@ -1,0 +1,288 @@
+// Label-churn serving bench: sustained qps and P@1 while the output label
+// space churns through the InferenceEngine online-update path (add_units /
+// retire_units + incremental training + republish), versus a no-churn
+// baseline on the same model.
+//
+// Not a paper artifact — the paper trains on a fixed label universe. This
+// measures the dynamic-label lifecycle the serving subsystem adds on top:
+// a recommendation catalog where ~1% of the label space turns over per
+// minute (new items appended, stale items tombstoned) must not cost the
+// serving path its throughput or accuracy. Two in-bench gates enforce the
+// PR's acceptance criteria (hard exit 1):
+//   * P@1 under churn within 2 points of the no-churn baseline,
+//   * qps under churn within 15% of the no-churn baseline.
+// BENCH_churn.json carries the qps metrics into the bench_compare gate.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace slide;
+
+namespace {
+
+struct LoadStats {
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0;  // top-1 in the sample's true label set
+  std::uint64_t retried = 0;
+  std::uint64_t failed = 0;
+  double wall_seconds = 0.0;
+
+  double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds
+                            : 0.0;
+  }
+  double p_at_1() const {
+    return completed > 0
+               ? static_cast<double>(hits) / static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+/// Closed-loop clients scoring P@1 on the fly: top-1 counts as a hit when
+/// it is one of the sample's true labels.
+LoadStats closed_loop(InferenceEngine& engine, const Dataset& queries,
+                      int clients, double seconds) {
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> completed{0}, hits{0}, retried{0}, failed{0};
+  std::vector<std::thread> threads;
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t i = static_cast<std::size_t>(c) * 31;
+      while (running.load(std::memory_order_relaxed)) {
+        const Sample& sample = queries[i++ % queries.size()];
+        auto f = engine.submit(sample.features, {.top_k = 1});
+        if (!f.has_value()) {
+          retried.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        try {
+          const Prediction p = f->get();
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (!p.labels.empty() &&
+              std::binary_search(sample.labels.begin(), sample.labels.end(),
+                                 p.labels[0]))
+            hits.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (timer.seconds() < seconds)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  running.store(false);
+  for (auto& t : threads) t.join();
+  return {completed.load(), hits.load(), retried.load(), failed.load(),
+          timer.seconds()};
+}
+
+/// A serving clone of `master` (same weights, immutable role): the
+/// engine's online master must stay distinct from the store's snapshot.
+std::shared_ptr<Network> clone_network(const Network& master) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights(master, buffer);
+  auto clone = std::make_shared<Network>(master.config(), 1);
+  load_weights(*clone, buffer);
+  return clone;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = bench::env_scale(Scale::kTiny);
+  const int max_threads = bench::env_threads();
+  bench::print_header(
+      "label_churn: qps + P@1 while ~1%/min of the label space churns",
+      "dynamic-label serving beyond the paper (fixed-universe training)");
+  bench::print_env(scale, max_threads);
+
+  const SyntheticDataset data = make_synthetic_xc(delicious_like(scale));
+  NetworkConfig net_cfg =
+      bench::slide_config_for(data.train, HashFamilyKind::kSimhash,
+                              /*hidden=*/64, /*max_batch=*/128);
+  auto master = std::make_shared<Network>(net_cfg, max_threads);
+  TrainerConfig tcfg;
+  tcfg.batch_size = 128;
+  tcfg.num_threads = max_threads;
+  tcfg.learning_rate = 1e-3f;
+  {
+    Trainer trainer(*master, tcfg);
+    trainer.train(data.train, 100);
+    master->rebuild_all(&trainer.pool());
+  }
+
+  const double phase_seconds =
+      scale == Scale::kTiny ? 1.5 : (scale == Scale::kSmall ? 3.0 : 6.0);
+  const int clients = 2;
+  const Index label_dim = data.train.label_dim();
+
+  auto make_engine = [&](std::shared_ptr<ModelStore>& store_out) {
+    store_out = std::make_shared<ModelStore>(
+        std::static_pointer_cast<const Network>(clone_network(*master)));
+    ServeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.max_batch = 16;
+    cfg.max_wait_us = 200;
+    cfg.queue_capacity = 1 << 14;
+    return std::make_unique<InferenceEngine>(store_out, cfg);
+  };
+
+  // ---- Phase A: no churn -------------------------------------------------
+  LoadStats base;
+  {
+    std::shared_ptr<ModelStore> store;
+    auto engine = make_engine(store);
+    base = closed_loop(*engine, data.test, clients, phase_seconds);
+    engine->stop();
+  }
+  std::printf("baseline: qps %.0f | P@1 %.4f | completed %llu | failed %llu\n",
+              base.qps(), base.p_at_1(),
+              static_cast<unsigned long long>(base.completed),
+              static_cast<unsigned long long>(base.failed));
+
+  // ---- Phase B: serve under churn ----------------------------------------
+  // A churn thread drives the online-update path while the same client
+  // load runs: each tick appends fresh labels, tombstones the ones
+  // appended two ticks earlier (ephemeral-item catalog churn — the
+  // planted ground-truth labels stay alive so P@1 remains comparable),
+  // trains a few live samples against the fp32 master, and republishes a
+  // snapshot. The tick budget is >= 1%/min of the label space, with at
+  // least one add+retire per tick so the path is exercised even at tiny
+  // label widths.
+  const double tick_seconds = 0.2;
+  const Index per_tick = std::max<Index>(
+      1, static_cast<Index>(std::ceil(static_cast<double>(label_dim) * 0.01 *
+                                      tick_seconds / 60.0)));
+  LoadStats churn;
+  ServeStats churn_stats;
+  {
+    std::shared_ptr<ModelStore> store;
+    auto engine = make_engine(store);
+    OnlineUpdateConfig ocfg;
+    ocfg.learning_rate = 1e-3f;
+    ocfg.publish_every = 1;
+    ocfg.rebuild_threads = 1;
+    engine->enable_online_updates(master, ocfg);
+
+    std::atomic<bool> churning{true};
+    std::thread churner([&] {
+      const auto train_samples = data.train.samples();
+      std::vector<Index> pending;  // appended ids not yet retired
+      std::size_t cursor = 0;
+      int ticks = 0;
+      while (churning.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            tick_seconds));
+        if (!churning.load(std::memory_order_relaxed)) break;
+        OnlineDelta delta;
+        delta.add_units = per_tick;
+        const Index first_new = master->output_dim();
+        // Retire the batch appended two ticks ago (now "stale items").
+        if (pending.size() >= 2 * static_cast<std::size_t>(per_tick)) {
+          delta.retire.assign(pending.begin(),
+                              pending.begin() + per_tick);
+          pending.erase(pending.begin(), pending.begin() + per_tick);
+        }
+        delta.samples.assign(train_samples.begin() + cursor,
+                             train_samples.begin() + cursor + 8);
+        cursor = (cursor + 8) % (train_samples.size() - 8);
+        engine->update(delta);
+        for (Index u = 0; u < per_tick; ++u)
+          pending.push_back(first_new + u);
+        ++ticks;
+      }
+      std::printf("  churn ticks: %d (%lld labels added+retired per tick)\n",
+                  ticks, static_cast<long long>(per_tick));
+    });
+    churn = closed_loop(*engine, data.test, clients, phase_seconds);
+    churning.store(false);
+    churner.join();
+    churn_stats = engine->stats();
+    engine->stop();
+  }
+  std::printf("churn:    qps %.0f | P@1 %.4f | completed %llu | failed %llu "
+              "| updates %llu | publishes %llu | +%llu/-%llu labels\n",
+              churn.qps(), churn.p_at_1(),
+              static_cast<unsigned long long>(churn.completed),
+              static_cast<unsigned long long>(churn.failed),
+              static_cast<unsigned long long>(churn_stats.online_update_calls),
+              static_cast<unsigned long long>(churn_stats.online_publishes),
+              static_cast<unsigned long long>(churn_stats.labels_added),
+              static_cast<unsigned long long>(churn_stats.labels_retired));
+
+  MarkdownTable table({"phase", "qps", "P@1", "completed", "retried",
+                       "publishes"});
+  table.add_row({"no churn", fmt(base.qps(), 0), fmt(base.p_at_1(), 4),
+                 fmt_int(static_cast<long long>(base.completed)),
+                 fmt_int(static_cast<long long>(base.retried)), "0"});
+  table.add_row(
+      {"1%/min churn", fmt(churn.qps(), 0), fmt(churn.p_at_1(), 4),
+       fmt_int(static_cast<long long>(churn.completed)),
+       fmt_int(static_cast<long long>(churn.retried)),
+       fmt_int(static_cast<long long>(churn_stats.online_publishes))});
+  table.print(std::cout);
+
+  bench::Json json;
+  json.begin_object();
+  json.key("bench").string("label_churn");
+  json.key("scale").string(bench::scale_name(scale));
+  json.key("threads").number(static_cast<long long>(max_threads));
+  json.key("clients").number(static_cast<long long>(clients));
+  json.key("phase_seconds").number(phase_seconds);
+  json.key("label_dim").number(static_cast<long long>(label_dim));
+  json.key("churn_per_tick").number(static_cast<long long>(per_tick));
+  json.key("baseline").begin_object();
+  json.key("qps").number(base.qps());
+  json.key("p_at_1").number(base.p_at_1());
+  json.key("completed").number(static_cast<long long>(base.completed));
+  json.end_object();
+  json.key("churn").begin_object();
+  json.key("qps").number(churn.qps());
+  json.key("p_at_1").number(churn.p_at_1());
+  json.key("completed").number(static_cast<long long>(churn.completed));
+  json.key("updates").number(
+      static_cast<long long>(churn_stats.online_update_calls));
+  json.key("publishes").number(
+      static_cast<long long>(churn_stats.online_publishes));
+  json.key("labels_added").number(
+      static_cast<long long>(churn_stats.labels_added));
+  json.key("labels_retired").number(
+      static_cast<long long>(churn_stats.labels_retired));
+  json.end_object();
+  json.end_object();
+  json.write_file(bench::json_path("BENCH_churn.json"));
+
+  // ---- Acceptance gates (correctness properties, gated here rather than
+  // in bench_compare.py: they compare within-run, so machine speed cancels).
+  bool ok = base.failed == 0 && churn.failed == 0;
+  if (!ok)
+    std::printf("FAILED: %llu failed requests\n",
+                static_cast<unsigned long long>(base.failed + churn.failed));
+  if (churn_stats.online_publishes == 0) {
+    std::printf("FAILED: churn thread never published — online-update path "
+                "not exercised\n");
+    ok = false;
+  }
+  if (churn.p_at_1() < base.p_at_1() - 0.02) {
+    std::printf("FAILED: P@1 under churn %.4f dropped more than 2 points "
+                "below baseline %.4f\n",
+                churn.p_at_1(), base.p_at_1());
+    ok = false;
+  }
+  if (churn.qps() < 0.85 * base.qps()) {
+    std::printf("FAILED: qps under churn %.0f fell below 85%% of baseline "
+                "%.0f\n",
+                churn.qps(), base.qps());
+    ok = false;
+  }
+  if (ok)
+    std::printf("churn gates: OK (P@1 within 2 points, qps within 15%%)\n");
+  return ok ? 0 : 1;
+}

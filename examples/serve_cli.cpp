@@ -24,6 +24,15 @@
 //                     boots a DistributedSampledLayer that pushes the
 //                     checkpoint weights to the workers, and the stats
 //                     table grows bytes-on-wire + shard-health rows
+//     --churn         phase 2 churns the label space through the engine's
+//                     online-update API instead of the train-and-swap:
+//                     every ~200ms a delta appends fresh output labels,
+//                     tombstones the ones appended two ticks earlier,
+//                     trains a few live samples against the fp32 master,
+//                     and republishes — all while the closed-loop load
+//                     keeps running (incompatible with --dist: the shard
+//                     fleet accepts one coordinator connection, so the
+//                     publish-clone path cannot re-dial it)
 //     --metrics-port P  serve Prometheus text-format metrics on
 //                     http://127.0.0.1:P/metrics while load runs (P = 0
 //                     picks an ephemeral port; the bound port is printed)
@@ -66,6 +75,7 @@ struct Options {
   bool exact = false;
   Precision precision = Precision::kFP32;
   int dist = 0;
+  bool churn = false;
   int metrics_port = -1;  // -1 = no metrics listener
   bool metrics_dump = false;
 };
@@ -89,6 +99,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--exact") opt.exact = true;
     else if (arg == "--precision") opt.precision = parse_precision(next().c_str());
     else if (arg == "--dist") opt.dist = std::stoi(next());
+    else if (arg == "--churn") opt.churn = true;
     else if (arg == "--metrics-port") opt.metrics_port = std::stoi(next());
     else if (arg == "--metrics-dump") opt.metrics_dump = true;
     else throw Error("unknown option: " + arg);
@@ -102,6 +113,8 @@ Options parse(int argc, char** argv) {
   SLIDE_CHECK(opt.seconds > 0, "--seconds must be positive");
   SLIDE_CHECK(opt.iters >= 0, "--iters must be non-negative");
   SLIDE_CHECK(opt.dist >= 0, "--dist must be non-negative");
+  SLIDE_CHECK(!(opt.churn && opt.dist > 0),
+              "--churn is incompatible with --dist (see usage comment)");
   SLIDE_CHECK(opt.metrics_port >= -1 && opt.metrics_port <= 65535,
               "--metrics-port must be a port number (0 = ephemeral)");
   return opt;
@@ -118,8 +131,11 @@ struct LoadResult {
   double wall_seconds = 0.0;
 };
 
+// `output_dim` is atomic so the --churn phase can widen the validity bound
+// as online updates append labels mid-load.
 LoadResult run_load(InferenceEngine& engine, const Dataset& queries,
-                    int clients, double seconds, int topk, Index output_dim) {
+                    int clients, double seconds, int topk,
+                    const std::atomic<Index>& output_dim) {
   std::atomic<bool> running{true};
   std::atomic<std::uint64_t> completed{0}, retried{0}, shed{0}, invalid{0};
   std::vector<std::thread> threads;
@@ -139,7 +155,9 @@ LoadResult run_load(InferenceEngine& engine, const Dataset& queries,
         }
         try {
           const Prediction p = f->get();
-          const bool ok = !p.labels.empty() && p.labels[0] < output_dim;
+          const bool ok =
+              !p.labels.empty() &&
+              p.labels[0] < output_dim.load(std::memory_order_relaxed);
           (ok ? completed : invalid).fetch_add(1, std::memory_order_relaxed);
         } catch (const ShedError&) {
           // Policy, not failure: a tiny --queue with mixed lanes evicts
@@ -283,10 +301,11 @@ int main(int argc, char** argv) {
   }
 
   // 3. Phase 1: steady-state closed-loop load.
+  std::atomic<Index> output_bound{network.output_dim()};
   std::printf("\n[phase 1] %d clients, %.1fs steady-state load\n",
               opt.clients, opt.seconds);
   LoadResult steady = run_load(engine, data.test, opt.clients, opt.seconds,
-                               opt.topk, network.output_dim());
+                               opt.topk, output_bound);
   std::printf("  %.0f qps, %llu retried (backpressure), %llu shed, "
               "%llu invalid\n",
               static_cast<double>(steady.completed) / steady.wall_seconds,
@@ -294,10 +313,50 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(steady.shed),
               static_cast<unsigned long long>(steady.invalid));
 
-  // 4. Phase 2: the same load with a train-and-serve hot-swap in the
-  //    middle: train further, publish, traffic never pauses.
-  std::printf("\n[phase 2] load + concurrent train-and-swap\n");
+  // 4. Phase 2: the same load with either a train-and-serve hot-swap in
+  //    the middle (default) or, with --churn, continuous label churn
+  //    through the engine's online-update API: traffic never pauses while
+  //    the label space grows, retires, trains, and republishes.
+  std::atomic<bool> churning{opt.churn};
   std::thread swapper([&] {
+    if (opt.churn) {
+      // The trained in-process network plays the fp32 master role. The
+      // aliasing shared_ptr is safe: `network` outlives the engine.
+      auto master = std::shared_ptr<Network>(&network, [](Network*) {});
+      OnlineUpdateConfig ocfg;
+      ocfg.publish_every = 1;
+      ocfg.rebuild_threads = 1;
+      engine.enable_online_updates(master, ocfg);
+      const auto train_samples = data.train.samples();
+      std::vector<Index> pending;  // appended ids not yet retired
+      std::size_t cursor = 0;
+      int ticks = 0;
+      while (churning.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (!churning.load(std::memory_order_relaxed)) break;
+        OnlineDelta delta;
+        delta.add_units = 1;
+        const Index first_new = network.output_dim();
+        if (pending.size() >= 2) {
+          delta.retire.assign(pending.begin(), pending.begin() + 1);
+          pending.erase(pending.begin());
+        }
+        delta.samples.assign(train_samples.begin() + cursor,
+                             train_samples.begin() + cursor + 8);
+        cursor = (cursor + 8) % (train_samples.size() - 8);
+        // Raise the validity bound BEFORE the update publishes: a client
+        // may see the grown snapshot the instant update() swaps it in.
+        output_bound.store(first_new + delta.add_units,
+                           std::memory_order_relaxed);
+        engine.update(delta);
+        pending.push_back(first_new);
+        ++ticks;
+      }
+      std::printf("  [churn] %d online-update ticks "
+                  "(add 1 / retire 1 / train 8 / republish each)\n",
+                  ticks);
+      return;
+    }
     // The shard workers accept exactly one coordinator connection, so the
     // distributed snapshot cannot be hot-swapped from here — phase 2 then
     // measures steady-state under the same load instead.
@@ -313,8 +372,12 @@ int main(int argc, char** argv) {
     std::printf("  [swap] published snapshot version %llu mid-traffic\n",
                 static_cast<unsigned long long>(v));
   });
+  std::printf("\n[phase 2] load + %s\n",
+              opt.churn ? "concurrent label churn (online updates)"
+                        : "concurrent train-and-swap");
   LoadResult swapped = run_load(engine, data.test, opt.clients, opt.seconds,
-                                opt.topk, network.output_dim());
+                                opt.topk, output_bound);
+  churning.store(false);
   swapper.join();
   std::printf("  %.0f qps, %llu retried, %llu shed, "
               "%llu invalid (must be 0)\n",

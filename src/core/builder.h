@@ -21,6 +21,14 @@
 // to_config() yields the equivalent NetworkConfig (the serializable
 // architecture description the serving ModelStore consumes); build() is
 // to_config() + Network construction.
+//
+// The built width is a starting point, not a ceiling: a hashed output
+// layer grows and retires labels online after construction
+// (Network::add_output_units / retire_output_units — see the dynamic-label
+// lifecycle section in DESIGN.md). Growth updates the network's stored
+// config, so checkpoints and publish_clone track the live width; a network
+// rebuilt from the ORIGINAL builder config still loads a grown checkpoint
+// (the v5 loader re-applies the appended rows and tombstones).
 #pragma once
 
 #include <cstdint>

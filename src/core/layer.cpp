@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "core/sharded_layer.h"
@@ -561,6 +562,8 @@ LayerMemory SampledLayer::memory() const noexcept {
                             thp_bytes(weights_i8_);
   m.optimizer_bytes = (grads_.size() + bias_grad_.size()) * sizeof(float) +
                       2 * adam_.num_params() * sizeof(float);
+  m.retriever_bytes =
+      retriever_ != nullptr ? retriever_->memory_bytes() : 0;
   return m;
 }
 
@@ -675,9 +678,16 @@ void SampledLayer::select_active(int slot, const ActiveSet& prev,
     if (visited.insert(f)) s.ids.push_back(f);
   }
 
+  // Tombstone gate: false on the no-churn path, so the loops below stay
+  // bit-identical (and consume the same RNG stream) when nothing was ever
+  // retired.
+  const bool tombstoned =
+      retriever_ != nullptr && retriever_->has_removed();
+
   if (target >= units_) {
-    // Degenerate setting: everything is active.
+    // Degenerate setting: everything (live) is active.
     for (Index u = 0; u < units_; ++u) {
+      if (tombstoned && retriever_->is_removed(u)) continue;
       if (visited.insert(u)) s.ids.push_back(u);
     }
     return;
@@ -700,6 +710,7 @@ void SampledLayer::select_active(int slot, const ActiveSet& prev,
     long attempts = 20L * static_cast<long>(target);
     while (s.ids.size() < target && attempts-- > 0) {
       const Index id = rng.uniform(units_);
+      if (tombstoned && retriever_->is_removed(id)) continue;
       if (visited.insert(id)) s.ids.push_back(id);
     }
   }
@@ -1130,6 +1141,123 @@ std::size_t SampledLayer::dirty_pending() const {
   return dirty_.size();
 }
 
+Index SampledLayer::add_units(Index n) {
+  SLIDE_CHECK(config_.hashed,
+              "add_units: only hashed (retriever-backed) layers grow");
+  SLIDE_CHECK(n > 0, "add_units: unit count must be positive");
+  // The maintenance thread reads weights_ and the retriever; park it before
+  // the reallocation pulls the storage out from under it.
+  quiesce_maintenance();
+
+  const Index old_units = units_;
+  const Index new_units = old_units + n;
+  const std::size_t old_w = static_cast<std::size_t>(old_units) * fan_in_;
+  const std::size_t new_w = static_cast<std::size_t>(new_units) * fan_in_;
+
+  // HugeArray::resize replaces the storage zeroed — copy-grow instead.
+  auto copy_grow = [&](HugeArray& arr) {
+    HugeArray grown(new_w);
+    std::memcpy(grown.data(), arr.data(), old_w * sizeof(float));
+    arr = std::move(grown);
+  };
+  copy_grow(weights_);
+  copy_grow(grads_);
+
+  // New rows draw from an Rng keyed on (layer seed, growth base): the same
+  // growth sequence reproduces identical rows regardless of when in the
+  // serving session it runs.
+  Rng rng(seed_ + 0x9E3779B97F4A7C15ull +
+          static_cast<std::uint64_t>(old_units));
+  const float stddev = config_.init_stddev > 0.0f
+                           ? config_.init_stddev
+                           : 2.0f / std::sqrt(static_cast<float>(fan_in_));
+  init_normal(weights_.data() + old_w, new_w - old_w, stddev, rng);
+
+  bias_.resize(static_cast<std::size_t>(new_units), 0.0f);
+  bias_grad_.resize(static_cast<std::size_t>(new_units), 0.0f);
+  adam_.grow(old_w, new_w, static_cast<std::size_t>(old_units),
+             static_cast<std::size_t>(new_units));
+
+  // Per-unit atomic flag arrays: reallocate and carry the old flags over
+  // (a unit queued dirty before the growth stays queued exactly once).
+  auto grow_flags = [&](std::unique_ptr<std::atomic<std::uint8_t>[]>& arr) {
+    if (arr == nullptr) return;
+    auto grown =
+        std::make_unique<std::atomic<std::uint8_t>[]>(new_units);
+    for (Index u = 0; u < old_units; ++u)
+      grown[u].store(arr[u].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    arr = std::move(grown);
+  };
+  grow_flags(touched_);
+  grow_flags(dirty_flag_);
+
+  // Quantized mirrors re-quantize wholesale below, so a plain (zeroing)
+  // resize is fine here.
+  if (!weights_bf16_.empty()) weights_bf16_.resize(new_w);
+  if (!weights_f16_.empty()) weights_f16_.resize(new_w);
+  if (!weights_i8_.empty()) {
+    weights_i8_.resize(new_w);
+    i8_scales_.resize(static_cast<std::size_t>(new_units), 0.0f);
+  }
+
+  // The incremental-rehash memo is sized [units x projections]; reallocate
+  // and let the next rebuild re-project everything from the grown weights.
+  if (!projection_memo_.empty() && simhash_ != nullptr) {
+    projection_memo_ = HugeArray(
+        static_cast<std::size_t>(new_units) *
+        static_cast<std::size_t>(simhash_->num_projections()));
+    memo_initialized_.store(false, std::memory_order_release);
+  }
+
+  units_ = new_units;
+  config_.units = new_units;
+  appended_units_ += n;
+  refresh_inference_mirror();
+
+  // Re-target the retrieval index at the reallocated rows, then bring the
+  // appended ids live. Delta-capable backends (LSH) insert directly into
+  // the active tables — and additionally ride the dirty-delta queue so the
+  // next maintenance pass re-keys them from their trained weights; the
+  // rest (HNSW) escalate to a full rebuild, exactly like their delta
+  // maintenance path does.
+  retriever_->resize_universe(
+      retrieval::RowView{weights_.data(), fan_in_, new_units});
+  if (retriever_->supports_delta()) {
+    for (Index u = old_units; u < new_units; ++u) retriever_->insert(u);
+    if (config_.maintenance == MaintenancePolicy::kAsyncDelta &&
+        config_.rebuild.enabled && dirty_flag_ != nullptr) {
+      std::lock_guard lock(dirty_mutex_);
+      for (Index u = old_units; u < new_units; ++u) {
+        if (dirty_flag_[u].exchange(1, std::memory_order_relaxed) == 0)
+          dirty_.push_back(u);
+      }
+    }
+  } else {
+    retriever_->rebuild(nullptr);
+  }
+  return old_units;
+}
+
+void SampledLayer::retire_units(std::span<const Index> ids) {
+  SLIDE_CHECK(config_.hashed,
+              "retire_units: only hashed (retriever-backed) layers retire");
+  for (Index id : ids) {
+    SLIDE_CHECK(id < units_, "retire_units: unit id out of range");
+    retriever_->remove(id);
+  }
+}
+
+Index SampledLayer::retired_count() const noexcept {
+  return retriever_ != nullptr ? retriever_->removed_count() : 0;
+}
+
+std::vector<Index> SampledLayer::retired_unit_ids() const {
+  std::vector<Index> ids;
+  if (retriever_ != nullptr) retriever_->append_removed_ids(ids);
+  return ids;
+}
+
 void SampledLayer::forward_inference(std::span<const Index> prev_ids,
                                      std::span<const float> prev_act,
                                      bool exact, Rng& rng,
@@ -1146,9 +1274,20 @@ void SampledLayer::forward_inference_budgeted(
     std::vector<Index>& ids_out, std::vector<float>& act_out) const {
   ids_out.clear();
   bool scored = false;  // escalation fills act_out itself
+  const bool tombstoned =
+      retriever_ != nullptr && retriever_->has_removed();
   if (exact || !config_.hashed) {
-    ids_out.resize(units_);
-    std::iota(ids_out.begin(), ids_out.end(), Index{0});
+    if (tombstoned) {
+      // Exact mode honors the tombstones too: a retired label must not
+      // resurface through the oracle scan (or the softmax normalizer).
+      ids_out.reserve(static_cast<std::size_t>(units_));
+      for (Index u = 0; u < units_; ++u) {
+        if (!retriever_->is_removed(u)) ids_out.push_back(u);
+      }
+    } else {
+      ids_out.resize(units_);
+      std::iota(ids_out.begin(), ids_out.end(), Index{0});
+    }
   } else {
     Index target = std::min<Index>(config_.sampling.target, units_);
     // Candidate budget: the per-query override (distributed coordinator)
@@ -1171,6 +1310,7 @@ void SampledLayer::forward_inference_budgeted(
       long attempts = 20L * static_cast<long>(target);
       while (ids_out.size() < target && attempts-- > 0) {
         const Index id = rng.uniform(units_);
+        if (tombstoned && retriever_->is_removed(id)) continue;
         if (visited.insert(id)) ids_out.push_back(id);
       }
     }
@@ -1188,17 +1328,30 @@ void SampledLayer::escalate_to_exact(std::span<const Index> prev_ids,
                                      const VisitedSet& visited,
                                      std::vector<Index>& ids_out,
                                      std::vector<float>& act_out) const {
-  ids_out.resize(static_cast<std::size_t>(units_));
-  std::iota(ids_out.begin(), ids_out.end(), Index{0});
-  act_out.resize(units_);
+  const bool tombstoned =
+      retriever_ != nullptr && retriever_->has_removed();
+  if (tombstoned) {
+    ids_out.clear();
+    ids_out.reserve(static_cast<std::size_t>(units_));
+    for (Index u = 0; u < units_; ++u) {
+      if (!retriever_->is_removed(u)) ids_out.push_back(u);
+    }
+  } else {
+    ids_out.resize(static_cast<std::size_t>(units_));
+    std::iota(ids_out.begin(), ids_out.end(), Index{0});
+  }
+  act_out.resize(ids_out.size());
   score_rows(ids_out, prev_ids, prev_act, act_out.data());
 
   // Recall accounting: how many of the exact top-k did the (undersized)
   // candidate set cover? The candidates are exactly the ids stamped in
-  // `visited` this epoch (the retrieve() post-condition).
-  const Index k = std::min<Index>(10, units_);
+  // `visited` this epoch (the retrieve() post-condition). Indices below are
+  // positions into ids_out/act_out; with no tombstones position == id, so
+  // the tie-break matches the historical by-id rule bit for bit (and with
+  // tombstones, ascending position still means ascending id).
+  const Index k = std::min<Index>(10, static_cast<Index>(ids_out.size()));
   thread_local std::vector<Index> order;
-  order.resize(static_cast<std::size_t>(units_));
+  order.resize(ids_out.size());
   std::iota(order.begin(), order.end(), Index{0});
   std::partial_sort(order.begin(),
                     order.begin() + static_cast<std::ptrdiff_t>(k),
@@ -1208,7 +1361,8 @@ void SampledLayer::escalate_to_exact(std::span<const Index> prev_ids,
                     });
   long overlap = 0;
   for (Index i = 0; i < k; ++i) {
-    if (visited.contains(order[static_cast<std::size_t>(i)])) ++overlap;
+    if (visited.contains(ids_out[order[static_cast<std::size_t>(i)]]))
+      ++overlap;
   }
   escalations_.fetch_add(1, std::memory_order_relaxed);
   escalation_overlap_.fetch_add(overlap, std::memory_order_relaxed);

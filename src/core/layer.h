@@ -108,6 +108,11 @@ struct LayerMemory {
   std::size_t master_bytes = 0;     ///< fp32 weights + biases
   std::size_t mirror_bytes = 0;     ///< quantized inference mirror (0 at fp32)
   std::size_t optimizer_bytes = 0;  ///< gradient accumulators + Adam moments
+  /// Candidate-retrieval index (LSH buckets / HNSW graph; 0 for layers
+  /// without a retriever). Reported separately because the HNSW graph in
+  /// particular is a whole-model-sized structure the weight arrays above
+  /// do not account for.
+  std::size_t retriever_bytes = 0;
   /// Mirror bytes whose backing pages the kernel accepted THP advice for
   /// (<= mirror_bytes; 0 when THP is unavailable or disabled). Observability
   /// for the hugepage-backed mirror adoption — Table 4 of the paper.
@@ -271,6 +276,36 @@ class Layer {
   /// without phase timers report 0.
   virtual double sampling_seconds() const { return 0.0; }
   virtual double compute_seconds() const { return 0.0; }
+
+  // ---- Dynamic label lifecycle (online growth / retirement) ----
+  // The label universe of an extreme-classification service churns while
+  // the model serves: new items appear (grow) and dead items must stop
+  // being predicted (retire). Only retriever-backed (hashed) layers
+  // support the lifecycle; the defaults refuse so dense baselines cannot
+  // silently mis-grow.
+  /// Appends `n` fresh output units (weights, bias, optimizer state,
+  /// quantized mirrors, retrieval index). Returns the global id of the
+  /// first appended unit. Caller holds the writer role — no concurrent
+  /// forwards or table readers (Network::begin_write).
+  virtual Index add_units(Index n) {
+    (void)n;
+    SLIDE_CHECK(false, "add_units: this layer kind does not support growth");
+    return 0;
+  }
+  /// Tombstones `ids` out of retrieval, top-k, and softmax normalization
+  /// WITHOUT compacting rows: surviving unit ids are stable, and a later
+  /// add-style re-insert can resurrect a retired id. Writer role required.
+  virtual void retire_units(std::span<const Index> ids) {
+    (void)ids;
+    SLIDE_CHECK(false,
+                "retire_units: this layer kind does not support retirement");
+  }
+  /// Currently tombstoned unit count / ids (checkpoint v5, diagnostics).
+  virtual Index retired_count() const noexcept { return 0; }
+  virtual std::vector<Index> retired_unit_ids() const { return {}; }
+  /// Units appended by add_units since construction (checkpoint v5 records
+  /// this so a loader can re-grow a config-sized layer to the file's size).
+  virtual Index appended_units() const noexcept { return 0; }
 
   // ---- Retrieval subsystem hooks (src/retrieval/) ----
   /// Candidate-generation backend of a hashed layer (kLsh for everything
@@ -521,6 +556,22 @@ class SampledLayer : public Layer {
   /// the rebuild schedule) and waits for the worker to go idle.
   void flush_maintenance() override;
 
+  // ---- Dynamic label lifecycle ----
+  /// Appends `n` units: copy-grows the weight/grad arrays (HugeArray
+  /// reallocation), zero-extends bias and optimizer moments (Adam::grow),
+  /// re-quantizes the mirrors, and re-targets the retriever at the grown
+  /// rows (resize_universe + insert per new id; backends without delta
+  /// support escalate to a full rebuild). New rows draw from an Rng seeded
+  /// by (layer seed, growth base), so the same growth sequence reproduces
+  /// identical rows at any shard count. Writer role required.
+  Index add_units(Index n) override;
+  /// Tombstones `ids` in the retriever mask (the single source of truth the
+  /// forward paths and checkpointing read back). Rows are not compacted.
+  void retire_units(std::span<const Index> ids) override;
+  Index retired_count() const noexcept override;
+  std::vector<Index> retired_unit_ids() const override;
+  Index appended_units() const noexcept override { return appended_units_; }
+
   MaintenancePolicy maintenance_policy() const noexcept {
     return config_.maintenance;
   }
@@ -752,6 +803,8 @@ class SampledLayer : public Layer {
   std::vector<PaddedDouble> compute_time_;
 
   std::uint64_t seed_;
+  /// Units appended by add_units since construction (checkpoint v5).
+  Index appended_units_ = 0;
 
   // Declared last: its destructor joins the maintenance thread before any
   // state that thread touches (weights, tables, memo) is torn down.

@@ -42,6 +42,7 @@ MemoryFootprint Network::memory_footprint() const noexcept {
     f.master_weight_bytes += m.master_bytes;
     f.mirror_bytes += m.mirror_bytes;
     f.optimizer_bytes += m.optimizer_bytes;
+    f.retriever_bytes += m.retriever_bytes;
     f.inference_weight_bytes += inference_bytes;
     f.mirror_hugepage_bytes += m.mirror_hugepage_bytes;
   };
@@ -323,6 +324,21 @@ Index Network::predict_top1(const SparseVector& x, InferenceContext& ctx,
   }
   SLIDE_ASSERT(write_epoch() == epoch_at_entry && writers_active() == 0);
   return prev_ids->empty() ? static_cast<Index>(best) : (*prev_ids)[best];
+}
+
+Index Network::add_output_units(Index n) {
+  WriteGuard guard(*this);
+  Layer& out = *layers_.back();
+  const Index first = out.add_units(n);
+  // Keep the stored config in step: clones (publish_clone) and checkpoint
+  // writers derive layer widths from it.
+  config_.layers.back().units = out.units();
+  return first;
+}
+
+void Network::retire_output_units(std::span<const Index> ids) {
+  WriteGuard guard(*this);
+  layers_.back()->retire_units(ids);
 }
 
 void Network::set_use_locks(bool locks) noexcept {

@@ -29,6 +29,11 @@ struct MemoryFootprint {
   std::size_t master_weight_bytes = 0;  ///< fp32 weights + biases
   std::size_t mirror_bytes = 0;  ///< quantized inference mirrors (any tier)
   std::size_t optimizer_bytes = 0;      ///< grad accumulators + Adam moments
+  /// Candidate-retrieval indexes (LSH buckets / HNSW graphs) across all
+  /// hashed layers. HNSW in particular carries a graph comparable in size
+  /// to the weights themselves — a footprint report without this line
+  /// under-reports the serving process by that much.
+  std::size_t retriever_bytes = 0;
   std::size_t inference_weight_bytes = 0;
   /// Mirror bytes actually backed by transparent hugepages (<= mirror_bytes;
   /// 0 when THP is off or unsupported). The Table 4 observability hook.
@@ -293,6 +298,16 @@ class Network {
   void predict_batch(std::span<const SparseVector* const> inputs,
                      BatchOutput& out, ThreadPool* pool = nullptr,
                      int top_k = 1, bool exact = false) const;
+
+  // ---- Dynamic label lifecycle (online growth / retirement) ----
+  /// Appends `n` fresh output units to the output layer (weights, bias,
+  /// optimizer state, mirrors, retrieval index — see Layer::add_units) and
+  /// updates the stored config so clones and checkpoints see the grown
+  /// width. Writer-role call; returns the global id of the first new unit.
+  Index add_output_units(Index n);
+  /// Tombstones output-layer ids out of retrieval/top-k/softmax without
+  /// compacting rows (see Layer::retire_units). Writer-role call.
+  void retire_output_units(std::span<const Index> ids);
 
   /// Serializes gradient accumulation (HOGWILD ablation).
   void set_use_locks(bool locks) noexcept;

@@ -11,9 +11,10 @@ namespace slide {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x534C4944;  // "SLID"
-// Version 4 = version 3 + per-layer retriever aux blocks for kind-0 stack
-// layers; loaders accept 1..4 (see serialize.h's version history).
-constexpr std::uint32_t kVersion = 4;
+// Version 5 = version 4 + per-layer dynamic-label lifecycle state for
+// kind-0 stack layers (appended-row count + tombstone block); loaders
+// accept 1..5 (see serialize.h's version history).
+constexpr std::uint32_t kVersion = 5;
 constexpr std::uint32_t kMinVersion = 1;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
@@ -180,6 +181,10 @@ void save_weights(const Network& network, std::ostream& out) {
     const Layer& layer = network.stack(i);
     write_u32(out, layer.units());
     write_u32(out, layer.fan_in());
+    // v5: units the layer grew by online (add_units). A loader built from
+    // the original config re-grows its layer by up to this much to reach
+    // the file width before reading the parameter blocks.
+    write_u32(out, layer.appended_units());
     // v3: one weights+bias block pair per shard, contiguous global row
     // ranges in order (monolithic layers are the single-shard case).
     write_u32(out, static_cast<std::uint32_t>(layer.num_shards()));
@@ -197,6 +202,12 @@ void save_weights(const Network& network, std::ostream& out) {
     const std::string bytes = aux.str();
     write_u64(out, static_cast<std::uint64_t>(bytes.size()));
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    // v5: tombstone block — the currently retired global unit ids, so a
+    // reboot does not resurrect retired labels. Rows stay in the parameter
+    // blocks (tombstoning never compacts); only the mask is persisted.
+    const std::vector<Index> retired = layer.retired_unit_ids();
+    write_u64(out, static_cast<std::uint64_t>(retired.size()));
+    for (Index id : retired) write_u32(out, id);
   }
   SLIDE_CHECK(out.good(), "save_weights: write failed");
 }
@@ -236,11 +247,25 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
       static_cast<std::size_t>(network.stack_depth()), false);
   for (int i = 0; i < network.stack_depth(); ++i) {
     Layer& layer = network.stack(i);
-    const Index units = layer.units();
+    Index units = layer.units();
     const Index fan_in = layer.fan_in();
-    SLIDE_CHECK(read_u32(in) == units, "load_weights: layer width mismatch");
+    const std::uint32_t file_units = read_u32(in);
     SLIDE_CHECK(read_u32(in) == fan_in,
                 "load_weights: layer fan-in mismatch");
+    // v5: rows the writer appended online (add_units). A target narrower
+    // than the file re-grows by that recorded count before reading the
+    // parameter blocks, so a network built from the original config loads
+    // a grown checkpoint; any other width difference is still an error.
+    const std::uint32_t file_appended =
+        (version >= 5 && kind == 0) ? read_u32(in) : 0;
+    if (file_units != static_cast<std::uint32_t>(units)) {
+      SLIDE_CHECK(file_units > static_cast<std::uint32_t>(units) &&
+                      file_units - static_cast<std::uint32_t>(units) <=
+                          file_appended,
+                  "load_weights: layer width mismatch");
+      layer.add_units(static_cast<Index>(file_units) - units);
+      units = layer.units();
+    }
     // v3 kind-0 layers carry a shard count + per-shard blocks; earlier
     // versions and kind-1 legacy files are the one-block (monolithic)
     // layout. The file's partition need not match the target layer's —
@@ -284,10 +309,34 @@ void load_weights(Network& network, std::istream& in, ThreadPool* pool) {
       if (aux_bytes > 0 &&
           file_retriever ==
               static_cast<std::uint32_t>(layer.retriever_kind())) {
+        // A backend may decline the block part-way through (e.g. an HNSW
+        // graph saved over a different universe size). Reposition to the
+        // end of the aux block either way so a declined block cannot
+        // desync the words that follow it.
+        const std::istream::pos_type aux_start = in.tellg();
         index_loaded[static_cast<std::size_t>(i)] =
             layer.load_retriever_state(in, aux_bytes);
+        if (aux_start != std::istream::pos_type(-1)) {
+          in.clear();
+          in.seekg(aux_start + static_cast<std::istream::off_type>(aux_bytes));
+        }
       } else {
         in.ignore(static_cast<std::streamsize>(aux_bytes));
+      }
+      SLIDE_CHECK(in.good(), "load_weights: truncated stream");
+    }
+    // v5: tombstone block — re-apply retired ids so they stay masked
+    // across reboots (the retriever mask survives the rebuild pass below).
+    if (version >= 5 && kind == 0) {
+      const std::uint64_t num_retired = read_u64(in);
+      if (num_retired > 0) {
+        SLIDE_CHECK(num_retired <= static_cast<std::uint64_t>(units),
+                    "load_weights: tombstone count exceeds layer width");
+        std::vector<Index> retired;
+        retired.reserve(static_cast<std::size_t>(num_retired));
+        for (std::uint64_t r = 0; r < num_retired; ++r)
+          retired.push_back(static_cast<Index>(read_u32(in)));
+        layer.retire_units(retired);
       }
       SLIDE_CHECK(in.good(), "load_weights: truncated stream");
     }

@@ -39,6 +39,16 @@
 //       block is skipped and the layer rebuilds its index from the loaded
 //       weights, so checkpoints stay portable across retriever choices.
 //       v1–v3 files load unchanged (every layer rebuilds).
+//   5 — dynamic-label lifecycle state. Each kind-0 stack layer gains (a) an
+//       appended-row count word right after its units/fan_in words — the
+//       units the layer grew by online via add_units — and (b) a trailing
+//       tombstone block (u64 count + that many u32 global unit ids) after
+//       the retriever descriptor. A loader whose target layer is NARROWER
+//       than the file re-grows it by the appended count before reading the
+//       parameter blocks (so a config-built network loads a grown
+//       checkpoint), then re-applies the tombstones through retire_units —
+//       retired ids stay retired across save/load instead of resurrecting.
+//       v1–v4 files load unchanged (no growth, no tombstones).
 #pragma once
 
 #include <iosfwd>

@@ -266,6 +266,57 @@ void ShardedSampledLayer::flush_maintenance() {
   for (auto& shard : shards_) shard->flush_maintenance();
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic label lifecycle
+// ---------------------------------------------------------------------------
+
+Index ShardedSampledLayer::add_units(Index n) {
+  SLIDE_CHECK(n > 0, "add_units: unit count must be positive");
+  // Growth lands on the last shard: every other shard's global row offset
+  // is unchanged, so existing ids — and the per-shard checkpoint blocks of
+  // all earlier shards — stay stable.
+  const Index first = units_;
+  shards_.back()->add_units(n);
+  offsets_.back() += n;
+  units_ += n;
+  config_.units = units_;
+  return first;
+}
+
+void ShardedSampledLayer::retire_units(std::span<const Index> ids) {
+  std::vector<std::vector<Index>> per_shard(shards_.size());
+  for (Index id : ids) {
+    SLIDE_CHECK(id < units_, "retire_units: unit id out of range");
+    const int s = shard_of(id);
+    per_shard[static_cast<std::size_t>(s)].push_back(
+        id - offsets_[static_cast<std::size_t>(s)]);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!per_shard[s].empty()) shards_[s]->retire_units(per_shard[s]);
+  }
+}
+
+Index ShardedSampledLayer::retired_count() const noexcept {
+  Index total = 0;
+  for (const auto& shard : shards_) total += shard->retired_count();
+  return total;
+}
+
+std::vector<Index> ShardedSampledLayer::retired_unit_ids() const {
+  std::vector<Index> out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<Index> local = shards_[s]->retired_unit_ids();
+    for (Index lid : local) out.push_back(offsets_[s] + lid);
+  }
+  return out;
+}
+
+Index ShardedSampledLayer::appended_units() const noexcept {
+  Index total = 0;
+  for (const auto& shard : shards_) total += shard->appended_units();
+  return total;
+}
+
 long ShardedSampledLayer::rebuild_count() const noexcept {
   long total = 0;
   for (const auto& shard : shards_) total += shard->rebuild_count();
@@ -409,6 +460,7 @@ LayerMemory ShardedSampledLayer::memory() const noexcept {
     m.master_bytes += sm.master_bytes;
     m.mirror_bytes += sm.mirror_bytes;
     m.optimizer_bytes += sm.optimizer_bytes;
+    m.retriever_bytes += sm.retriever_bytes;
     m.mirror_hugepage_bytes += sm.mirror_hugepage_bytes;
   }
   return m;

@@ -112,6 +112,18 @@ class ShardedSampledLayer final : public Layer {
   void quiesce_maintenance() const override;
   void flush_maintenance() override;
 
+  // ---- Dynamic label lifecycle ----
+  /// Appends `n` units to the LAST shard (every other shard's row offset
+  /// stays put, so existing global ids are stable) and extends the global
+  /// partition. Returns the global id of the first appended unit.
+  Index add_units(Index n) override;
+  /// Routes each global id to its owning shard's tombstone mask.
+  void retire_units(std::span<const Index> ids) override;
+  Index retired_count() const noexcept override;
+  /// Globalized (by shard row offset) tombstoned ids, ascending.
+  std::vector<Index> retired_unit_ids() const override;
+  Index appended_units() const noexcept override;
+
   /// Aggregated diagnostics across shards.
   long rebuild_count() const noexcept;
   long delta_reinserted() const noexcept;

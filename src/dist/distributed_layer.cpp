@@ -249,6 +249,46 @@ void DistributedSampledLayer::rebuild_tables(ThreadPool* /*pool*/) {
     client(s).call(make_frame(MsgType::kRebuildTables), MsgType::kAck);
 }
 
+Index DistributedSampledLayer::add_units(Index n) {
+  SLIDE_CHECK(n > 0, "add_units: unit count must be positive");
+  const Index first = units_;
+  const int last = shards() - 1;
+  client(last).call(AddUnitsMsg{n}.to_frame(), MsgType::kAck);
+  offsets_.back() += n;
+  units_ += n;
+  config_.units = units_;
+  appended_units_ += n;
+  // Keep the serialization surface shaped like the workers: the grown rows
+  // are zero until the next refresh_checkpoint_cache() pulls them.
+  cache_w_[static_cast<std::size_t>(last)].resize(
+      static_cast<std::size_t>(offsets_[static_cast<std::size_t>(last) + 1] -
+                               offsets_[static_cast<std::size_t>(last)]) *
+      fan_in_);
+  cache_b_[static_cast<std::size_t>(last)].resize(static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(last) + 1] -
+      offsets_[static_cast<std::size_t>(last)]));
+  return first;
+}
+
+void DistributedSampledLayer::retire_units(std::span<const Index> ids) {
+  std::vector<std::vector<Index>> per_shard(
+      static_cast<std::size_t>(shards()));
+  for (Index id : ids) {
+    SLIDE_CHECK(id < units_, "retire_units: unit id out of range");
+    const int s = shard_of(id);
+    per_shard[static_cast<std::size_t>(s)].push_back(
+        id - offsets_[static_cast<std::size_t>(s)]);
+    retired_.insert(id);
+  }
+  for (int s = 0; s < shards(); ++s) {
+    auto& local = per_shard[static_cast<std::size_t>(s)];
+    if (local.empty()) continue;
+    RetireUnitsMsg msg;
+    msg.local_ids = std::move(local);
+    client(s).call(msg.to_frame(), MsgType::kAck);
+  }
+}
+
 void DistributedSampledLayer::quiesce_maintenance() const {
   for (int s = 0; s < shards(); ++s)
     client(s).call(make_frame(MsgType::kQuiesce), MsgType::kAck);

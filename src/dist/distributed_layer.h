@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,23 @@ class DistributedSampledLayer final : public Layer {
   /// checkpoint cache — after this, save_weights serializes the workers'
   /// current parameters (the "settled model" contract of Layer).
   void flush_maintenance() override;
+
+  // ---- Dynamic label lifecycle (protocol v3) ----
+  /// Grows the LAST shard's worker by n rows (kAddUnits) so every other
+  /// shard's row offsets stay stable; resizes the coordinator-side
+  /// checkpoint cache to match. Returns the first new global id.
+  Index add_units(Index n) override;
+  /// Tombstones global ids out of their owning workers' retrieval
+  /// (kRetireUnits with shard-local ids). The coordinator mirrors the
+  /// tombstone set so checkpoints and stats see it without an RPC.
+  void retire_units(std::span<const Index> ids) override;
+  Index retired_count() const noexcept override {
+    return static_cast<Index>(retired_.size());
+  }
+  std::vector<Index> retired_unit_ids() const override {
+    return {retired_.begin(), retired_.end()};
+  }
+  Index appended_units() const noexcept override { return appended_units_; }
 
   // ---- Inference hooks (degraded mode: unhealthy shards are skipped) ----
   void forward_inference(std::span<const Index> prev_ids,
@@ -227,6 +245,11 @@ class DistributedSampledLayer final : public Layer {
   /// Coordinator-side checkpoint cache (see serialize hooks above).
   std::vector<std::vector<float>> cache_w_;
   std::vector<std::vector<float>> cache_b_;
+
+  /// Coordinator's mirror of the workers' tombstone sets (global ids,
+  /// sorted) and lifetime growth — the checkpoint/stats surface.
+  std::set<Index> retired_;
+  Index appended_units_ = 0;
 
   // Active-fraction diagnostic, tracked at the merge point.
   mutable std::atomic<std::uint64_t> active_sum_{0};

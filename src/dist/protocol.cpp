@@ -58,13 +58,15 @@ const char* to_string(MsgType type) {
     case MsgType::kAck: return "Ack";
     case MsgType::kErrorResp: return "ErrorResp";
     case MsgType::kSetShardWeights: return "SetShardWeights";
+    case MsgType::kAddUnits: return "AddUnits";
+    case MsgType::kRetireUnits: return "RetireUnits";
   }
   return "?";
 }
 
 MsgType msg_type_of(const Frame& frame) {
   if (frame.type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      frame.type > static_cast<std::uint8_t>(MsgType::kSetShardWeights))
+      frame.type > static_cast<std::uint8_t>(MsgType::kRetireUnits))
     throw FrameError(FrameErrorKind::kBadFormat,
                      "unknown message type " + std::to_string(frame.type));
   return static_cast<MsgType>(frame.type);
@@ -536,6 +538,34 @@ SetShardWeightsMsg SetShardWeightsMsg::from_frame(const Frame& f) {
   SetShardWeightsMsg m;
   r.floats(m.weights);
   r.floats(m.bias);
+  return m;
+}
+
+Frame AddUnitsMsg::to_frame() const {
+  Frame f = begin_frame(MsgType::kAddUnits);
+  PayloadWriter w(f.payload);
+  w.u32(count);
+  return f;
+}
+
+AddUnitsMsg AddUnitsMsg::from_frame(const Frame& f) {
+  PayloadReader r = open_payload(f, MsgType::kAddUnits);
+  AddUnitsMsg m;
+  m.count = r.u32();
+  return m;
+}
+
+Frame RetireUnitsMsg::to_frame() const {
+  Frame f = begin_frame(MsgType::kRetireUnits);
+  PayloadWriter w(f.payload);
+  w.indices({local_ids.data(), local_ids.size()});
+  return f;
+}
+
+RetireUnitsMsg RetireUnitsMsg::from_frame(const Frame& f) {
+  PayloadReader r = open_payload(f, MsgType::kRetireUnits);
+  RetireUnitsMsg m;
+  r.indices(m.local_ids);
   return m;
 }
 

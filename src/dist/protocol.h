@@ -61,7 +61,10 @@ namespace slide::dist {
 //   1 — initial release (PR 6).
 //   2 — layer config gains retriever kind + HNSW knobs + escalation floor
 //       (appended at the end of the config block).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+//   3 — dynamic label lifecycle: kAddUnits grows a shard's unit rows in
+//       place, kRetireUnits tombstones shard-local ids out of retrieval
+//       (both answer kAck). Workers speaking v2 reject them as unknown.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,
@@ -90,6 +93,8 @@ enum class MsgType : std::uint8_t {
   kAck = 24,
   kErrorResp = 25,
   kSetShardWeights = 26,
+  kAddUnits = 27,
+  kRetireUnits = 28,
 };
 
 const char* to_string(MsgType type);
@@ -274,6 +279,27 @@ struct StatsResp {
 
   Frame to_frame() const;
   static StatsResp from_frame(const Frame& f);
+};
+
+/// Grows the worker's shard by `count` unit rows (protocol v3; the
+/// coordinator appends to the LAST shard so earlier row offsets stay
+/// stable). The worker re-sizes its VisitedSet scratch for the wider
+/// sampled universe before acking.
+struct AddUnitsMsg {
+  Index count = 0;
+
+  Frame to_frame() const;
+  static AddUnitsMsg from_frame(const Frame& f);
+};
+
+/// Tombstones shard-LOCAL unit ids out of the worker's retrieval and top-k
+/// paths (protocol v3). Rows are masked, never compacted — global ids of
+/// every other unit are unchanged.
+struct RetireUnitsMsg {
+  std::vector<Index> local_ids;
+
+  Frame to_frame() const;
+  static RetireUnitsMsg from_frame(const Frame& f);
 };
 
 struct ErrorResp {

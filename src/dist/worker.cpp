@@ -121,6 +121,19 @@ Frame ShardWorker::dispatch(const Frame& request) {
       layer.rebuild_tables(nullptr);
       return make_frame(MsgType::kAck);
     }
+    case MsgType::kAddUnits: {
+      const AddUnitsMsg m = AddUnitsMsg::from_frame(request);
+      SampledLayer& layer = layer_checked();
+      layer.add_units(m.count);
+      // The sampled universe widened; the VisitedSet is capacity-fixed.
+      visited_ = std::make_unique<VisitedSet>(layer.units());
+      return make_frame(MsgType::kAck);
+    }
+    case MsgType::kRetireUnits: {
+      const RetireUnitsMsg m = RetireUnitsMsg::from_frame(request);
+      layer_checked().retire_units(m.local_ids);
+      return make_frame(MsgType::kAck);
+    }
     case MsgType::kStats:
       return handle_stats();
     default:

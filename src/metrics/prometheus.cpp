@@ -237,6 +237,60 @@ std::string render_prometheus(const ServeStats& stats) {
              static_cast<double>(stats.unhealthy_shards));
   }
 
+  // Memory accounting of the served snapshot. Always exported: the
+  // retriever component in particular (HNSW graph, LSH buckets) was the
+  // historic blind spot of footprint reports.
+  w.family("slide_memory_bytes",
+           "Resident bytes of the served model, by component", "gauge");
+  w.sample("slide_memory_bytes", {{"component", "master_weights"}},
+           static_cast<double>(stats.memory.master_weight_bytes));
+  w.sample("slide_memory_bytes", {{"component", "mirrors"}},
+           static_cast<double>(stats.memory.mirror_bytes));
+  w.sample("slide_memory_bytes", {{"component", "optimizer"}},
+           static_cast<double>(stats.memory.optimizer_bytes));
+  w.sample("slide_memory_bytes", {{"component", "retriever"}},
+           static_cast<double>(stats.memory.retriever_bytes));
+  w.sample("slide_memory_bytes", {{"component", "inference_weights"}},
+           static_cast<double>(stats.memory.inference_weight_bytes));
+  w.family("slide_memory_mirror_hugepage_bytes",
+           "Quantized-mirror bytes backed by transparent hugepages",
+           "gauge");
+  w.sample("slide_memory_mirror_hugepage_bytes", {},
+           static_cast<double>(stats.memory.mirror_hugepage_bytes));
+
+  if (stats.online_updates) {
+    w.family("slide_online_updates_total",
+             "Online update() calls absorbed by the fp32 master", "counter");
+    w.sample("slide_online_updates_total", {},
+             static_cast<double>(stats.online_update_calls));
+    w.family("slide_online_publishes_total",
+             "Snapshots republished by the online-update cadence",
+             "counter");
+    w.sample("slide_online_publishes_total", {},
+             static_cast<double>(stats.online_publishes));
+    w.family("slide_online_labels_total",
+             "Output labels changed online, by kind", "counter");
+    w.sample("slide_online_labels_total", {{"kind", "added"}},
+             static_cast<double>(stats.labels_added));
+    w.sample("slide_online_labels_total", {{"kind", "retired"}},
+             static_cast<double>(stats.labels_retired));
+  }
+
+  if (stats.snapshot_appended_labels > 0 ||
+      stats.snapshot_retired_labels > 0) {
+    w.family("slide_snapshot_appended_labels",
+             "Output units appended since construction in the served "
+             "snapshot",
+             "gauge");
+    w.sample("slide_snapshot_appended_labels", {},
+             static_cast<double>(stats.snapshot_appended_labels));
+    w.family("slide_snapshot_retired_labels",
+             "Output units currently tombstoned in the served snapshot",
+             "gauge");
+    w.sample("slide_snapshot_retired_labels", {},
+             static_cast<double>(stats.snapshot_retired_labels));
+  }
+
   if (stats.adaptive_retrieval) {
     w.family("slide_retrieval_escalations_total",
              "Queries escalated to exact scoring below the recall floor",

@@ -1,6 +1,7 @@
 #include "optim/adam.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "simd/kernels.h"
 
@@ -34,6 +35,26 @@ void Adam::update_at(float* w, float g, std::size_t offset, float lr) {
   const float mhat = m / bias1_;
   const float vhat = v / bias2_;
   *w -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+}
+
+void Adam::grow(std::size_t old_weight_params, std::size_t new_weight_params,
+                std::size_t old_bias_params, std::size_t new_bias_params) {
+  SLIDE_CHECK(new_weight_params >= old_weight_params &&
+                  new_bias_params >= old_bias_params,
+              "Adam::grow: parameter regions cannot shrink");
+  SLIDE_CHECK(m_.size() == old_weight_params + old_bias_params,
+              "Adam::grow: old layout does not match the state size");
+  auto regrow = [&](HugeArray& arr) {
+    HugeArray grown(new_weight_params + new_bias_params);
+    std::memcpy(grown.data(), arr.data(),
+                old_weight_params * sizeof(float));
+    std::memcpy(grown.data() + new_weight_params,
+                arr.data() + old_weight_params,
+                old_bias_params * sizeof(float));
+    arr = std::move(grown);
+  };
+  regrow(m_);
+  regrow(v_);
 }
 
 void Adam::reset() {

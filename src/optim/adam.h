@@ -48,6 +48,16 @@ class Adam {
   /// Clears moments and the step counter.
   void reset();
 
+  /// Grows the state for a layer that appended output rows under the
+  /// [weights | bias] parameter layout: the weight region keeps its moments
+  /// and extends from old_weight_params to new_weight_params (new entries
+  /// zero — appended rows start with fresh moments), and the bias moments
+  /// relocate from base offset old_weight_params to new_weight_params,
+  /// likewise zero-extended. Step count and bias corrections carry over, so
+  /// surviving parameters step exactly as if nothing grew.
+  void grow(std::size_t old_weight_params, std::size_t new_weight_params,
+            std::size_t old_bias_params, std::size_t new_bias_params);
+
   const AdamConfig& config() const noexcept { return config_; }
 
  private:

@@ -29,6 +29,8 @@ class ExactRetriever final : public Retriever {
   std::size_t memory_bytes() const noexcept override { return 0; }
 
  private:
+  void do_resize(RowView rows) override { rows_ = rows; }
+
   RowView rows_;
 };
 

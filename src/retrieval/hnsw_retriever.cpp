@@ -299,8 +299,12 @@ void HnswRetriever::save_state(std::ostream& out) const {
 bool HnswRetriever::load_state(std::istream& in) {
   const std::uint32_t count = read_u32(in);
   const std::uint32_t m = read_u32(in);
-  SLIDE_CHECK(count == static_cast<std::uint32_t>(rows_.count),
-              "hnsw state: node count mismatch");
+  if (count != static_cast<std::uint32_t>(rows_.count)) {
+    // A graph saved over a different universe (e.g. the layer grew or
+    // shrank relative to this checkpoint) indexes the wrong id space:
+    // decline and let the caller rebuild from the rows.
+    return false;
+  }
   SLIDE_CHECK(m == static_cast<std::uint32_t>(config_.m),
               "hnsw state: m mismatch");
   auto g = std::make_shared<Graph>();

@@ -105,6 +105,12 @@ class HnswRetriever final : public Retriever {
 
   float node_dist(Index a, Index b) const;
 
+  /// The published graph indexes ids, not row addresses, so it stays valid
+  /// over the grown view; appended ids are simply unreachable until the
+  /// next rebuild() (the layer escalates growth to a rebuild for HNSW —
+  /// supports_delta() is false).
+  void do_resize(RowView rows) override { rows_ = rows; }
+
   RowView rows_;
   HnswConfig config_;
   std::uint64_t seed_;

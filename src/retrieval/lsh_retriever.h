@@ -54,6 +54,9 @@ class LshRetriever final : public Retriever {
  private:
   void do_insert(Index id) override;
   void do_update(Index id) override;
+  /// Buckets store ids, not row pointers, so the tables survive a grown
+  /// (reallocated) weight array as-is; only the view needs re-targeting.
+  void do_resize(RowView rows) override { rows_ = rows; }
 
   MaintainedTables tables_;
   SamplingConfig sampling_;

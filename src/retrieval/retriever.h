@@ -130,6 +130,39 @@ class Retriever {
     do_remove(id);
   }
 
+  // --- tombstone introspection (the dynamic-label lifecycle reads these) -
+
+  /// True if id passed through remove() without a later insert() — the
+  /// public face of the tombstone mask, for callers (layer forward paths,
+  /// checkpointing) that must agree with retrieval on what is live.
+  bool is_removed(Index id) const noexcept { return masked(id); }
+  /// True once any remove() happened (cheap any-tombstone fast-path gate).
+  bool has_removed() const noexcept { return any_masked(); }
+  /// Number of currently masked ids.
+  Index removed_count() const noexcept {
+    Index n = 0;
+    for (std::uint8_t t : tombstone_) n += t != 0;
+    return n;
+  }
+  /// Appends every masked id to `out` in ascending order.
+  void append_removed_ids(std::vector<Index>& out) const {
+    for (std::size_t id = 0; id < tombstone_.size(); ++id)
+      if (tombstone_[id] != 0) out.push_back(static_cast<Index>(id));
+  }
+
+  /// Re-targets the index at grown row storage (online add_units: the
+  /// layer's weight arrays were reallocated and extended by new rows).
+  /// `rows` must have the same dim and count >= size(); existing ids keep
+  /// their tombstone state, the appended ids start live but UNINDEXED —
+  /// the caller follows up with insert(id) (or a rebuild) for each new id.
+  void resize_universe(RowView rows) {
+    SLIDE_CHECK(rows.dim == 0 || size() == 0 || rows.count >= size(),
+                "retriever: resize_universe cannot shrink the universe");
+    if (!tombstone_.empty())
+      tombstone_.resize(static_cast<std::size_t>(rows.count), 0);
+    do_resize(rows);
+  }
+
   // --- maintenance hooks (plug into the layer's rebuild machinery) -----
 
   /// Rebuilds the whole index from the current rows. Called synchronously
@@ -173,6 +206,10 @@ class Retriever {
   virtual void do_insert(Index id) { (void)id; }
   virtual void do_update(Index id) { (void)id; }
   virtual void do_remove(Index id) { (void)id; }
+  /// Swaps in the grown RowView (backends store it by value). Structures
+  /// built over the old storage stay valid only if they index by id, not by
+  /// pointer; backends that cache derived state re-target it here.
+  virtual void do_resize(RowView rows) = 0;
 
  private:
   void mask(Index id) {

@@ -372,6 +372,114 @@ void InferenceEngine::serve_batch(std::vector<ServeRequest>& batch,
   update_service_ewma(elapsed_us / static_cast<double>(n));
 }
 
+void InferenceEngine::enable_online_updates(std::shared_ptr<Network> master,
+                                            const OnlineUpdateConfig& config) {
+  SLIDE_CHECK(master != nullptr,
+              "enable_online_updates: master must not be null");
+  SLIDE_CHECK(config.learning_rate > 0.0f,
+              "enable_online_updates: learning_rate must be positive");
+  SLIDE_CHECK(config.publish_every > 0,
+              "enable_online_updates: publish_every must be positive");
+  std::lock_guard<std::mutex> lock(online_mutex_);
+  SLIDE_CHECK(online_master_ == nullptr,
+              "enable_online_updates: already enabled");
+  online_config_ = config;
+  online_rng_ = Rng(config.seed);
+  online_visited_ =
+      std::make_unique<VisitedSet>(std::max<Index>(master->max_sampled_units(), 1));
+  online_master_ = std::move(master);
+  online_enabled_.store(true, std::memory_order_release);
+}
+
+std::uint64_t InferenceEngine::publish_master_locked() {
+  const Network& master = *online_master_;
+  const Precision precision =
+      online_config_.publish_precision.value_or(master.precision());
+  std::uint64_t version;
+  if (online_config_.publish_shards >= 0) {
+    version = publish_clone_sharded(*store_, master,
+                                    online_config_.publish_shards,
+                                    online_config_.rebuild_threads,
+                                    "online-update");
+  } else {
+    version = publish_clone(*store_, master, precision,
+                            online_config_.rebuild_threads, "online-update");
+  }
+  online_publishes_.fetch_add(1, std::memory_order_relaxed);
+  // The clone is BUILT at the master's grown width (publish_clone constructs
+  // from the live config), so its own appended_units() reads 0; record the
+  // master's count here so stats() can report the published label-space
+  // delta without touching the master off-lock.
+  published_appended_.store(
+      master.stack(master.stack_depth() - 1).appended_units(),
+      std::memory_order_release);
+  return version;
+}
+
+std::uint64_t InferenceEngine::update(const OnlineDelta& delta) {
+  std::lock_guard<std::mutex> lock(online_mutex_);
+  SLIDE_CHECK(online_master_ != nullptr,
+              "InferenceEngine::update: call enable_online_updates first");
+  Network& master = *online_master_;
+
+  // Grow, then retire, then train: samples may label units this very delta
+  // appended, and retired units must stop being sampled as negatives.
+  if (delta.add_units > 0) {
+    master.add_output_units(delta.add_units);
+    labels_added_.fetch_add(static_cast<std::uint64_t>(delta.add_units),
+                            std::memory_order_relaxed);
+    // Growth widens the sampled universe; the VisitedSet is capacity-fixed.
+    if (online_visited_->capacity() < master.max_sampled_units())
+      online_visited_ =
+          std::make_unique<VisitedSet>(master.max_sampled_units());
+  }
+  if (!delta.retire.empty()) {
+    master.retire_output_units(delta.retire);
+    labels_retired_.fetch_add(
+        static_cast<std::uint64_t>(delta.retire.size()),
+        std::memory_order_relaxed);
+  }
+
+  // Train against the fp32 masters in max_batch_size chunks (the gradient
+  // accumulators are sized per slot). Single-threaded on purpose: update()
+  // rides the control plane, not the serving data plane.
+  const int max_batch = master.max_batch_size();
+  std::size_t done = 0;
+  while (done < delta.samples.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(delta.samples.size() - done,
+                              static_cast<std::size_t>(max_batch));
+    const float inv_batch = 1.0f / static_cast<float>(chunk);
+    for (std::size_t s = 0; s < chunk; ++s) {
+      master.train_sample(static_cast<int>(s), delta.samples[done + s],
+                          inv_batch, online_rng_, *online_visited_,
+                          /*tid=*/0);
+    }
+    master.apply_updates(online_config_.learning_rate, /*pool=*/nullptr);
+    master.maybe_rebuild(++online_iteration_, /*pool=*/nullptr);
+    done += chunk;
+  }
+
+  const std::uint64_t calls =
+      online_updates_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (calls % online_config_.publish_every == 0) {
+    // Settle any queued dirty-delta maintenance so the published clone
+    // checkpoints tables that reflect every trained weight.
+    master.flush_maintenance();
+    return publish_master_locked();
+  }
+  return store_->version();
+}
+
+std::uint64_t InferenceEngine::publish_now() {
+  std::lock_guard<std::mutex> lock(online_mutex_);
+  SLIDE_CHECK(online_master_ != nullptr,
+              "InferenceEngine::publish_now: call enable_online_updates "
+              "first");
+  online_master_->flush_maintenance();
+  return publish_master_locked();
+}
+
 void InferenceEngine::fail(ServeRequest& request,
                            std::exception_ptr error) noexcept {
   errors_.fetch_add(1, std::memory_order_relaxed);
@@ -418,9 +526,26 @@ ServeStats InferenceEngine::stats() const {
     s.shed_total += ls.shed_admission + ls.shed_evicted + ls.shed_expired;
     s.deadline_misses += ls.deadline_misses;
   }
+  s.online_updates = online_enabled_.load(std::memory_order_acquire);
+  s.online_update_calls = online_updates_.load(std::memory_order_relaxed);
+  s.online_publishes = online_publishes_.load(std::memory_order_relaxed);
+  s.labels_added = labels_added_.load(std::memory_order_relaxed);
+  s.labels_retired = labels_retired_.load(std::memory_order_relaxed);
   const std::shared_ptr<const ModelSnapshot> snapshot = store_->current();
   if (snapshot != nullptr && snapshot->network != nullptr) {
     const Network& net = *snapshot->network;
+    s.memory = net.memory_footprint();
+    {
+      const Layer& out_layer = net.stack(net.stack_depth() - 1);
+      s.snapshot_appended_labels = out_layer.appended_units();
+      s.snapshot_retired_labels = out_layer.retired_count();
+      // Online-published clones are built at the grown width (their own
+      // appended_units() is 0) — the count recorded at publish time wins.
+      const Index published =
+          published_appended_.load(std::memory_order_acquire);
+      if (published > s.snapshot_appended_labels)
+        s.snapshot_appended_labels = published;
+    }
     long overlap = 0;
     long oracle = 0;
     for (int i = 0; i < net.stack_depth(); ++i) {
@@ -498,6 +623,24 @@ void InferenceEngine::print_stats(std::ostream& out) const {
         {"retrieval escalations",
          fmt_int(static_cast<long long>(s.retrieval_escalations))});
     table.add_row({"retrieval recall", fmt(s.retrieval_recall, 4)});
+  }
+  if (s.online_updates) {
+    table.add_row({"online updates",
+                   fmt_int(static_cast<long long>(s.online_update_calls))});
+    table.add_row({"online publishes",
+                   fmt_int(static_cast<long long>(s.online_publishes))});
+    table.add_row({"labels added",
+                   fmt_int(static_cast<long long>(s.labels_added))});
+    table.add_row({"labels retired",
+                   fmt_int(static_cast<long long>(s.labels_retired))});
+  }
+  if (s.snapshot_appended_labels > 0 || s.snapshot_retired_labels > 0) {
+    table.add_row(
+        {"snapshot appended labels",
+         fmt_int(static_cast<long long>(s.snapshot_appended_labels))});
+    table.add_row(
+        {"snapshot retired labels",
+         fmt_int(static_cast<long long>(s.snapshot_retired_labels))});
   }
   table.print(out);
 }

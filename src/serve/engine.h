@@ -48,10 +48,12 @@
 #include <exception>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "data/dataset.h"
 #include "metrics/latency.h"
 #include "serve/request_queue.h"
 #include "serve/snapshot.h"
@@ -124,6 +126,40 @@ struct ServeOptions {
   }
 };
 
+/// Policy knobs for the online-update path (enable_online_updates).
+struct OnlineUpdateConfig {
+  /// Adam learning rate applied to each update() call's samples.
+  float learning_rate = 1e-3f;
+  /// Republish a serving snapshot every this many update() calls (1 =
+  /// every call). Between publishes the fp32 master absorbs deltas while
+  /// traffic keeps serving the previous immutable snapshot.
+  std::uint64_t publish_every = 1;
+  /// Threads for the clone-side table rebuild at publish (0 = hardware).
+  int rebuild_threads = 1;
+  /// Shard count of the published snapshot: -1 keeps the master's layout,
+  /// 0 forces monolithic, n > 0 re-partitions (publish_clone_sharded).
+  int publish_shards = -1;
+  /// Serving precision of published snapshots; nullopt = the master's own
+  /// precision (publish_clone re-quantizes mirrors from fp32 either way).
+  std::optional<Precision> publish_precision = std::nullopt;
+  /// Seeds the update path's sampled-training RNG.
+  std::uint64_t seed = 0x0511DEull;
+};
+
+/// One batch of live-traffic model change: label-space growth/retirement
+/// plus training samples, applied atomically to the fp32 master.
+struct OnlineDelta {
+  /// Output units to append before training (0 = none). New labels become
+  /// retrievable in the NEXT published snapshot.
+  Index add_units = 0;
+  /// Output units to tombstone out of retrieval/top-k (rows survive; see
+  /// Layer::retire_units).
+  std::vector<Index> retire;
+  /// Samples trained against the fp32 master (labels may reference units
+  /// added by this same delta).
+  std::vector<Sample> samples;
+};
+
 /// Point-in-time counters (monotonic since engine construction).
 struct ServeStats {
   std::uint64_t submitted = 0;
@@ -178,6 +214,23 @@ struct ServeStats {
   bool adaptive_retrieval = false;
   std::uint64_t retrieval_escalations = 0;
   double retrieval_recall = 0.0;
+
+  // Online updates (all zero unless enable_online_updates was called).
+  bool online_updates = false;
+  std::uint64_t online_update_calls = 0;  // update() calls absorbed
+  std::uint64_t online_publishes = 0;     // snapshots published by cadence
+  std::uint64_t labels_added = 0;         // output units appended, lifetime
+  std::uint64_t labels_retired = 0;       // retire requests applied, lifetime
+
+  // Dynamic label space of the CURRENT snapshot (nonzero only after
+  // growth/retirement reached a published snapshot or checkpoint).
+  Index snapshot_appended_labels = 0;  // units appended since construction
+  Index snapshot_retired_labels = 0;   // ids currently tombstoned
+
+  /// Memory footprint of the current snapshot's network — the fix for the
+  /// historic under-report: retriever_bytes (HNSW graph, LSH buckets) is
+  /// now part of the accounting and the Prometheus export.
+  MemoryFootprint memory;
 };
 
 class InferenceEngine {
@@ -229,6 +282,38 @@ class InferenceEngine {
   /// calls it.
   void stop();
 
+  // ---- Online updates (dynamic label lifecycle on live traffic) ----
+  //
+  // The engine serves immutable snapshots; `master` is the mutable fp32
+  // network that absorbs deltas off the serving path. update() grows /
+  // retires output labels and trains on the delta's samples, then — on the
+  // configured cadence — republishes a quantized clone through the store's
+  // RCU swap (publish_clone / publish_clone_sharded), so in-flight batches
+  // finish on the old snapshot and new batches see the new label space.
+  // update() calls are serialized internally; safe to call concurrently
+  // with submit() from any thread.
+
+  /// Arms the online-update path. `master` must be the serving-equivalent
+  /// trainer network (typically the one the store was seeded from, or a
+  /// fp32 twin of the checkpoint). Callable once; throws on a second call
+  /// or a null master.
+  void enable_online_updates(std::shared_ptr<Network> master,
+                             const OnlineUpdateConfig& config = {});
+  bool online_updates_enabled() const noexcept {
+    return online_enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one delta to the master (grow, retire, train — in that
+  /// order), republishing per OnlineUpdateConfig::publish_every. Returns
+  /// the store version serving traffic after the call (unchanged when the
+  /// cadence did not publish). Throws slide::Error if online updates are
+  /// not enabled or the delta is malformed (e.g. retire id out of range).
+  std::uint64_t update(const OnlineDelta& delta);
+
+  /// Forces an immediate publish of the master's current state regardless
+  /// of cadence (e.g. before a planned drain). Returns the new version.
+  std::uint64_t publish_now();
+
   ServeStats stats() const;
   /// Renders stats as a markdown table (metrics/table_printer).
   void print_stats(std::ostream& out) const;
@@ -255,6 +340,9 @@ class InferenceEngine {
 
   void worker_main(int worker_id);
   void serve_batch(std::vector<ServeRequest>& batch, int worker_id);
+  /// Publishes the master per OnlineUpdateConfig (caller holds
+  /// online_mutex_). Returns the new store version.
+  std::uint64_t publish_master_locked();
   /// Routes an error into the request's future and counts it.
   void fail(ServeRequest& request, std::exception_ptr error) noexcept;
   /// Folds one batch's per-request service time into the admission EWMA.
@@ -287,6 +375,24 @@ class InferenceEngine {
     std::atomic<std::uint64_t> shed_expired{0};
     std::atomic<std::uint64_t> deadline_misses{0};
   };
+
+  // Online-update state, all behind online_mutex_ except the atomics
+  // (read lock-free by stats()).
+  std::shared_ptr<Network> online_master_;
+  OnlineUpdateConfig online_config_;
+  mutable std::mutex online_mutex_;
+  Rng online_rng_{0x0511DEull};
+  std::unique_ptr<VisitedSet> online_visited_;
+  long online_iteration_ = 0;  // feeds Network::maybe_rebuild schedules
+  std::atomic<bool> online_enabled_{false};
+  std::atomic<std::uint64_t> online_updates_{0};
+  std::atomic<std::uint64_t> online_publishes_{0};
+  std::atomic<std::uint64_t> labels_added_{0};
+  std::atomic<std::uint64_t> labels_retired_{0};
+  /// Master's appended_units() at the last online publish — published
+  /// clones are built at the grown width, so they cannot report this
+  /// themselves (see publish_master_locked).
+  std::atomic<Index> published_appended_{0};
 
   LatencyHistogram latency_;
   LatencyHistogram lane_latency_[kNumLanes];

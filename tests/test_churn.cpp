@@ -1,0 +1,531 @@
+// Dynamic label lifecycle tests: online growth (add_units) and retirement
+// (retire_units tombstones) of output neurons in monolithic, sharded, and
+// distributed layers; checkpoint-v5 round-trips (appended rows + tombstone
+// persistence, shard-count invariance); retriever memory accounting in
+// Network::memory_footprint; paged top-k stability across growth; the
+// InferenceEngine online-update API; and churn-while-serving stress (the
+// TSan CI target).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/serialize.h"
+#include "core/sharded_layer.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "dist/distributed_layer.h"
+#include "dist/worker.h"
+#include "metrics/prometheus.h"
+#include "serve/engine.h"
+
+namespace slide {
+namespace {
+
+using retrieval::RetrieverKind;
+using namespace std::chrono_literals;
+
+const RetrieverKind kAllKinds[] = {RetrieverKind::kLsh, RetrieverKind::kExact,
+                                   RetrieverKind::kHnsw};
+
+SyntheticDataset tiny_data(std::uint64_t seed = 911) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = 64;
+  cfg.label_dim = 48;
+  cfg.num_train = 200;
+  cfg.num_test = 50;
+  cfg.features_per_label = 8;
+  cfg.active_per_label = 5;
+  cfg.seed = seed;
+  return make_synthetic_xc(cfg);
+}
+
+HashFamilyConfig small_family() {
+  HashFamilyConfig family;
+  family.kind = HashFamilyKind::kSimhash;
+  family.k = 4;
+  family.l = 10;
+  return family;
+}
+
+NetworkConfig net_config(const SyntheticDataset& data,
+                         RetrieverKind kind = RetrieverKind::kLsh,
+                         int shards = 0,
+                         MaintenancePolicy policy = MaintenancePolicy::kSync) {
+  NetworkBuilder b(data.train.feature_dim());
+  b.dense(16).sampled(data.train.label_dim(), small_family(), 16);
+  b.table({.range_pow = 8, .bucket_size = 32});
+  b.retriever(kind);
+  if (kind == RetrieverKind::kHnsw)
+    b.hnsw({.m = 6, .ef_construction = 32, .ef_search = 24});
+  b.maintenance(policy);
+  if (shards > 0) b.shards(shards);
+  b.max_batch(32).seed(123);
+  return b.to_config();
+}
+
+void train(Network& net, const SyntheticDataset& data, long iterations,
+           int threads = 2) {
+  TrainerConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.num_threads = threads;
+  tcfg.learning_rate = 1e-2f;
+  Trainer trainer(net, tcfg);
+  trainer.train(data.train, iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Growth
+// ---------------------------------------------------------------------------
+
+TEST(Churn, AddUnitsGrowsOutputAndNewLabelsAreRetrievable) {
+  const auto data = tiny_data();
+  for (RetrieverKind kind : kAllKinds) {
+    Network net(net_config(data, kind), 2);
+    train(net, data, 20);
+    const Index before = net.output_dim();
+    const Index first = net.add_output_units(8);
+    EXPECT_EQ(first, before) << to_string(kind);
+    EXPECT_EQ(net.output_dim(), before + 8) << to_string(kind);
+    EXPECT_EQ(net.output_layer().appended_units(), 8) << to_string(kind);
+    // The stored config tracks the live width (clones, checkpoints).
+    EXPECT_EQ(net.config().layers.back().units, before + 8);
+
+    // New rows must be scorable through the exact path immediately, and the
+    // sampled path must not crash on the wider universe.
+    InferenceContext ctx(net, 7);
+    const auto exact = net.predict_topk(data.test[0].features,
+                                        ctx, static_cast<int>(before + 8),
+                                        /*exact=*/true);
+    EXPECT_EQ(exact.size(), static_cast<std::size_t>(before + 8))
+        << to_string(kind);
+    const auto sampled = net.predict_topk(data.test[0].features, ctx, 5);
+    for (Index label : sampled) EXPECT_LT(label, before + 8);
+
+    // Training straight through the grown width must work (labels may now
+    // reference the new units).
+    train(net, data, 5);
+  }
+}
+
+TEST(Churn, AddUnitsRejectsUnhashedAndNonPositive) {
+  const auto data = tiny_data();
+  Network net(net_config(data), 2);
+  EXPECT_THROW(net.add_output_units(0), Error);
+  NetworkBuilder b(data.train.feature_dim());
+  b.dense(16).dense(data.train.label_dim(), Activation::kSoftmax);
+  Network dense_net(b.to_config(), 2);
+  EXPECT_THROW(dense_net.add_output_units(4), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Retirement
+// ---------------------------------------------------------------------------
+
+TEST(Churn, RetiredUnitsVanishFromTopkOnEveryBackend) {
+  const auto data = tiny_data();
+  for (RetrieverKind kind : kAllKinds) {
+    Network net(net_config(data, kind), 2);
+    train(net, data, 30);
+    InferenceContext ctx(net, 7);
+    const auto before =
+        net.predict_topk(data.test[0].features, ctx, 3, /*exact=*/true);
+    ASSERT_FALSE(before.empty());
+    const Index victim = before[0];
+
+    net.retire_output_units(std::vector<Index>{victim});
+    EXPECT_EQ(net.output_layer().retired_count(), 1) << to_string(kind);
+    EXPECT_EQ(net.output_layer().retired_unit_ids(),
+              std::vector<Index>{victim});
+
+    // Exact and sampled paths both mask the tombstoned id.
+    for (std::size_t i = 0; i < 10; ++i) {
+      const auto exact =
+          net.predict_topk(data.test[i].features, ctx, 10, /*exact=*/true);
+      EXPECT_EQ(std::count(exact.begin(), exact.end(), victim), 0)
+          << to_string(kind);
+      const auto sampled = net.predict_topk(data.test[i].features, ctx, 10);
+      EXPECT_EQ(std::count(sampled.begin(), sampled.end(), victim), 0)
+          << to_string(kind);
+    }
+
+    // Rows are masked, not compacted: the other ids are unchanged.
+    EXPECT_EQ(net.output_dim(), data.train.label_dim());
+    EXPECT_THROW(
+        net.retire_output_units(std::vector<Index>{net.output_dim()}), Error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v5: tombstone persistence + growth round-trips (satellite 2)
+// ---------------------------------------------------------------------------
+
+TEST(Churn, RetireSaveLoadRoundTripAllBackends) {
+  const auto data = tiny_data();
+  for (RetrieverKind kind : kAllKinds) {
+    Network net(net_config(data, kind), 2);
+    train(net, data, 30);
+    const std::vector<Index> victims = {3, 17, 40};
+    net.retire_output_units(victims);
+
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    save_weights(net, buffer);
+    Network restored(net_config(data, kind), 2);
+    load_weights(restored, buffer);
+
+    // The mask survived the reboot: removed ids must NOT resurrect.
+    EXPECT_EQ(restored.output_layer().retired_count(), 3) << to_string(kind);
+    EXPECT_EQ(restored.output_layer().retired_unit_ids(), victims);
+    InferenceContext ctx(restored, 7);
+    for (std::size_t i = 0; i < 10; ++i) {
+      const auto exact = restored.predict_topk(data.test[i].features, ctx,
+                                               10, /*exact=*/true);
+      const auto sampled =
+          restored.predict_topk(data.test[i].features, ctx, 10);
+      for (Index victim : victims) {
+        EXPECT_EQ(std::count(exact.begin(), exact.end(), victim), 0)
+            << to_string(kind);
+        EXPECT_EQ(std::count(sampled.begin(), sampled.end(), victim), 0)
+            << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Churn, GrownCheckpointLoadsIntoOriginalConfigAndAcrossShardCounts) {
+  const auto data = tiny_data();
+  NetworkConfig cfg = net_config(data, RetrieverKind::kLsh, /*shards=*/2);
+  Network src(cfg, 2);
+  train(src, data, 30);
+  src.add_output_units(6);
+  src.retire_output_units(std::vector<Index>{5, 11});
+  train(src, data, 5);
+  src.flush_maintenance();
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights(src, buffer);
+  const std::string bytes = buffer.str();
+
+  InferenceContext src_ctx(src, 7);
+  std::vector<std::vector<Index>> want;
+  for (std::size_t i = 0; i < 20; ++i)
+    want.push_back(src.predict_topk(data.test[i].features, src_ctx, 5,
+                                    /*exact=*/true));
+
+  // A network built from the ORIGINAL (pre-growth) config re-grows on
+  // load; shard count of the target may differ from the writer's
+  // (checkpoint-v3 scatter), and the tombstones must land either way.
+  for (int shards : {0, 2, 3}) {
+    NetworkConfig target = net_config(data, RetrieverKind::kLsh, shards);
+    std::stringstream in(bytes);
+    Network restored(target, 2);
+    load_weights(restored, in);
+    EXPECT_EQ(restored.output_dim(), data.train.label_dim() + 6)
+        << shards << " shards";
+    EXPECT_EQ(restored.output_layer().retired_count(), 2);
+    EXPECT_EQ(restored.output_layer().retired_unit_ids(),
+              (std::vector<Index>{5, 11}));
+    InferenceContext ctx(restored, 7);
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(restored.predict_topk(data.test[i].features, ctx, 5,
+                                      /*exact=*/true),
+                want[i])
+          << shards << " shards, sample " << i;
+    }
+  }
+
+  // Pre-v5 guarantee: a genuinely mismatched width still throws.
+  SyntheticConfig wide_cfg;
+  wide_cfg.feature_dim = data.train.feature_dim();
+  wide_cfg.label_dim = data.train.label_dim() + 32;
+  wide_cfg.num_train = 10;
+  wide_cfg.num_test = 2;
+  wide_cfg.seed = 1;
+  const auto wide = make_synthetic_xc(wide_cfg);
+  Network too_wide(net_config(wide), 2);
+  std::stringstream in(bytes);
+  EXPECT_THROW(load_weights(too_wide, in), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting (satellite 1)
+// ---------------------------------------------------------------------------
+
+TEST(Churn, FootprintIncludesRetrieverBytes) {
+  const auto data = tiny_data();
+  for (RetrieverKind kind : kAllKinds) {
+    Network net(net_config(data, kind), 2);
+    const MemoryFootprint f = net.memory_footprint();
+    if (kind == RetrieverKind::kExact) {
+      // Brute force scores a borrowed row view — no index to report.
+      EXPECT_EQ(f.retriever_bytes, 0u);
+      continue;
+    }
+    // LSH buckets / the HNSW graph must show up in the footprint; a report
+    // without retriever_bytes silently drops them.
+    EXPECT_GT(f.retriever_bytes, 0u) << to_string(kind);
+    if (kind == RetrieverKind::kHnsw) {
+      // The graph holds neighbor lists for every row — it cannot be
+      // smaller than one Index per unit.
+      EXPECT_GE(f.retriever_bytes,
+                static_cast<std::size_t>(data.train.label_dim()) *
+                    sizeof(Index));
+    }
+  }
+}
+
+TEST(Churn, PrometheusExportsMemoryFamilies) {
+  const auto data = tiny_data();
+  auto net = std::make_shared<Network>(net_config(data, RetrieverKind::kHnsw),
+                                       2);
+  auto store = std::make_shared<ModelStore>(net);
+  ServeConfig scfg;
+  scfg.num_workers = 1;
+  InferenceEngine engine(store, scfg);
+  const ServeStats stats = engine.stats();
+  EXPECT_GT(stats.memory.retriever_bytes, 0u);
+  EXPECT_GT(stats.memory.master_weight_bytes, 0u);
+  const std::string text = render_prometheus(stats);
+  EXPECT_NE(text.find("slide_memory_bytes{component=\"retriever\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("slide_memory_bytes{component=\"master_weights\"}"),
+            std::string::npos);
+  engine.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Paged top-k across growth (satellite 3)
+// ---------------------------------------------------------------------------
+
+TEST(Churn, PagedTopkIsStableWhenUniverseGrowsBetweenPages) {
+  const auto data = tiny_data();
+  Network net(net_config(data, RetrieverKind::kExact), 2);
+  train(net, data, 20);
+  InferenceContext ctx(net, 7);
+
+  // The one-shot ranking before any churn.
+  const auto whole = net.predict_topk(data.test[0].features, ctx, 20,
+                                      /*exact=*/true);
+
+  // Page 1, then grow the universe, then page 2: the iterator scored its
+  // candidates at creation, so the pages must still concatenate to the
+  // pre-growth ranking with no overlap and no phantom new ids.
+  TopKIterator it = net.topk_iterator(data.test[0].features, ctx,
+                                      /*exact=*/true);
+  std::vector<Index> page1, page2;
+  ASSERT_TRUE(it.next(10, page1));
+  net.add_output_units(4);
+  ASSERT_TRUE(it.next(10, page2));
+  std::vector<Index> paged = page1;
+  paged.insert(paged.end(), page2.begin(), page2.end());
+  EXPECT_EQ(paged, whole);
+
+  // A FRESH context sized for the grown net sees the new universe.
+  ctx.reset(net);
+  const auto grown = net.predict_topk(data.test[0].features, ctx,
+                                      static_cast<int>(net.output_dim()),
+                                      /*exact=*/true);
+  EXPECT_EQ(grown.size(), static_cast<std::size_t>(net.output_dim()));
+}
+
+// ---------------------------------------------------------------------------
+// Engine online-update API
+// ---------------------------------------------------------------------------
+
+TEST(Churn, EngineOnlineUpdateGrowsRetiresAndRepublishes) {
+  const auto data = tiny_data();
+  auto master = std::make_shared<Network>(net_config(data), 2);
+  train(*master, data, 20);
+  auto store = std::make_shared<ModelStore>(
+      std::make_shared<Network>(net_config(data), 2));
+  ServeConfig scfg;
+  scfg.num_workers = 1;
+  InferenceEngine engine(store, scfg);
+
+  OnlineDelta delta;
+  EXPECT_THROW(engine.update(delta), Error);  // not enabled yet
+
+  OnlineUpdateConfig ocfg;
+  ocfg.publish_every = 2;
+  ocfg.rebuild_threads = 1;
+  engine.enable_online_updates(master, ocfg);
+  EXPECT_TRUE(engine.online_updates_enabled());
+  EXPECT_THROW(engine.enable_online_updates(master, ocfg), Error);
+
+  const std::uint64_t v0 = store->version();
+  const auto train_samples = data.train.samples();
+  delta.add_units = 4;
+  delta.retire = {1, 2};
+  delta.samples.assign(train_samples.begin(), train_samples.begin() + 8);
+  EXPECT_EQ(engine.update(delta), v0);  // call 1 of 2: no publish yet
+
+  OnlineDelta delta2;
+  delta2.samples.assign(train_samples.begin(), train_samples.begin() + 8);
+  const std::uint64_t v1 = engine.update(delta2);  // cadence fires
+  EXPECT_GT(v1, v0);
+
+  // The published snapshot carries the grown width and the tombstones.
+  const auto snap = store->current();
+  EXPECT_EQ(snap->network->output_dim(), data.train.label_dim() + 4);
+  const ServeStats stats = engine.stats();
+  EXPECT_TRUE(stats.online_updates);
+  EXPECT_EQ(stats.online_update_calls, 2u);
+  EXPECT_EQ(stats.online_publishes, 1u);
+  EXPECT_EQ(stats.labels_added, 4u);
+  EXPECT_EQ(stats.labels_retired, 2u);
+  EXPECT_EQ(stats.snapshot_appended_labels, 4);
+  EXPECT_EQ(stats.snapshot_retired_labels, 2);
+
+  // A served request must never see a retired label.
+  auto future = engine.submit(data.test[0].features, {.top_k = 10});
+  ASSERT_TRUE(future.has_value());
+  const Prediction p = future->get();
+  for (Index label : p.labels) {
+    EXPECT_NE(label, 1);
+    EXPECT_NE(label, 2);
+  }
+  engine.stop();
+}
+
+TEST(Churn, PublishNowForcesSnapshotOffCadence) {
+  const auto data = tiny_data();
+  auto master = std::make_shared<Network>(net_config(data), 2);
+  auto store = std::make_shared<ModelStore>(
+      std::make_shared<Network>(net_config(data), 2));
+  ServeConfig scfg;
+  scfg.num_workers = 1;
+  InferenceEngine engine(store, scfg);
+  OnlineUpdateConfig ocfg;
+  ocfg.publish_every = 1000;  // cadence effectively never fires
+  engine.enable_online_updates(master, ocfg);
+  OnlineDelta delta;
+  delta.add_units = 2;
+  const std::uint64_t v0 = store->version();
+  EXPECT_EQ(engine.update(delta), v0);
+  EXPECT_GT(engine.publish_now(), v0);
+  EXPECT_EQ(store->current()->network->output_dim(),
+            data.train.label_dim() + 2);
+  engine.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed grow/retire RPCs (protocol v3)
+// ---------------------------------------------------------------------------
+
+TEST(Churn, DistributedLayerGrowsAndRetiresThroughRpc) {
+  const auto data = tiny_data();
+  std::vector<std::unique_ptr<dist::InProcessWorker>> workers;
+  std::vector<std::string> endpoints;
+  for (int s = 0; s < 2; ++s) {
+    workers.push_back(
+        std::make_unique<dist::InProcessWorker>("tcp:127.0.0.1:0"));
+    endpoints.push_back(workers.back()->endpoint());
+  }
+  {
+    NetworkBuilder b(data.train.feature_dim());
+    b.dense(16).sampled(data.train.label_dim(), small_family(), 16);
+    b.table({.range_pow = 8, .bucket_size = 32});
+    b.distributed(endpoints);
+    b.max_batch(32).seed(123);
+    Network net(b.to_config(), 1);
+    auto* layer = dynamic_cast<dist::DistributedSampledLayer*>(
+        &net.stack(net.stack_depth() - 1));
+    ASSERT_NE(layer, nullptr);
+
+    const Index before = net.output_dim();
+    EXPECT_EQ(net.add_output_units(4), before);
+    EXPECT_EQ(net.output_dim(), before + 4);
+    EXPECT_EQ(layer->appended_units(), 4);
+
+    net.retire_output_units(std::vector<Index>{0, before + 1});
+    EXPECT_EQ(layer->retired_count(), 2);
+    EXPECT_EQ(layer->retired_unit_ids(),
+              (std::vector<Index>{0, before + 1}));
+
+    InferenceContext ctx(net, 7);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto top = net.predict_topk(data.test[i].features, ctx, 10,
+                                        /*exact=*/true);
+      EXPECT_EQ(std::count(top.begin(), top.end(), Index{0}), 0);
+      EXPECT_EQ(std::count(top.begin(), top.end(), before + 1), 0);
+      for (Index label : top) EXPECT_LT(label, before + 4);
+    }
+    layer->shutdown_workers();
+  }
+  for (auto& w : workers) w->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Churn-while-serving stress (the TSan CI target, satellite 3)
+// ---------------------------------------------------------------------------
+
+TEST(Churn, ConcurrentChurnWhileServing) {
+  const auto data = tiny_data();
+  auto master = std::make_shared<Network>(
+      net_config(data, RetrieverKind::kLsh, 0, MaintenancePolicy::kSync), 2);
+  train(*master, data, 20);
+  auto store = std::make_shared<ModelStore>(
+      std::make_shared<Network>(net_config(data), 2));
+  ServeConfig scfg;
+  scfg.num_workers = 2;
+  scfg.max_batch = 8;
+  InferenceEngine engine(store, scfg);
+  OnlineUpdateConfig ocfg;
+  ocfg.publish_every = 1;
+  ocfg.rebuild_threads = 1;
+  engine.enable_online_updates(master, ocfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::thread client([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto future =
+          engine.submit(data.test[i % data.test.size()].features,
+                        {.top_k = 5});
+      if (future.has_value()) {
+        try {
+          future->get();
+          served.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+        }
+      }
+      ++i;
+    }
+  });
+
+  // 1% of the label space churns per update: grow one, retire one.
+  for (int round = 0; round < 6; ++round) {
+    OnlineDelta delta;
+    delta.add_units = 1;
+    delta.retire = {static_cast<Index>(round)};
+    const auto tr = data.train.samples();
+    const std::size_t offset = static_cast<std::size_t>(round) * 8;
+    delta.samples.assign(tr.begin() + offset, tr.begin() + offset + 8);
+    engine.update(delta);
+  }
+
+  std::this_thread::sleep_for(50ms);
+  stop.store(true);
+  client.join();
+  engine.stop();
+
+  EXPECT_GT(served.load(), 0u);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.online_update_calls, 6u);
+  EXPECT_EQ(stats.online_publishes, 6u);
+  EXPECT_EQ(stats.labels_added, 6u);
+  EXPECT_EQ(stats.labels_retired, 6u);
+  EXPECT_EQ(store->current()->network->output_dim(),
+            data.train.label_dim() + 6);
+  EXPECT_EQ(stats.snapshot_retired_labels, 6);
+}
+
+}  // namespace
+}  // namespace slide

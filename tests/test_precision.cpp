@@ -261,7 +261,7 @@ TEST(Precision, CheckpointCarriesPrecisionTag) {
   save_weights(bf16, buffer);
   buffer.seekg(0);
   const CheckpointInfo info = peek_checkpoint_info(buffer);
-  EXPECT_EQ(info.version, 4u);
+  EXPECT_EQ(info.version, 5u);
   EXPECT_EQ(info.kind, 0u);
   EXPECT_EQ(info.precision, Precision::kBF16);
   // peek must not consume: a full load still works afterwards.

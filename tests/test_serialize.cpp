@@ -139,7 +139,7 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
   }
 }
 
-TEST(Serialize, WritesVersion4WithPrecisionTagAndRejectsFutureVersions) {
+TEST(Serialize, WritesVersion5WithPrecisionTagAndRejectsFutureVersions) {
   const auto data = tiny_data();
   Network net(net_config(data), 2);
   std::stringstream buffer;
@@ -150,7 +150,7 @@ TEST(Serialize, WritesVersion4WithPrecisionTagAndRejectsFutureVersions) {
   std::uint32_t version = 0, tag = 0;
   std::memcpy(&version, bytes.data() + 4, 4);
   std::memcpy(&tag, bytes.data() + 24, 4);
-  EXPECT_EQ(version, 4u);
+  EXPECT_EQ(version, 5u);
   EXPECT_EQ(tag, static_cast<std::uint32_t>(Precision::kFP32));
 
   // A version from the future must be rejected, not misparsed.

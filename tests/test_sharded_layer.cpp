@@ -394,7 +394,7 @@ TEST(ShardedLayer, CheckpointV3RoundTripAcrossShardCounts) {
   save_weights(src, buffer);
 
   const CheckpointInfo info = peek_checkpoint_info(buffer);
-  EXPECT_EQ(info.version, 4u);
+  EXPECT_EQ(info.version, 5u);
   EXPECT_EQ(info.kind, 0u);
 
   InferenceContext ctx_src(src, 7);
